@@ -1,0 +1,200 @@
+//! Full-batch CRF training — the stand-in for the hand-tuned external tools
+//! (CRF++ / Mallet) of Figure 7(B).
+//!
+//! Each iteration computes the exact gradient of the conditional
+//! log-likelihood over **all** sentences (one forward–backward per sentence)
+//! and then takes a single gradient step. Per-iteration cost therefore equals
+//! a whole IGD epoch, but the model only moves once per pass — the classic
+//! batch-versus-incremental trade-off the figure visualizes.
+
+use bismarck_core::model::DenseModelStore;
+use bismarck_core::task::IgdTask;
+use bismarck_core::tasks::CrfTask;
+use bismarck_storage::Table;
+
+/// Configuration of the batch CRF trainer.
+#[derive(Debug, Clone, Copy)]
+pub struct CrfBatchConfig {
+    /// Sequence column position.
+    pub sequence_col: usize,
+    /// Number of observation features.
+    pub num_features: usize,
+    /// Number of labels.
+    pub num_labels: usize,
+    /// Number of full-gradient iterations.
+    pub iterations: usize,
+    /// Step size per iteration.
+    pub step_size: f64,
+    /// Gaussian prior strength.
+    pub l2: f64,
+}
+
+impl CrfBatchConfig {
+    /// A reasonable default configuration.
+    pub fn new(sequence_col: usize, num_features: usize, num_labels: usize) -> Self {
+        CrfBatchConfig {
+            sequence_col,
+            num_features,
+            num_labels,
+            iterations: 50,
+            step_size: 0.5,
+            l2: 0.0,
+        }
+    }
+}
+
+/// Result of a batch CRF run.
+#[derive(Debug, Clone)]
+pub struct CrfBatchResult {
+    /// Learned weights (state block followed by transition block, matching
+    /// [`CrfTask`]'s layout).
+    pub model: Vec<f64>,
+    /// Negative log-likelihood after each iteration.
+    pub losses: Vec<f64>,
+}
+
+/// Train a linear-chain CRF with full-batch gradient ascent on the
+/// log-likelihood.
+///
+/// Implementation note: the exact batch gradient is the sum of the
+/// per-sentence gradients, which is what [`CrfTask::gradient_step`] computes
+/// (scaled by the step size). We therefore accumulate each sentence's update
+/// into a scratch copy of the model and apply the summed update only once per
+/// iteration — giving genuinely batch semantics while reusing the audited
+/// forward–backward code.
+pub fn crf_batch_train(table: &Table, config: CrfBatchConfig) -> CrfBatchResult {
+    let task = CrfTask::new(config.sequence_col, config.num_features, config.num_labels)
+        .with_l2(config.l2);
+    let dim = task.dimension();
+    let mut model = vec![0.0; dim];
+    let mut losses = Vec::with_capacity(config.iterations);
+
+    let n = table.len().max(1) as f64;
+    for _ in 0..config.iterations {
+        // Accumulate the summed update at the CURRENT model: every sentence's
+        // gradient is evaluated against `model`, not against the partially
+        // updated scratch (batch, not incremental, semantics). The summed
+        // update is averaged over the sentences so the step size has the
+        // same meaning regardless of corpus size (standard batch practice).
+        let mut total_update = vec![0.0; dim];
+        for tuple in table.scan() {
+            let mut scratch = DenseModelStore::new(model.clone());
+            task.gradient_step(&mut scratch, tuple, config.step_size);
+            let stepped = scratch.into_vec();
+            for (acc, (after, before)) in
+                total_update.iter_mut().zip(stepped.iter().zip(model.iter()))
+            {
+                *acc += after - before;
+            }
+        }
+        for (w, delta) in model.iter_mut().zip(total_update.iter()) {
+            *w += delta / n;
+        }
+        if config.l2 > 0.0 {
+            task.proximal_step(&mut model, config.step_size);
+        }
+
+        let loss: f64 = table.scan().map(|t| task.example_loss(&model, t)).sum::<f64>()
+            + task.regularizer(&model);
+        losses.push(loss);
+    }
+
+    CrfBatchResult { model, losses }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bismarck_linalg::SparseVector;
+    use bismarck_storage::{Column, DataType, Schema, Value};
+
+    fn sentence(labels: &[u32]) -> Vec<(SparseVector, u32)> {
+        labels
+            .iter()
+            .map(|&y| (SparseVector::from_pairs(vec![(y as usize, 1.0)]), y))
+            .collect()
+    }
+
+    fn crf_table(sentences: &[Vec<(SparseVector, u32)>]) -> Table {
+        let schema = Schema::new(vec![Column::new("sentence", DataType::Sequence)]).unwrap();
+        let mut t = Table::new("crf", schema);
+        for s in sentences {
+            t.insert(vec![Value::Sequence(s.clone())]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn batch_crf_reduces_negative_log_likelihood() {
+        let data = crf_table(&[
+            sentence(&[0, 1, 0, 1]),
+            sentence(&[1, 0, 1, 0]),
+            sentence(&[0, 0, 1, 1]),
+        ]);
+        let config = CrfBatchConfig { iterations: 30, step_size: 0.3, ..CrfBatchConfig::new(0, 2, 2) };
+        let result = crf_batch_train(&data, config);
+        assert_eq!(result.losses.len(), 30);
+        assert!(result.losses.last().unwrap() < &(result.losses[0] * 0.6));
+    }
+
+    #[test]
+    fn igd_reaches_comparable_loss_to_batch_after_equal_passes() {
+        // Figure 7(B)'s qualitative claim is that the in-RDBMS IGD CRF
+        // converges comparably to hand-coded batch trainers. After the same
+        // number of passes over the data, the IGD loss should be within a
+        // modest factor of the batch trainer's loss (on this tiny dataset
+        // either may be slightly ahead).
+        let data = crf_table(&[
+            sentence(&[0, 1, 0, 1, 1]),
+            sentence(&[1, 0, 1, 0, 0]),
+            sentence(&[0, 0, 1, 1, 0]),
+            sentence(&[1, 1, 0, 0, 1]),
+        ]);
+        let passes = 10;
+        let batch = crf_batch_train(
+            &data,
+            CrfBatchConfig { iterations: passes, step_size: 0.3, ..CrfBatchConfig::new(0, 2, 2) },
+        );
+
+        let task = CrfTask::new(0, 2, 2);
+        let mut store = DenseModelStore::zeros(task.dimension());
+        for _ in 0..passes {
+            for tuple in data.scan() {
+                task.gradient_step(&mut store, tuple, 0.3);
+            }
+        }
+        let igd_model = store.into_vec();
+        let igd_loss: f64 = data.scan().map(|t| task.example_loss(&igd_model, t)).sum();
+        let batch_loss = *batch.losses.last().unwrap();
+        let initial_loss: f64 = data
+            .scan()
+            .map(|t| task.example_loss(&vec![0.0; task.dimension()], t))
+            .sum();
+        assert!(igd_loss < initial_loss * 0.6, "IGD made real progress");
+        assert!(batch_loss < initial_loss * 0.6, "batch made real progress");
+        assert!(igd_loss <= batch_loss * 1.5 + 1e-6, "igd {igd_loss} vs batch {batch_loss}");
+    }
+
+    #[test]
+    fn l2_prior_keeps_weights_bounded() {
+        let data = crf_table(&vec![sentence(&[0, 1]); 4]);
+        let plain = crf_batch_train(
+            &data,
+            CrfBatchConfig { iterations: 40, ..CrfBatchConfig::new(0, 2, 2) },
+        );
+        let reg = crf_batch_train(
+            &data,
+            CrfBatchConfig { iterations: 40, l2: 1.0, ..CrfBatchConfig::new(0, 2, 2) },
+        );
+        let norm = |w: &[f64]| w.iter().map(|v| v * v).sum::<f64>();
+        assert!(norm(&reg.model) < norm(&plain.model));
+    }
+
+    #[test]
+    fn empty_table_keeps_zero_model() {
+        let schema = Schema::new(vec![Column::new("sentence", DataType::Sequence)]).unwrap();
+        let t = Table::new("empty", schema);
+        let result = crf_batch_train(&t, CrfBatchConfig::new(0, 2, 2));
+        assert!(result.model.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,34 @@
+//! "Native tool" baselines.
+//!
+//! Figure 7(A) compares Bismarck against MADlib and the commercial engines'
+//! built-in analytics. Those tools use classic per-task batch algorithms
+//! whose complexity is super-linear in the model dimension (IRLS / Newton
+//! for logistic regression) or in the number of examples (ALS-style
+//! re-solves for matrix factorization) — which is exactly why the paper finds
+//! IGD competitive or faster. We implement those algorithms from scratch so
+//! the benchmark harness can reproduce the comparison without shipping any
+//! third-party analytics code:
+//!
+//! * [`irls`] — iteratively re-weighted least squares (Newton's method) for
+//!   logistic regression, `O(N·d² + d³)` per iteration;
+//! * [`batch_gradient`] — full-batch (sub)gradient descent for LR and SVM,
+//!   the "traditional gradient method" that must touch every tuple to take a
+//!   single step;
+//! * [`als`] — alternating least squares for low-rank matrix factorization,
+//!   re-solving a rank×rank system per row/column per sweep;
+//! * [`crf_batch`] — full-batch CRF training (the CRF++ / Mallet stand-in of
+//!   Figure 7(B));
+//! * [`solve`] — the small dense linear-algebra kernel (Gaussian elimination
+//!   with partial pivoting) the above need.
+
+pub mod als;
+pub mod batch_gradient;
+pub mod crf_batch;
+pub mod irls;
+pub mod solve;
+
+pub use als::{AlsConfig, AlsModel};
+pub use batch_gradient::{batch_lr_train, batch_svm_train, BatchGradientConfig};
+pub use crf_batch::{crf_batch_train, CrfBatchConfig};
+pub use irls::{irls_train, IrlsConfig};
+pub use solve::solve_dense;

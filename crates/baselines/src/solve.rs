@@ -1,0 +1,118 @@
+//! Dense linear-system solving used by the IRLS and ALS baselines.
+
+/// Solve `A x = b` for a dense row-major `n × n` matrix using Gaussian
+/// elimination with partial pivoting. Returns `None` if the matrix is
+/// (numerically) singular.
+pub fn solve_dense(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n, "matrix must be n*n");
+    assert_eq!(b.len(), n, "rhs must have length n");
+    let mut m = a.to_vec();
+    let mut rhs = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivot: find the largest magnitude entry in this column.
+        let mut pivot_row = col;
+        let mut pivot_val = m[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = m[row * n + col].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = row;
+            }
+        }
+        if pivot_val < 1e-12 {
+            return None;
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                m.swap(col * n + k, pivot_row * n + k);
+            }
+            rhs.swap(col, pivot_row);
+        }
+        // Eliminate below.
+        let pivot = m[col * n + col];
+        for row in (col + 1)..n {
+            let factor = m[row * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row * n + k] -= factor * m[col * n + k];
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for k in (row + 1)..n {
+            acc -= m[row * n + k] * x[k];
+        }
+        x[row] = acc / m[row * n + row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![3.0, -2.0];
+        assert_eq!(solve_dense(&a, &b, 2).unwrap(), vec![3.0, -2.0]);
+    }
+
+    #[test]
+    fn solves_general_system() {
+        // [2 1; 1 3] x = [5; 10] -> x = [1, 3]
+        let a = vec![2.0, 1.0, 1.0, 3.0];
+        let b = vec![5.0, 10.0];
+        let x = solve_dense(&a, &b, 2).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn needs_pivoting() {
+        // Leading zero forces a row swap.
+        let a = vec![0.0, 1.0, 1.0, 0.0];
+        let b = vec![2.0, 3.0];
+        let x = solve_dense(&a, &b, 2).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-9);
+        assert!((x[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        let b = vec![1.0, 2.0];
+        assert!(solve_dense(&a, &b, 2).is_none());
+    }
+
+    #[test]
+    fn solves_larger_random_like_system() {
+        let n = 6;
+        // Diagonally dominant matrix guarantees solvability.
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i * n + j] = if i == j { 10.0 } else { ((i * 7 + j * 3) % 5) as f64 * 0.3 };
+            }
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 2.5).collect();
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                b[i] += a[i * n + j] * x_true[j];
+            }
+        }
+        let x = solve_dense(&a, &b, n).unwrap();
+        for (xs, xt) in x.iter().zip(x_true.iter()) {
+            assert!((xs - xt).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * step-size schedule (constant vs diminishing vs geometric);
+//! * sparse vs densified feature vectors for the same sparse workload;
+//! * count-weighted vs unweighted model-averaging merge in the pure-UDA path;
+//! * the SQL front-end (`SELECT SVMTrain(...)`) vs calling the Rust
+//!   front-end directly, i.e. the cost of the user-facing interface layer.
+
+use bismarck_core::igd::{IgdAggregate, MergeStrategy};
+use bismarck_core::task::IgdTask;
+use bismarck_core::tasks::LogisticRegressionTask;
+use bismarck_core::{StepSizeSchedule, Trainer, TrainerConfig};
+use bismarck_datagen::{sparse_classification, SparseClassificationConfig};
+use bismarck_storage::{Column, DataType, ScanOrder, Schema, Table, Value};
+use bismarck_uda::{run_segmented, ConvergenceTest};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn sparse_table() -> Table {
+    sparse_classification(
+        "dblife",
+        SparseClassificationConfig { examples: 1_000, vocabulary: 4_000, ..Default::default() },
+    )
+}
+
+/// Materialize every sparse feature vector of a classification table into a
+/// dense vector of the full dimension.
+fn densify(table: &Table, dim: usize) -> Table {
+    let schema = Schema::new(vec![
+        Column::new("id", DataType::Int),
+        Column::new("vec", DataType::DenseVec),
+        Column::new("label", DataType::Double),
+    ])
+    .unwrap();
+    let mut dense = Table::new("dense", schema);
+    for row in table.scan() {
+        let fv = row.get_feature_vector(1).unwrap();
+        dense
+            .insert(vec![
+                Value::Int(row.get_int(0).unwrap()),
+                Value::DenseVec(fv.to_dense(dim)),
+                Value::Double(row.get_double(2).unwrap()),
+            ])
+            .unwrap();
+    }
+    dense
+}
+
+fn bench_stepsize(c: &mut Criterion) {
+    let table = sparse_table();
+    let dim = bismarck_core::frontend::infer_dimension(&table, 1);
+    let task = LogisticRegressionTask::new(1, 2, dim);
+
+    let mut group = c.benchmark_group("ablate_stepsize_five_epochs");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for (label, schedule) in [
+        ("constant", StepSizeSchedule::Constant(0.2)),
+        ("diminishing", StepSizeSchedule::Diminishing { initial: 0.5 }),
+        ("geometric", StepSizeSchedule::Geometric { initial: 0.5, decay: 0.8 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &schedule, |b, &schedule| {
+            let config = TrainerConfig::default()
+                .with_scan_order(ScanOrder::ShuffleOnce { seed: 2 })
+                .with_step_size(schedule)
+                .with_convergence(ConvergenceTest::FixedEpochs(5));
+            b.iter(|| black_box(Trainer::new(&task, config).train(&table)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_vs_dense(c: &mut Criterion) {
+    let sparse = sparse_table();
+    let dim = bismarck_core::frontend::infer_dimension(&sparse, 1);
+    let dense = densify(&sparse, dim);
+    let task = LogisticRegressionTask::new(1, 2, dim);
+    let config = TrainerConfig::default()
+        .with_scan_order(ScanOrder::Clustered)
+        .with_step_size(StepSizeSchedule::Constant(0.1))
+        .with_convergence(ConvergenceTest::FixedEpochs(2));
+
+    let mut group = c.benchmark_group("ablate_sparse_vs_dense_two_epochs");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.bench_function("sparse_rows", |b| {
+        b.iter(|| black_box(Trainer::new(&task, config).train(&sparse)))
+    });
+    group.bench_function("densified_rows", |b| {
+        b.iter(|| black_box(Trainer::new(&task, config).train(&dense)))
+    });
+    group.finish();
+}
+
+fn bench_merge_strategy(c: &mut Criterion) {
+    let table = sparse_table();
+    let dim = bismarck_core::frontend::infer_dimension(&table, 1);
+    let task = LogisticRegressionTask::new(1, 2, dim);
+
+    let mut group = c.benchmark_group("ablate_merge_strategy_segmented_epoch");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for (label, strategy) in [
+        ("count_weighted", MergeStrategy::CountWeighted),
+        ("unweighted", MergeStrategy::Unweighted),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &strategy, |b, &strategy| {
+            b.iter(|| {
+                let aggregate = IgdAggregate::new(&task, 0.1, task.initial_model())
+                    .with_merge_strategy(strategy);
+                black_box(run_segmented(&aggregate, &table, 8))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sql_interface_overhead(c: &mut Criterion) {
+    use bismarck_core::frontend::svm_train;
+    use bismarck_sql::SqlSession;
+    use bismarck_storage::Database;
+
+    let table = sparse_table();
+    let config = TrainerConfig::default()
+        .with_scan_order(ScanOrder::ShuffleOnce { seed: 6 })
+        .with_step_size(StepSizeSchedule::Constant(0.2))
+        .with_convergence(ConvergenceTest::FixedEpochs(3));
+
+    let mut group = c.benchmark_group("ablate_sql_interface_three_epochs");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    group.bench_function("rust_frontend", |b| {
+        b.iter(|| {
+            let mut db = Database::new();
+            db.register_table(table.clone());
+            black_box(svm_train(&mut db, "m", "dblife", "vec", "label", config).unwrap())
+        })
+    });
+    group.bench_function("sql_statement", |b| {
+        b.iter(|| {
+            let mut session = SqlSession::with_seed(6).with_trainer_config(config);
+            session.register_table(table.clone());
+            black_box(
+                session
+                    .execute("SELECT SVMTrain('m', 'dblife', 'vec', 'label')")
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stepsize,
+    bench_sparse_vs_dense,
+    bench_merge_strategy,
+    bench_sql_interface_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 10(B) bench: fixed-epoch training time of Subsampling vs MRS at
+//! several reservoir buffer sizes on clustered sparse LR data.
+
+use bismarck_core::mrs::subsampling_train;
+use bismarck_core::tasks::LogisticRegressionTask;
+use bismarck_core::{MrsConfig, MrsTrainer, StepSizeSchedule};
+use bismarck_datagen::{sparse_classification, SparseClassificationConfig};
+use bismarck_uda::ConvergenceTest;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig10b(c: &mut Criterion) {
+    let table = sparse_classification(
+        "dblife",
+        SparseClassificationConfig { examples: 2_000, vocabulary: 8_000, ..Default::default() },
+    );
+    let dim = bismarck_core::frontend::infer_dimension(&table, 1);
+    let task = LogisticRegressionTask::new(1, 2, dim);
+    let epochs = 5;
+
+    let mut group = c.benchmark_group("fig10b_buffer_sweep");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for buffer in [100usize, 200, 400] {
+        group.bench_with_input(BenchmarkId::new("subsampling", buffer), &buffer, |b, &buffer| {
+            b.iter(|| {
+                black_box(subsampling_train(
+                    &task,
+                    &table,
+                    buffer,
+                    StepSizeSchedule::Constant(0.1),
+                    ConvergenceTest::FixedEpochs(epochs),
+                    7,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mrs", buffer), &buffer, |b, &buffer| {
+            let config = MrsConfig {
+                buffer_size: buffer,
+                step_size: StepSizeSchedule::Constant(0.1),
+                convergence: ConvergenceTest::FixedEpochs(epochs),
+                seed: 7,
+                memory_worker: true,
+            };
+            b.iter(|| black_box(MrsTrainer::new(&task, config).train(&table)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10b);
+criterion_main!(benches);

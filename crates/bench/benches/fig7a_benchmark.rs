@@ -1,0 +1,96 @@
+//! Figure 7(A) bench: end-to-end training time of Bismarck's IGD against the
+//! batch baselines (IRLS for LR, batch subgradient for SVM, ALS for LMF) on
+//! reduced versions of the Forest / DBLife / MovieLens workloads.
+
+use bismarck_baselines::{
+    als::als_train, batch_svm_train, irls_train, AlsConfig, BatchGradientConfig, IrlsConfig,
+};
+use bismarck_core::tasks::{LmfTask, LogisticRegressionTask, SvmTask};
+use bismarck_core::{StepSizeSchedule, Trainer, TrainerConfig};
+use bismarck_datagen::{
+    dense_classification, ratings_table, sparse_classification, DenseClassificationConfig,
+    RatingsConfig, SparseClassificationConfig,
+};
+use bismarck_storage::ScanOrder;
+use bismarck_uda::ConvergenceTest;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bismarck_config(epochs: usize) -> TrainerConfig {
+    TrainerConfig::default()
+        .with_scan_order(ScanOrder::ShuffleOnce { seed: 1 })
+        .with_step_size(StepSizeSchedule::Diminishing { initial: 0.5 })
+        .with_convergence(ConvergenceTest::paper_default(epochs))
+}
+
+fn bench_fig7a(c: &mut Criterion) {
+    let forest = dense_classification(
+        "forest",
+        DenseClassificationConfig { examples: 2_000, dimension: 54, ..Default::default() },
+    );
+    let dblife = sparse_classification(
+        "dblife",
+        SparseClassificationConfig { examples: 1_000, vocabulary: 8_000, ..Default::default() },
+    );
+    let movielens = ratings_table(
+        "movielens",
+        RatingsConfig { rows: 150, cols: 100, ratings: 6_000, ..Default::default() },
+    );
+    let forest_dim = bismarck_core::frontend::infer_dimension(&forest, 1);
+    let dblife_dim = bismarck_core::frontend::infer_dimension(&dblife, 1);
+
+    let mut group = c.benchmark_group("fig7a_end_to_end");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    group.bench_function("forest_lr/bismarck", |b| {
+        let task = LogisticRegressionTask::new(1, 2, forest_dim);
+        b.iter(|| black_box(Trainer::new(&task, bismarck_config(10)).train(&forest)))
+    });
+    group.bench_function("forest_lr/irls", |b| {
+        b.iter(|| black_box(irls_train(&forest, IrlsConfig::new(1, 2, forest_dim))))
+    });
+    group.bench_function("forest_svm/bismarck", |b| {
+        let task = SvmTask::new(1, 2, forest_dim);
+        b.iter(|| black_box(Trainer::new(&task, bismarck_config(10)).train(&forest)))
+    });
+    group.bench_function("forest_svm/batch", |b| {
+        b.iter(|| {
+            black_box(batch_svm_train(
+                &forest,
+                BatchGradientConfig { iterations: 40, ..BatchGradientConfig::new(1, 2, forest_dim) },
+            ))
+        })
+    });
+    group.bench_function("dblife_svm/bismarck", |b| {
+        let task = SvmTask::new(1, 2, dblife_dim);
+        b.iter(|| black_box(Trainer::new(&task, bismarck_config(10)).train(&dblife)))
+    });
+    group.bench_function("dblife_svm/batch", |b| {
+        b.iter(|| {
+            black_box(batch_svm_train(
+                &dblife,
+                BatchGradientConfig { iterations: 40, ..BatchGradientConfig::new(1, 2, dblife_dim) },
+            ))
+        })
+    });
+    group.bench_function("movielens_lmf/bismarck", |b| {
+        let task = LmfTask::new(0, 1, 2, 150, 100, 10);
+        let config = bismarck_config(10).with_step_size(StepSizeSchedule::Constant(0.02));
+        b.iter(|| black_box(Trainer::new(&task, config).train(&movielens)))
+    });
+    group.bench_function("movielens_lmf/als", |b| {
+        b.iter(|| {
+            black_box(als_train(
+                &movielens,
+                AlsConfig { sweeps: 8, ..AlsConfig::new(150, 100, 10) },
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7a);
+criterion_main!(benches);

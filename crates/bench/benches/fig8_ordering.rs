@@ -1,0 +1,41 @@
+//! Figure 8 bench: per-epoch cost of the three ordering policies on sparse
+//! LR, including the reshuffle cost ShuffleAlways pays every epoch.
+
+use bismarck_core::tasks::LogisticRegressionTask;
+use bismarck_core::{StepSizeSchedule, Trainer, TrainerConfig};
+use bismarck_datagen::{sparse_classification, SparseClassificationConfig};
+use bismarck_storage::ScanOrder;
+use bismarck_uda::ConvergenceTest;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let table = sparse_classification(
+        "dblife",
+        SparseClassificationConfig { examples: 2_000, vocabulary: 8_000, ..Default::default() },
+    );
+    let dim = bismarck_core::frontend::infer_dimension(&table, 1);
+    let task = LogisticRegressionTask::new(1, 2, dim);
+
+    let mut group = c.benchmark_group("fig8_ordering_four_epochs");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for (label, order) in [
+        ("shuffle_always", ScanOrder::ShuffleAlways { seed: 8 }),
+        ("shuffle_once", ScanOrder::ShuffleOnce { seed: 8 }),
+        ("clustered", ScanOrder::Clustered),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &order, |b, &order| {
+            let config = TrainerConfig::default()
+                .with_scan_order(order)
+                .with_step_size(StepSizeSchedule::Constant(0.2))
+                .with_convergence(ConvergenceTest::FixedEpochs(4));
+            b.iter(|| black_box(Trainer::new(&task, config).train(&table)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

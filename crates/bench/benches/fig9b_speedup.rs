@@ -1,0 +1,61 @@
+//! Figure 9(B) bench: per-epoch gradient time of the parallel schemes as the
+//! worker count grows (the speed-up curve's raw measurements).
+//!
+//! NOTE: on a single-core host the measured speed-ups stay near 1x; the bench
+//! still exercises the real multi-threaded code paths.
+
+use bismarck_core::tasks::CrfTask;
+use bismarck_core::{
+    ParallelStrategy, ParallelTrainer, StepSizeSchedule, TrainerConfig, UpdateDiscipline,
+};
+use bismarck_datagen::{labeled_sequences, SequenceConfig};
+use bismarck_storage::ScanOrder;
+use bismarck_uda::ConvergenceTest;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig9b(c: &mut Criterion) {
+    let table = labeled_sequences(
+        "conll",
+        SequenceConfig { sentences: 150, num_features: 1_000, num_labels: 5, ..Default::default() },
+    );
+    let task = CrfTask::new(0, 1_000, 5);
+    let config = TrainerConfig::default()
+        .with_scan_order(ScanOrder::Clustered)
+        .with_step_size(StepSizeSchedule::Constant(0.1))
+        .with_convergence(ConvergenceTest::FixedEpochs(1));
+
+    let mut group = c.benchmark_group("fig9b_parallel_epoch");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for workers in [1usize, 2, 4, 8] {
+        for (label, strategy) in [
+            ("pure_uda", ParallelStrategy::PureUda { segments: workers }),
+            (
+                "nolock",
+                ParallelStrategy::SharedMemory { workers, discipline: UpdateDiscipline::NoLock },
+            ),
+            (
+                "aig",
+                ParallelStrategy::SharedMemory { workers, discipline: UpdateDiscipline::Aig },
+            ),
+            (
+                "lock",
+                ParallelStrategy::SharedMemory { workers, discipline: UpdateDiscipline::Lock },
+            ),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, workers),
+                &strategy,
+                |b, &strategy| {
+                    b.iter(|| black_box(ParallelTrainer::new(&task, config, strategy).train(&table)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9b);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Table 2 bench: single-iteration runtime of the NULL aggregate vs the LR,
+//! SVM and LMF tasks under the pure-UDA (ordinary aggregate) execution path.
+
+use bismarck_core::igd::IgdAggregate;
+use bismarck_core::task::IgdTask;
+use bismarck_core::tasks::{LmfTask, LogisticRegressionTask, SvmTask};
+use bismarck_datagen::{
+    dense_classification, ratings_table, sparse_classification, DenseClassificationConfig,
+    RatingsConfig, SparseClassificationConfig,
+};
+use bismarck_storage::{NullAggregate, Table};
+use bismarck_uda::run_sequential;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn forest_small() -> Table {
+    dense_classification(
+        "forest",
+        DenseClassificationConfig { examples: 2_000, dimension: 54, ..Default::default() },
+    )
+}
+
+fn dblife_small() -> Table {
+    sparse_classification(
+        "dblife",
+        SparseClassificationConfig { examples: 1_000, vocabulary: 8_000, ..Default::default() },
+    )
+}
+
+fn movielens_small() -> Table {
+    ratings_table(
+        "movielens",
+        RatingsConfig { rows: 200, cols: 150, ratings: 8_000, ..Default::default() },
+    )
+}
+
+fn one_epoch<T: IgdTask>(task: &T, table: &Table) {
+    let aggregate = IgdAggregate::new(task, 0.01, task.initial_model());
+    black_box(run_sequential(&aggregate, table, None));
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let forest = forest_small();
+    let dblife = dblife_small();
+    let movielens = movielens_small();
+    let forest_dim = bismarck_core::frontend::infer_dimension(&forest, 1);
+    let dblife_dim = bismarck_core::frontend::infer_dimension(&dblife, 1);
+
+    let mut group = c.benchmark_group("tab2_pure_uda_single_iteration");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    group.bench_function("forest/null", |b| {
+        b.iter(|| black_box(NullAggregate::run_epoch(&forest)))
+    });
+    group.bench_function("forest/lr", |b| {
+        let task = LogisticRegressionTask::new(1, 2, forest_dim);
+        b.iter(|| one_epoch(&task, &forest))
+    });
+    group.bench_function("forest/svm", |b| {
+        let task = SvmTask::new(1, 2, forest_dim);
+        b.iter(|| one_epoch(&task, &forest))
+    });
+    group.bench_function("dblife/null", |b| {
+        b.iter(|| black_box(NullAggregate::run_epoch(&dblife)))
+    });
+    group.bench_function("dblife/lr", |b| {
+        let task = LogisticRegressionTask::new(1, 2, dblife_dim);
+        b.iter(|| one_epoch(&task, &dblife))
+    });
+    group.bench_function("dblife/svm", |b| {
+        let task = SvmTask::new(1, 2, dblife_dim);
+        b.iter(|| one_epoch(&task, &dblife))
+    });
+    group.bench_function("movielens/null", |b| {
+        b.iter(|| black_box(NullAggregate::run_epoch(&movielens)))
+    });
+    group.bench_function("movielens/lmf", |b| {
+        let task = LmfTask::new(0, 1, 2, 200, 150, 10);
+        b.iter(|| one_epoch(&task, &movielens))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Table 3 bench: single-iteration runtime of the shared-memory UDA variant
+//! (NoLock, 2 workers) against the NULL aggregate.
+
+use bismarck_core::tasks::{LmfTask, LogisticRegressionTask, SvmTask};
+use bismarck_core::{
+    ParallelStrategy, ParallelTrainer, StepSizeSchedule, TrainerConfig, UpdateDiscipline,
+};
+use bismarck_core::task::IgdTask;
+use bismarck_datagen::{
+    dense_classification, ratings_table, sparse_classification, DenseClassificationConfig,
+    RatingsConfig, SparseClassificationConfig,
+};
+use bismarck_storage::{NullAggregate, ScanOrder, Table};
+use bismarck_uda::ConvergenceTest;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn shared_epoch<T: IgdTask>(task: &T, table: &Table) {
+    let config = TrainerConfig::default()
+        .with_scan_order(ScanOrder::Clustered)
+        .with_step_size(StepSizeSchedule::Constant(0.01))
+        .with_convergence(ConvergenceTest::FixedEpochs(1));
+    let trainer = ParallelTrainer::new(
+        task,
+        config,
+        ParallelStrategy::SharedMemory { workers: 2, discipline: UpdateDiscipline::NoLock },
+    );
+    black_box(trainer.train(table));
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let forest = dense_classification(
+        "forest",
+        DenseClassificationConfig { examples: 2_000, dimension: 54, ..Default::default() },
+    );
+    let dblife = sparse_classification(
+        "dblife",
+        SparseClassificationConfig { examples: 1_000, vocabulary: 8_000, ..Default::default() },
+    );
+    let movielens = ratings_table(
+        "movielens",
+        RatingsConfig { rows: 200, cols: 150, ratings: 8_000, ..Default::default() },
+    );
+    let forest_dim = bismarck_core::frontend::infer_dimension(&forest, 1);
+    let dblife_dim = bismarck_core::frontend::infer_dimension(&dblife, 1);
+
+    let mut group = c.benchmark_group("tab3_shared_memory_single_iteration");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    group.bench_function("forest/null", |b| {
+        b.iter(|| black_box(NullAggregate::run_epoch(&forest)))
+    });
+    group.bench_function("forest/lr", |b| {
+        let task = LogisticRegressionTask::new(1, 2, forest_dim);
+        b.iter(|| shared_epoch(&task, &forest))
+    });
+    group.bench_function("forest/svm", |b| {
+        let task = SvmTask::new(1, 2, forest_dim);
+        b.iter(|| shared_epoch(&task, &forest))
+    });
+    group.bench_function("dblife/lr", |b| {
+        let task = LogisticRegressionTask::new(1, 2, dblife_dim);
+        b.iter(|| shared_epoch(&task, &dblife))
+    });
+    group.bench_function("dblife/svm", |b| {
+        let task = SvmTask::new(1, 2, dblife_dim);
+        b.iter(|| shared_epoch(&task, &dblife))
+    });
+    group.bench_function("movielens/lmf", |b| {
+        let task = LmfTask::new(0, 1, 2, 200, 150, 10);
+        b.iter(|| shared_epoch(&task, &movielens))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

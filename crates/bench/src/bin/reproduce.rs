@@ -1,0 +1,115 @@
+//! `reproduce` — regenerate the paper's tables and figures from the command
+//! line.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce [--experiment <id>] [--scale small|full]
+//!
+//!   <id> ∈ { table1, table2, table3, table4,
+//!            fig5, fig7a, fig7b, fig8, fig9a, fig9b, fig10a, fig10b, all }
+//! ```
+//!
+//! Each experiment prints the rows / series of the corresponding paper
+//! artefact. Absolute numbers differ from the paper (different hardware and
+//! substrate); the qualitative shape is what is being reproduced — see
+//! EXPERIMENTS.md for the side-by-side reading.
+
+use bismarck_bench::experiments::{
+    fig10_mrs, fig5_catx, fig7_benchmark, fig8_ordering, fig9_parallel, table1_datasets,
+    table2_3_overheads, table4_scalability,
+};
+use bismarck_bench::Scale;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "table3", "table4", "fig5", "fig7a", "fig7b", "fig8", "fig9a", "fig9b",
+    "fig10a", "fig10b",
+];
+
+fn print_usage() {
+    eprintln!("usage: reproduce [--experiment <id>] [--scale small|full]");
+    eprintln!("  ids: {} or 'all' (default)", EXPERIMENTS.join(", "));
+}
+
+fn run_one(id: &str, scale: Scale) -> bool {
+    println!("==================================================================");
+    match id {
+        "table1" => println!("{}", table1_datasets::run(scale)),
+        "table2" => println!(
+            "{}",
+            table2_3_overheads::run(scale, table2_3_overheads::UdaVariant::Pure)
+        ),
+        "table3" => println!(
+            "{}",
+            table2_3_overheads::run(scale, table2_3_overheads::UdaVariant::SharedMemory)
+        ),
+        "table4" => println!("{}", table4_scalability::run(scale)),
+        "fig5" => println!("{}", fig5_catx::run(scale)),
+        // Figure 7's two panels come from the same run; print the whole
+        // result for either id so the per-panel aliases both work.
+        "fig7a" | "fig7b" => println!("{}", fig7_benchmark::run(scale)),
+        "fig8" => println!("{}", fig8_ordering::run(scale)),
+        "fig9a" | "fig9b" => println!("{}", fig9_parallel::run(scale)),
+        "fig10a" | "fig10b" => println!("{}", fig10_mrs::run(scale)),
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            print_usage();
+            return false;
+        }
+    }
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = "all".to_string();
+    let mut scale = Scale::Small;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--experiment" | "-e" => {
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    print_usage();
+                    std::process::exit(2);
+                };
+                experiment = value.clone();
+            }
+            "--scale" | "-s" => {
+                i += 1;
+                let Some(value) = args.get(i).and_then(|v| Scale::parse(v)) else {
+                    print_usage();
+                    std::process::exit(2);
+                };
+                scale = value;
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    println!(
+        "Bismarck reproduction harness — scale: {:?}; experiment: {}",
+        scale, experiment
+    );
+    let ok = if experiment == "all" {
+        // fig7a/fig7b and fig9a/fig9b share a run; execute each family once.
+        let unique =
+            ["table1", "table2", "table3", "table4", "fig5", "fig7a", "fig8", "fig9a", "fig10a"];
+        unique.iter().all(|id| run_one(id, scale))
+    } else {
+        run_one(&experiment, scale)
+    };
+    if !ok {
+        std::process::exit(2);
+    }
+}

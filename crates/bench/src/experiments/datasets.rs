@@ -1,0 +1,164 @@
+//! Centralized workload definitions used by the experiments.
+//!
+//! Names mirror the paper's datasets (Table 1); sizes are scaled-down
+//! synthetic equivalents (see DESIGN.md for the substitution rationale).
+
+use bismarck_datagen::{
+    dense_classification, labeled_sequences, ratings_table, sparse_classification,
+    DenseClassificationConfig, RatingsConfig, SequenceConfig, SparseClassificationConfig,
+};
+use bismarck_storage::Table;
+
+use super::scale::Scale;
+
+/// The Forest stand-in: dense 54-dimensional binary classification.
+pub fn forest(scale: Scale) -> Table {
+    dense_classification(
+        "forest",
+        DenseClassificationConfig {
+            examples: scale.scaled(4_000, 60_000),
+            dimension: 54,
+            clustered_by_label: true,
+            seed: 101,
+            ..DenseClassificationConfig::default()
+        },
+    )
+}
+
+/// The DBLife stand-in: sparse, high-dimensional binary classification.
+pub fn dblife(scale: Scale) -> Table {
+    sparse_classification(
+        "dblife",
+        SparseClassificationConfig {
+            examples: scale.scaled(2_000, 16_000),
+            vocabulary: scale.scaled(8_000, 41_000),
+            avg_nnz: 40,
+            informative: 400,
+            clustered_by_label: true,
+            seed: 102,
+        },
+    )
+}
+
+/// Dimensions of the MovieLens stand-in at a given scale: (users, items,
+/// observed ratings, rank used for training).
+pub fn movielens_shape(scale: Scale) -> (usize, usize, usize, usize) {
+    (
+        scale.scaled(300, 6_000),
+        scale.scaled(200, 4_000),
+        scale.scaled(15_000, 1_000_000),
+        10,
+    )
+}
+
+/// The MovieLens stand-in: sparse ratings with planted low-rank structure.
+pub fn movielens(scale: Scale) -> Table {
+    let (rows, cols, ratings, _) = movielens_shape(scale);
+    ratings_table(
+        "movielens",
+        RatingsConfig { rows, cols, ratings, true_rank: 5, noise: 0.1, seed: 103 },
+    )
+}
+
+/// Feature/label counts of the CoNLL stand-in.
+pub fn conll_shape(scale: Scale) -> (usize, usize) {
+    (scale.scaled(1_500, 8_000), 5)
+}
+
+/// The CoNLL stand-in: labeled token sequences for CRF chunking.
+pub fn conll(scale: Scale) -> Table {
+    let (num_features, num_labels) = conll_shape(scale);
+    labeled_sequences(
+        "conll",
+        SequenceConfig {
+            sentences: scale.scaled(300, 9_000),
+            num_features,
+            num_labels,
+            seed: 104,
+            ..SequenceConfig::default()
+        },
+    )
+}
+
+/// The Classify300M stand-in for the scalability study: a dense
+/// classification set that is deliberately the largest workload we generate.
+pub fn classify_large(scale: Scale) -> Table {
+    dense_classification(
+        "classify_large",
+        DenseClassificationConfig {
+            examples: scale.scaled(20_000, 300_000),
+            dimension: 50,
+            clustered_by_label: true,
+            seed: 105,
+            ..DenseClassificationConfig::default()
+        },
+    )
+}
+
+/// Shape of the Matrix5B stand-in at a given scale.
+pub fn matrix_large_shape(scale: Scale) -> (usize, usize, usize, usize) {
+    (
+        scale.scaled(1_000, 20_000),
+        scale.scaled(1_000, 20_000),
+        scale.scaled(60_000, 2_000_000),
+        10,
+    )
+}
+
+/// The Matrix5B stand-in for the scalability study.
+pub fn matrix_large(scale: Scale) -> Table {
+    let (rows, cols, ratings, _) = matrix_large_shape(scale);
+    ratings_table(
+        "matrix_large",
+        RatingsConfig { rows, cols, ratings, true_rank: 8, noise: 0.05, seed: 106 },
+    )
+}
+
+/// The DBLP stand-in for the CRF scalability row.
+pub fn dblp(scale: Scale) -> Table {
+    let (num_features, num_labels) = conll_shape(scale);
+    labeled_sequences(
+        "dblp",
+        SequenceConfig {
+            sentences: scale.scaled(1_000, 20_000),
+            num_features,
+            num_labels,
+            seed: 107,
+            ..SequenceConfig::default()
+        },
+    )
+}
+
+/// Infer the feature dimension of a classification table.
+pub fn feature_dimension(table: &Table) -> usize {
+    bismarck_core::frontend::infer_dimension(table, bismarck_datagen::CLASSIFICATION_FEATURES_COL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_workloads_have_expected_shapes() {
+        let forest = forest(Scale::Small);
+        assert_eq!(forest.len(), 4_000);
+        assert_eq!(feature_dimension(&forest), 54);
+
+        let dblife = dblife(Scale::Small);
+        assert_eq!(dblife.len(), 2_000);
+        assert!(feature_dimension(&dblife) <= 8_000);
+
+        let ml = movielens(Scale::Small);
+        assert_eq!(ml.len(), 15_000);
+
+        let conll = conll(Scale::Small);
+        assert_eq!(conll.len(), 300);
+    }
+
+    #[test]
+    fn scalability_workloads_are_larger_than_benchmarks() {
+        assert!(classify_large(Scale::Small).len() > forest(Scale::Small).len());
+        assert!(matrix_large(Scale::Small).len() > movielens(Scale::Small).len());
+        assert!(dblp(Scale::Small).len() > conll(Scale::Small).len());
+    }
+}

@@ -1,0 +1,54 @@
+//! Experiment scale knob.
+//!
+//! The paper's datasets range from a few megabytes to 190 GB. The harness
+//! runs every experiment at a laptop-friendly scale by default and a larger
+//! (but still single-machine) scale when asked, so CI stays fast while the
+//! full run exercises more realistic sizes.
+
+/// How large the generated workloads should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-per-experiment sizes used by tests and CI.
+    Small,
+    /// Minutes-per-experiment sizes for a fuller run.
+    Full,
+}
+
+impl Scale {
+    /// Parse from a command-line string.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "small" | "s" => Some(Scale::Small),
+            "full" | "large" | "f" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Multiply a small-scale count by the scale factor.
+    pub fn scaled(&self, small: usize, full: usize) -> usize {
+        match self {
+            Scale::Small => small,
+            Scale::Full => full,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_aliases() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("S"), Some(Scale::Small));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("LARGE"), Some(Scale::Full));
+        assert_eq!(Scale::parse("medium"), None);
+    }
+
+    #[test]
+    fn scaled_picks_by_variant() {
+        assert_eq!(Scale::Small.scaled(10, 100), 10);
+        assert_eq!(Scale::Full.scaled(10, 100), 100);
+    }
+}

@@ -1,0 +1,18 @@
+//! Benchmark harness regenerating every table and figure of the Bismarck
+//! evaluation (Section 4).
+//!
+//! The [`experiments`] module contains one entry point per paper artefact;
+//! each builds its workload with `bismarck-datagen`, runs the relevant
+//! Bismarck configuration (and baseline, where the paper compares against
+//! one) and returns a printable result whose rows mirror the paper's table
+//! or figure series. The `reproduce` binary drives them from the command
+//! line; the Criterion benches under `benches/` measure the timing-sensitive
+//! kernels with statistical rigor.
+//!
+//! Absolute numbers will differ from the paper (different hardware, a
+//! library substrate instead of three commercial RDBMSes, synthetic data) —
+//! the *shape* of each result is what is reproduced. See EXPERIMENTS.md.
+
+pub mod experiments;
+
+pub use experiments::scale::Scale;

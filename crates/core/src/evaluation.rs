@@ -1,0 +1,262 @@
+//! Hold-out and cross-validated evaluation of trained models.
+//!
+//! The paper "verified that all the tools compared achieved similar training
+//! quality on a given task and dataset"; this module provides the machinery
+//! for such quality checks — deterministic train/test splits of a stored
+//! table and k-fold cross validation driven entirely through the public
+//! training API.
+
+use bismarck_storage::{ScanOrder, Table};
+
+use crate::metrics::classification_accuracy;
+use crate::task::IgdTask;
+use crate::trainer::{Trainer, TrainerConfig};
+
+/// A deterministic split of a table's rows into train and test partitions.
+#[derive(Debug, Clone)]
+pub struct TrainTestSplit {
+    /// Row ids of the training partition.
+    pub train_rows: Vec<usize>,
+    /// Row ids of the held-out partition.
+    pub test_rows: Vec<usize>,
+}
+
+/// Split the rows of `table` into train/test partitions with the given
+/// held-out fraction, after a seeded shuffle so clustered storage order does
+/// not leak into the split.
+pub fn train_test_split(table: &Table, test_fraction: f64, seed: u64) -> TrainTestSplit {
+    assert!((0.0..1.0).contains(&test_fraction), "test fraction must be in [0, 1)");
+    let order = ScanOrder::ShuffleOnce { seed }
+        .permutation(table.len(), 0)
+        .unwrap_or_default();
+    let test_len = (table.len() as f64 * test_fraction).round() as usize;
+    let (test_rows, train_rows) = order.split_at(test_len.min(order.len()));
+    TrainTestSplit { train_rows: train_rows.to_vec(), test_rows: test_rows.to_vec() }
+}
+
+/// Materialize a subset of a table's rows into a new table with the same
+/// schema (used to build the per-fold training tables).
+pub fn materialize_rows(table: &Table, rows: &[usize], name: &str) -> Table {
+    let mut out = Table::new(name, table.schema().clone());
+    for &row in rows {
+        if let Ok(tuple) = table.get(row) {
+            out.insert(tuple.clone().into_values()).expect("same schema accepts its own rows");
+        }
+    }
+    out
+}
+
+/// Result of a hold-out evaluation of a binary classifier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HoldoutReport {
+    /// Accuracy on the training partition.
+    pub train_accuracy: f64,
+    /// Accuracy on the held-out partition.
+    pub test_accuracy: f64,
+    /// Objective value on the training partition.
+    pub train_loss: f64,
+}
+
+/// Train a binary classification task on a train/test split and report
+/// accuracy on both partitions. The decision value is `wᵀx`; its sign is the
+/// predicted class.
+pub fn holdout_evaluate<T: IgdTask>(
+    task: &T,
+    table: &Table,
+    features_col: usize,
+    label_col: usize,
+    config: TrainerConfig,
+    test_fraction: f64,
+    seed: u64,
+) -> HoldoutReport {
+    let split = train_test_split(table, test_fraction, seed);
+    let train_table = materialize_rows(table, &split.train_rows, "holdout_train");
+    let trained = Trainer::new(task, config).train(&train_table);
+
+    let accuracy_on = |rows: &[usize]| {
+        let mut predictions = Vec::with_capacity(rows.len());
+        let mut labels = Vec::with_capacity(rows.len());
+        for &row in rows {
+            let Ok(tuple) = table.get(row) else { continue };
+            let (Some(x), Some(y)) =
+                (tuple.get_feature_vector(features_col), tuple.get_double(label_col))
+            else {
+                continue;
+            };
+            predictions.push(x.dot(&trained.model));
+            labels.push(y);
+        }
+        classification_accuracy(&predictions, &labels)
+    };
+
+    HoldoutReport {
+        train_accuracy: accuracy_on(&split.train_rows),
+        test_accuracy: accuracy_on(&split.test_rows),
+        train_loss: trained.final_loss().unwrap_or(f64::NAN),
+    }
+}
+
+/// Result of a k-fold cross validation.
+#[derive(Debug, Clone)]
+pub struct CrossValidationReport {
+    /// Held-out accuracy of each fold.
+    pub fold_accuracies: Vec<f64>,
+}
+
+impl CrossValidationReport {
+    /// Mean held-out accuracy across folds.
+    pub fn mean_accuracy(&self) -> f64 {
+        if self.fold_accuracies.is_empty() {
+            return 0.0;
+        }
+        self.fold_accuracies.iter().sum::<f64>() / self.fold_accuracies.len() as f64
+    }
+}
+
+/// k-fold cross validation of a binary classification task.
+pub fn cross_validate<T: IgdTask>(
+    task: &T,
+    table: &Table,
+    features_col: usize,
+    label_col: usize,
+    config: TrainerConfig,
+    folds: usize,
+    seed: u64,
+) -> CrossValidationReport {
+    assert!(folds >= 2, "need at least two folds");
+    let order = ScanOrder::ShuffleOnce { seed }
+        .permutation(table.len(), 0)
+        .unwrap_or_default();
+    let fold_size = table.len().div_ceil(folds);
+    let mut fold_accuracies = Vec::with_capacity(folds);
+
+    for fold in 0..folds {
+        let start = fold * fold_size;
+        let end = ((fold + 1) * fold_size).min(order.len());
+        if start >= end {
+            continue;
+        }
+        let test_rows: Vec<usize> = order[start..end].to_vec();
+        let train_rows: Vec<usize> =
+            order[..start].iter().chain(order[end..].iter()).copied().collect();
+        let train_table = materialize_rows(table, &train_rows, "cv_train");
+        let trained = Trainer::new(task, config).train(&train_table);
+
+        let mut predictions = Vec::new();
+        let mut labels = Vec::new();
+        for &row in &test_rows {
+            let Ok(tuple) = table.get(row) else { continue };
+            let (Some(x), Some(y)) =
+                (tuple.get_feature_vector(features_col), tuple.get_double(label_col))
+            else {
+                continue;
+            };
+            predictions.push(x.dot(&trained.model));
+            labels.push(y);
+        }
+        fold_accuracies.push(classification_accuracy(&predictions, &labels));
+    }
+
+    CrossValidationReport { fold_accuracies }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stepsize::StepSizeSchedule;
+    use crate::tasks::SvmTask;
+    use bismarck_storage::{Column, DataType, Schema, Value};
+    use bismarck_uda::ConvergenceTest;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn table(n: usize) -> Table {
+        let schema = Schema::new(vec![
+            Column::new("vec", DataType::DenseVec),
+            Column::new("label", DataType::Double),
+        ])
+        .unwrap();
+        let mut t = Table::new("data", schema);
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..n {
+            let y = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let x = vec![y * 1.5 + rng.gen_range(-0.5..0.5), -y + rng.gen_range(-0.5..0.5)];
+            t.insert(vec![Value::from(x), Value::Double(y)]).unwrap();
+        }
+        t
+    }
+
+    fn config() -> TrainerConfig {
+        TrainerConfig::default()
+            .with_step_size(StepSizeSchedule::Constant(0.3))
+            .with_convergence(ConvergenceTest::FixedEpochs(8))
+    }
+
+    #[test]
+    fn split_partitions_all_rows_without_overlap() {
+        let t = table(100);
+        let split = train_test_split(&t, 0.25, 7);
+        assert_eq!(split.test_rows.len(), 25);
+        assert_eq!(split.train_rows.len(), 75);
+        let mut all: Vec<usize> =
+            split.train_rows.iter().chain(split.test_rows.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let t = table(60);
+        let a = train_test_split(&t, 0.3, 1);
+        let b = train_test_split(&t, 0.3, 1);
+        let c = train_test_split(&t, 0.3, 2);
+        assert_eq!(a.test_rows, b.test_rows);
+        assert_ne!(a.test_rows, c.test_rows);
+    }
+
+    #[test]
+    fn materialize_rows_preserves_tuples() {
+        let t = table(20);
+        let sub = materialize_rows(&t, &[3, 5, 7], "sub");
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.get(0).unwrap(), t.get(3).unwrap());
+        // Out-of-range rows are skipped.
+        let sub2 = materialize_rows(&t, &[0, 999], "sub2");
+        assert_eq!(sub2.len(), 1);
+    }
+
+    #[test]
+    fn holdout_evaluation_generalizes_on_separable_data() {
+        let t = table(600);
+        let task = SvmTask::new(0, 1, 2);
+        let report = holdout_evaluate(&task, &t, 0, 1, config(), 0.25, 13);
+        assert!(report.train_accuracy > 0.9, "train {:?}", report);
+        assert!(report.test_accuracy > 0.85, "test {:?}", report);
+        assert!(report.train_loss.is_finite());
+    }
+
+    #[test]
+    fn cross_validation_averages_folds() {
+        let t = table(300);
+        let task = SvmTask::new(0, 1, 2);
+        let report = cross_validate(&task, &t, 0, 1, config(), 5, 3);
+        assert_eq!(report.fold_accuracies.len(), 5);
+        assert!(report.mean_accuracy() > 0.85, "{:?}", report);
+        assert!(report.fold_accuracies.iter().all(|a| (0.0..=1.0).contains(a)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two folds")]
+    fn cross_validation_rejects_single_fold() {
+        let t = table(20);
+        let task = SvmTask::new(0, 1, 2);
+        cross_validate(&task, &t, 0, 1, config(), 1, 3);
+    }
+
+    #[test]
+    fn empty_report_mean_is_zero() {
+        let report = CrossValidationReport { fold_accuracies: vec![] };
+        assert_eq!(report.mean_accuracy(), 0.0);
+    }
+}

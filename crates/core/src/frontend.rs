@@ -1,0 +1,708 @@
+//! SQL-style front-end functions.
+//!
+//! Section 2.1: the end-user trains a model with a query like
+//! `SELECT SVMTrain('myModel', 'LabeledPapers', 'vec', 'label')` and the
+//! learned coefficients are "persisted as a user table 'myModel'". These
+//! functions are the Rust equivalents: they resolve column names against the
+//! catalog, infer the model dimension from the data, run the Bismarck
+//! trainer, and write the model back into the database so it can be applied
+//! to new data with the matching `*_predict` function.
+
+use bismarck_linalg::FeatureVector;
+use bismarck_storage::{Column, DataType, Database, Schema, StorageError, Table, Value};
+use bismarck_uda::TrainingHistory;
+
+use crate::task::IgdTask;
+use crate::tasks::{CrfTask, LmfTask, LogisticRegressionTask, SvmTask};
+use crate::trainer::{Trainer, TrainerConfig};
+
+/// Errors surfaced by the front-end functions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrontendError {
+    /// A catalog or schema problem (missing table/column, bad types, ...).
+    Storage(StorageError),
+    /// The training table is empty or otherwise unusable.
+    InvalidInput(String),
+}
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontendError::Storage(e) => write!(f, "storage error: {e}"),
+            FrontendError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+impl From<StorageError> for FrontendError {
+    fn from(e: StorageError) -> Self {
+        FrontendError::Storage(e)
+    }
+}
+
+/// Summary returned by the `*_train` front-ends.
+#[derive(Debug, Clone)]
+pub struct TrainSummary {
+    /// Task that was trained (`"LR"`, `"SVM"`, `"LMF"`, ...).
+    pub task: &'static str,
+    /// Name of the table the model was persisted to.
+    pub model_table: String,
+    /// Model dimension.
+    pub dimension: usize,
+    /// Final objective value.
+    pub final_loss: f64,
+    /// Number of epochs run.
+    pub epochs: usize,
+    /// Whether the convergence criterion (not just the epoch cap) fired.
+    pub converged: bool,
+    /// Per-epoch history for diagnostics.
+    pub history: TrainingHistory,
+}
+
+/// Infer the feature dimension of a feature-vector column by scanning the
+/// table (sparse rows report `max index + 1`).
+pub fn infer_dimension(table: &Table, features_col: usize) -> usize {
+    table
+        .scan()
+        .filter_map(|t| t.get_feature_vector(features_col))
+        .map(|fv| fv.dimension())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Persist a flat model as a `(idx INT, weight DOUBLE)` table named
+/// `model_name`, replacing any existing table of that name.
+pub fn persist_model(db: &mut Database, model_name: &str, model: &[f64]) -> Result<(), FrontendError> {
+    let schema = Schema::new(vec![
+        Column::new("idx", DataType::Int),
+        Column::new("weight", DataType::Double),
+    ])?;
+    let mut table = Table::new(model_name, schema);
+    for (i, &w) in model.iter().enumerate() {
+        table.insert(vec![Value::Int(i as i64), Value::Double(w)])?;
+    }
+    db.register_table(table);
+    Ok(())
+}
+
+/// Load a model previously persisted with [`persist_model`].
+pub fn load_model(db: &Database, model_name: &str) -> Result<Vec<f64>, FrontendError> {
+    let table = db.table(model_name)?;
+    let idx_col = table.column_index("idx")?;
+    let weight_col = table.column_index("weight")?;
+    let mut pairs: Vec<(usize, f64)> = Vec::with_capacity(table.len());
+    for tuple in table.scan() {
+        let idx = tuple
+            .get_int(idx_col)
+            .ok_or_else(|| FrontendError::InvalidInput("model idx is not an integer".into()))?;
+        let weight = tuple
+            .get_double(weight_col)
+            .ok_or_else(|| FrontendError::InvalidInput("model weight is not a double".into()))?;
+        pairs.push((idx as usize, weight));
+    }
+    let dim = pairs.iter().map(|&(i, _)| i + 1).max().unwrap_or(0);
+    let mut model = vec![0.0; dim];
+    for (i, w) in pairs {
+        model[i] = w;
+    }
+    Ok(model)
+}
+
+fn resolve_training_table(
+    db: &Database,
+    table_name: &str,
+    features_col: &str,
+    label_col: &str,
+) -> Result<(usize, usize, usize), FrontendError> {
+    let table = db.table(table_name)?;
+    if table.is_empty() {
+        return Err(FrontendError::InvalidInput(format!(
+            "training table '{table_name}' is empty"
+        )));
+    }
+    let fcol = table.column_index(features_col)?;
+    let lcol = table.column_index(label_col)?;
+    let dim = infer_dimension(table, fcol);
+    if dim == 0 {
+        return Err(FrontendError::InvalidInput(format!(
+            "column '{features_col}' holds no feature vectors"
+        )));
+    }
+    Ok((fcol, lcol, dim))
+}
+
+/// `SELECT LogisticRegressionTrain(model, table, features, label)` — train an
+/// LR model and persist it as `model_name`.
+pub fn logistic_regression_train(
+    db: &mut Database,
+    model_name: &str,
+    table_name: &str,
+    features_col: &str,
+    label_col: &str,
+    config: TrainerConfig,
+) -> Result<TrainSummary, FrontendError> {
+    let (fcol, lcol, dim) = resolve_training_table(db, table_name, features_col, label_col)?;
+    let task = LogisticRegressionTask::new(fcol, lcol, dim);
+    let trained = Trainer::new(&task, config).train(db.table(table_name)?);
+    persist_model(db, model_name, &trained.model)?;
+    Ok(TrainSummary {
+        task: "LR",
+        model_table: model_name.to_string(),
+        dimension: dim,
+        final_loss: trained.final_loss().unwrap_or(f64::NAN),
+        epochs: trained.epochs(),
+        converged: trained.history.converged(),
+        history: trained.history,
+    })
+}
+
+/// `SELECT SVMTrain(model, table, features, label)` — train a linear SVM and
+/// persist it as `model_name`.
+pub fn svm_train(
+    db: &mut Database,
+    model_name: &str,
+    table_name: &str,
+    features_col: &str,
+    label_col: &str,
+    config: TrainerConfig,
+) -> Result<TrainSummary, FrontendError> {
+    let (fcol, lcol, dim) = resolve_training_table(db, table_name, features_col, label_col)?;
+    let task = SvmTask::new(fcol, lcol, dim);
+    let trained = Trainer::new(&task, config).train(db.table(table_name)?);
+    persist_model(db, model_name, &trained.model)?;
+    Ok(TrainSummary {
+        task: "SVM",
+        model_table: model_name.to_string(),
+        dimension: dim,
+        final_loss: trained.final_loss().unwrap_or(f64::NAN),
+        epochs: trained.epochs(),
+        converged: trained.history.converged(),
+        history: trained.history,
+    })
+}
+
+/// `SELECT LMFTrain(model, table, row, col, rating, rows, cols, rank)` —
+/// train a low-rank factorization and persist the stacked factors.
+#[allow(clippy::too_many_arguments)]
+pub fn lmf_train(
+    db: &mut Database,
+    model_name: &str,
+    table_name: &str,
+    row_col: &str,
+    col_col: &str,
+    rating_col: &str,
+    rows: usize,
+    cols: usize,
+    rank: usize,
+    config: TrainerConfig,
+) -> Result<TrainSummary, FrontendError> {
+    let table = db.table(table_name)?;
+    if table.is_empty() {
+        return Err(FrontendError::InvalidInput(format!(
+            "training table '{table_name}' is empty"
+        )));
+    }
+    let rcol = table.column_index(row_col)?;
+    let ccol = table.column_index(col_col)?;
+    let vcol = table.column_index(rating_col)?;
+    let task = LmfTask::new(rcol, ccol, vcol, rows, cols, rank);
+    let trained = Trainer::new(&task, config).train(table);
+    persist_model(db, model_name, &trained.model)?;
+    Ok(TrainSummary {
+        task: "LMF",
+        model_table: model_name.to_string(),
+        dimension: task.dimension(),
+        final_loss: trained.final_loss().unwrap_or(f64::NAN),
+        epochs: trained.epochs(),
+        converged: trained.history.converged(),
+        history: trained.history,
+    })
+}
+
+/// Evaluate the full objective value of a persisted linear-model task
+/// (`Σ_i f_i(w) + P(w)`) over a data table — the "loss UDA" of Section 3.1
+/// exposed as a front-end call. `task` selects the loss: LR uses the logistic
+/// loss, SVM the hinge loss.
+fn linear_objective<T: IgdTask>(
+    db: &Database,
+    task: &T,
+    model_name: &str,
+    table_name: &str,
+) -> Result<f64, FrontendError> {
+    let model = load_model(db, model_name)?;
+    if model.len() != task.dimension() {
+        return Err(FrontendError::InvalidInput(format!(
+            "model '{model_name}' has dimension {}, expected {}",
+            model.len(),
+            task.dimension()
+        )));
+    }
+    let table = db.table(table_name)?;
+    let mut total = task.regularizer(&model);
+    for tuple in table.scan() {
+        total += task.example_loss(&model, tuple);
+    }
+    Ok(total)
+}
+
+/// Objective value of a persisted logistic-regression model over a table.
+pub fn logistic_regression_loss(
+    db: &Database,
+    model_name: &str,
+    table_name: &str,
+    features_col: &str,
+    label_col: &str,
+) -> Result<f64, FrontendError> {
+    let (fcol, lcol, dim) = resolve_training_table(db, table_name, features_col, label_col)?;
+    let dim = dim.max(load_model(db, model_name)?.len());
+    let task = LogisticRegressionTask::new(fcol, lcol, dim);
+    linear_objective(db, &task, model_name, table_name)
+}
+
+/// Objective value of a persisted SVM model over a table.
+pub fn svm_loss(
+    db: &Database,
+    model_name: &str,
+    table_name: &str,
+    features_col: &str,
+    label_col: &str,
+) -> Result<f64, FrontendError> {
+    let (fcol, lcol, dim) = resolve_training_table(db, table_name, features_col, label_col)?;
+    let dim = dim.max(load_model(db, model_name)?.len());
+    let task = SvmTask::new(fcol, lcol, dim);
+    linear_objective(db, &task, model_name, table_name)
+}
+
+/// Infer the shape of a sequence-labeling column: `(num_features, num_labels)`
+/// as `max feature index + 1` and `max label + 1` over every position of
+/// every sequence.
+pub fn infer_sequence_shape(table: &Table, sequence_col: usize) -> (usize, usize) {
+    let mut num_features = 0usize;
+    let mut num_labels = 0usize;
+    for tuple in table.scan() {
+        let Some(sequence) = tuple.get_sequence(sequence_col) else { continue };
+        for (features, label) in sequence {
+            num_features = num_features.max(features.dimension());
+            num_labels = num_labels.max(*label as usize + 1);
+        }
+    }
+    (num_features, num_labels)
+}
+
+/// `SELECT CRFTrain(model, table, sequence)` — train a linear-chain CRF for
+/// sequence labeling and persist the weights as `model_name`. The feature and
+/// label alphabets are inferred from the data.
+pub fn crf_train(
+    db: &mut Database,
+    model_name: &str,
+    table_name: &str,
+    sequence_col: &str,
+    config: TrainerConfig,
+) -> Result<TrainSummary, FrontendError> {
+    let table = db.table(table_name)?;
+    if table.is_empty() {
+        return Err(FrontendError::InvalidInput(format!(
+            "training table '{table_name}' is empty"
+        )));
+    }
+    let scol = table.column_index(sequence_col)?;
+    let (num_features, num_labels) = infer_sequence_shape(table, scol);
+    if num_features == 0 || num_labels == 0 {
+        return Err(FrontendError::InvalidInput(format!(
+            "column '{sequence_col}' holds no labeled sequences"
+        )));
+    }
+    let task = CrfTask::new(scol, num_features, num_labels);
+    let trained = Trainer::new(&task, config).train(table);
+    persist_model(db, model_name, &trained.model)?;
+    Ok(TrainSummary {
+        task: "CRF",
+        model_table: model_name.to_string(),
+        dimension: task.dimension(),
+        final_loss: trained.final_loss().unwrap_or(f64::NAN),
+        epochs: trained.epochs(),
+        converged: trained.history.converged(),
+        history: trained.history,
+    })
+}
+
+/// Apply a persisted linear model to every row of a data table, returning the
+/// raw decision values `wᵀx` in storage order.
+pub fn linear_predict(
+    db: &Database,
+    model_name: &str,
+    table_name: &str,
+    features_col: &str,
+) -> Result<Vec<f64>, FrontendError> {
+    let model = load_model(db, model_name)?;
+    let table = db.table(table_name)?;
+    let fcol = table.column_index(features_col)?;
+    Ok(table
+        .scan()
+        .map(|tuple| {
+            tuple
+                .get_feature_vector(fcol)
+                .map(|x: FeatureVector| x.dot(&model))
+                .unwrap_or(0.0)
+        })
+        .collect())
+}
+
+/// Apply a persisted CRF model to every sequence of a data table, returning
+/// the Viterbi label sequence for each row in storage order. Rows whose
+/// sequence column is NULL produce an empty labeling.
+pub fn crf_predict(
+    db: &Database,
+    model_name: &str,
+    table_name: &str,
+    sequence_col: &str,
+) -> Result<Vec<Vec<usize>>, FrontendError> {
+    let model = load_model(db, model_name)?;
+    let table = db.table(table_name)?;
+    let scol = table.column_index(sequence_col)?;
+    let (num_features, num_labels) = infer_sequence_shape(table, scol);
+    if num_features == 0 || num_labels == 0 {
+        return Err(FrontendError::InvalidInput(format!(
+            "column '{sequence_col}' holds no labeled sequences"
+        )));
+    }
+    let task = CrfTask::new(scol, num_features, num_labels);
+    if model.len() != task.dimension() {
+        return Err(FrontendError::InvalidInput(format!(
+            "model '{model_name}' has dimension {}, expected {} for this table",
+            model.len(),
+            task.dimension()
+        )));
+    }
+    Ok(table
+        .scan()
+        .map(|tuple| match tuple.get_sequence(scol) {
+            Some(sequence) => {
+                let features: Vec<_> = sequence.iter().map(|(f, _)| f.clone()).collect();
+                task.viterbi(&model, &features)
+            }
+            None => Vec::new(),
+        })
+        .collect())
+}
+
+/// Apply a persisted LR model, returning positive-class probabilities.
+pub fn logistic_predict(
+    db: &Database,
+    model_name: &str,
+    table_name: &str,
+    features_col: &str,
+) -> Result<Vec<f64>, FrontendError> {
+    Ok(linear_predict(db, model_name, table_name, features_col)?
+        .into_iter()
+        .map(bismarck_linalg::ops::sigmoid)
+        .collect())
+}
+
+/// Apply a persisted SVM model, returning ±1 class predictions (0 for an
+/// exactly-zero decision value).
+pub fn svm_predict(
+    db: &Database,
+    model_name: &str,
+    table_name: &str,
+    features_col: &str,
+) -> Result<Vec<f64>, FrontendError> {
+    Ok(linear_predict(db, model_name, table_name, features_col)?
+        .into_iter()
+        .map(|v| {
+            if v > 0.0 {
+                1.0
+            } else if v < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::classification_accuracy;
+    use crate::stepsize::StepSizeSchedule;
+    use bismarck_uda::ConvergenceTest;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn setup_db(n: usize) -> Database {
+        let mut db = Database::new();
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("vec", DataType::DenseVec),
+            Column::new("label", DataType::Double),
+        ])
+        .unwrap();
+        let mut table = Table::new("LabeledPapers", schema);
+        let mut rng = StdRng::seed_from_u64(17);
+        for i in 0..n {
+            let y = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let x = vec![y + rng.gen_range(-0.3..0.3), -y * 0.5 + rng.gen_range(-0.3..0.3)];
+            table
+                .insert(vec![Value::Int(i as i64), Value::from(x), Value::Double(y)])
+                .unwrap();
+        }
+        db.register_table(table);
+        db
+    }
+
+    fn fast_config() -> TrainerConfig {
+        TrainerConfig::default()
+            .with_step_size(StepSizeSchedule::Constant(0.2))
+            .with_convergence(ConvergenceTest::FixedEpochs(10))
+    }
+
+    #[test]
+    fn svm_train_and_predict_roundtrip() {
+        let mut db = setup_db(200);
+        let summary =
+            svm_train(&mut db, "myModel", "LabeledPapers", "vec", "label", fast_config()).unwrap();
+        assert_eq!(summary.task, "SVM");
+        assert_eq!(summary.dimension, 2);
+        assert_eq!(summary.epochs, 10);
+        assert!(db.contains("myModel"));
+
+        let preds = svm_predict(&db, "myModel", "LabeledPapers", "vec").unwrap();
+        let labels: Vec<f64> = db
+            .table("LabeledPapers")
+            .unwrap()
+            .scan()
+            .map(|t| t.get_double(2).unwrap())
+            .collect();
+        assert!(classification_accuracy(&preds, &labels) > 0.9);
+    }
+
+    #[test]
+    fn logistic_train_and_probabilities() {
+        let mut db = setup_db(200);
+        let summary = logistic_regression_train(
+            &mut db,
+            "lrModel",
+            "LabeledPapers",
+            "vec",
+            "label",
+            fast_config(),
+        )
+        .unwrap();
+        assert_eq!(summary.task, "LR");
+        assert!(summary.final_loss.is_finite());
+        let probs = logistic_predict(&db, "lrModel", "LabeledPapers", "vec").unwrap();
+        assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+        // Positive examples (even ids) should receive higher probabilities.
+        let mean_pos: f64 = probs.iter().step_by(2).sum::<f64>() / (probs.len() / 2) as f64;
+        let mean_neg: f64 = probs.iter().skip(1).step_by(2).sum::<f64>() / (probs.len() / 2) as f64;
+        assert!(mean_pos > mean_neg);
+    }
+
+    #[test]
+    fn lmf_train_persists_factors() {
+        let mut db = Database::new();
+        let schema = Schema::new(vec![
+            Column::new("row", DataType::Int),
+            Column::new("col", DataType::Int),
+            Column::new("rating", DataType::Double),
+        ])
+        .unwrap();
+        let mut table = Table::new("Ratings", schema);
+        for i in 0..5 {
+            for j in 0..4 {
+                table
+                    .insert(vec![
+                        Value::Int(i),
+                        Value::Int(j),
+                        Value::Double((i + 1) as f64 * 0.5 + (j + 1) as f64 * 0.25),
+                    ])
+                    .unwrap();
+            }
+        }
+        db.register_table(table);
+        let summary = lmf_train(
+            &mut db,
+            "factors",
+            "Ratings",
+            "row",
+            "col",
+            "rating",
+            5,
+            4,
+            2,
+            fast_config().with_step_size(StepSizeSchedule::Constant(0.05)),
+        )
+        .unwrap();
+        assert_eq!(summary.dimension, (5 + 4) * 2);
+        let model = load_model(&db, "factors").unwrap();
+        assert_eq!(model.len(), summary.dimension);
+    }
+
+    #[test]
+    fn loss_frontends_match_a_direct_objective_computation() {
+        let mut db = setup_db(150);
+        svm_train(&mut db, "svmM", "LabeledPapers", "vec", "label", fast_config()).unwrap();
+        logistic_regression_train(&mut db, "lrM", "LabeledPapers", "vec", "label", fast_config())
+            .unwrap();
+
+        let svm_value = svm_loss(&db, "svmM", "LabeledPapers", "vec", "label").unwrap();
+        let lr_value =
+            logistic_regression_loss(&db, "lrM", "LabeledPapers", "vec", "label").unwrap();
+        assert!(svm_value.is_finite() && svm_value >= 0.0);
+        assert!(lr_value.is_finite() && lr_value >= 0.0);
+
+        // Cross-check against a hand-rolled sum of per-example losses.
+        let model = load_model(&db, "svmM").unwrap();
+        let task = SvmTask::new(1, 2, model.len());
+        let expected: f64 = db
+            .table("LabeledPapers")
+            .unwrap()
+            .scan()
+            .map(|t| task.example_loss(&model, t))
+            .sum::<f64>()
+            + task.regularizer(&model);
+        assert!((svm_value - expected).abs() < 1e-9);
+
+        // A model whose dimension disagrees with the data is rejected.
+        persist_model(&mut db, "tinyModel", &[0.5]).unwrap();
+        assert!(svm_loss(&db, "tinyModel", "LabeledPapers", "vec", "label").is_err());
+    }
+
+    #[test]
+    fn crf_train_and_viterbi_predict_roundtrip() {
+        use bismarck_linalg::SparseVector;
+        // Two-label chunking toy: feature 0 marks label 0, feature 1 marks
+        // label 1; sequences alternate.
+        let mut db = Database::new();
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("sentence", DataType::Sequence),
+        ])
+        .unwrap();
+        let mut table = Table::new("Chunks", schema);
+        for i in 0..40i64 {
+            let seq: Vec<(SparseVector, u32)> = (0..6)
+                .map(|p| {
+                    let label = ((i as usize + p) % 2) as u32;
+                    (SparseVector::from_pairs(vec![(label as usize, 1.0)]), label)
+                })
+                .collect();
+            table.insert(vec![Value::Int(i), Value::Sequence(seq)]).unwrap();
+        }
+        db.register_table(table);
+
+        let summary = crf_train(
+            &mut db,
+            "crfModel",
+            "Chunks",
+            "sentence",
+            fast_config().with_step_size(StepSizeSchedule::Constant(0.5)),
+        )
+        .unwrap();
+        assert_eq!(summary.task, "CRF");
+        assert!(summary.final_loss.is_finite());
+        assert!(db.contains("crfModel"));
+
+        let labelings = crf_predict(&db, "crfModel", "Chunks", "sentence").unwrap();
+        assert_eq!(labelings.len(), 40);
+        // The indicative features should make Viterbi recover the labels.
+        let table = db.table("Chunks").unwrap();
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (tuple, predicted) in table.scan().zip(&labelings) {
+            let truth = tuple.get_sequence(1).unwrap();
+            for ((_, gold), pred) in truth.iter().zip(predicted) {
+                total += 1;
+                if *gold as usize == *pred {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(correct as f64 / total as f64 > 0.95, "accuracy {correct}/{total}");
+    }
+
+    #[test]
+    fn infer_sequence_shape_reads_features_and_labels() {
+        use bismarck_linalg::SparseVector;
+        let schema = Schema::new(vec![Column::new("seq", DataType::Sequence)]).unwrap();
+        let mut table = Table::new("S", schema);
+        table
+            .insert(vec![Value::Sequence(vec![
+                (SparseVector::from_pairs(vec![(7, 1.0)]), 2),
+                (SparseVector::from_pairs(vec![(3, 1.0)]), 0),
+            ])])
+            .unwrap();
+        assert_eq!(infer_sequence_shape(&table, 0), (8, 3));
+        // Empty table yields zero shape and trains are rejected.
+        let empty = Table::new("E", Schema::new(vec![Column::new("seq", DataType::Sequence)]).unwrap());
+        assert_eq!(infer_sequence_shape(&empty, 0), (0, 0));
+    }
+
+    #[test]
+    fn crf_predict_rejects_mismatched_model() {
+        use bismarck_linalg::SparseVector;
+        let mut db = Database::new();
+        let schema = Schema::new(vec![Column::new("seq", DataType::Sequence)]).unwrap();
+        let mut table = Table::new("S", schema);
+        table
+            .insert(vec![Value::Sequence(vec![(
+                SparseVector::from_pairs(vec![(0, 1.0)]),
+                1,
+            )])])
+            .unwrap();
+        db.register_table(table);
+        persist_model(&mut db, "tiny", &[0.1, 0.2, 0.3]).unwrap();
+        let err = crf_predict(&db, "tiny", "S", "seq").unwrap_err();
+        assert!(matches!(err, FrontendError::InvalidInput(_)));
+    }
+
+    #[test]
+    fn persist_and_load_model_roundtrip() {
+        let mut db = Database::new();
+        let model = vec![0.5, -1.5, 0.0, 3.0];
+        persist_model(&mut db, "m", &model).unwrap();
+        assert_eq!(load_model(&db, "m").unwrap(), model);
+    }
+
+    #[test]
+    fn errors_for_missing_tables_and_columns() {
+        let mut db = setup_db(10);
+        assert!(matches!(
+            svm_train(&mut db, "m", "NoSuchTable", "vec", "label", fast_config()),
+            Err(FrontendError::Storage(StorageError::UnknownTable(_)))
+        ));
+        assert!(matches!(
+            svm_train(&mut db, "m", "LabeledPapers", "nope", "label", fast_config()),
+            Err(FrontendError::Storage(StorageError::UnknownColumn(_)))
+        ));
+        assert!(load_model(&db, "missingModel").is_err());
+    }
+
+    #[test]
+    fn empty_training_table_is_rejected() {
+        let mut db = Database::new();
+        let schema = Schema::new(vec![
+            Column::new("vec", DataType::DenseVec),
+            Column::new("label", DataType::Double),
+        ])
+        .unwrap();
+        db.register_table(Table::new("Empty", schema));
+        let err =
+            svm_train(&mut db, "m", "Empty", "vec", "label", fast_config()).unwrap_err();
+        assert!(matches!(err, FrontendError::InvalidInput(_)));
+        assert!(err.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn infer_dimension_handles_sparse_and_empty() {
+        let db = setup_db(10);
+        let table = db.table("LabeledPapers").unwrap();
+        assert_eq!(infer_dimension(table, 1), 2);
+        // Non-vector column yields zero.
+        assert_eq!(infer_dimension(table, 0), 0);
+    }
+}

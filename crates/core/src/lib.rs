@@ -1,0 +1,49 @@
+//! **Bismarck**: a unified architecture for in-RDBMS analytics, reproduced in Rust.
+//!
+//! The paper's central claim (Feng, Kumar, Recht, Ré — SIGMOD 2012) is that a
+//! wide range of analytics tasks are convex programs solvable by incremental
+//! gradient descent (IGD), and that IGD's data-access pattern is exactly that
+//! of a SQL user-defined aggregate. A single architecture therefore suffices:
+//! the *state* of the aggregate is the model, the *transition* function takes
+//! one gradient step on one tuple, and the aggregate is re-run over the table
+//! (one *epoch* per run) until a convergence test fires.
+//!
+//! This crate provides:
+//!
+//! * [`task::IgdTask`] — the handful of functions a developer writes to add a
+//!   new analytics technique ("as little as ten lines of C code" in the
+//!   paper; comparably small here, see [`tasks::svm`] vs [`tasks::logistic`]);
+//! * the [`tasks`] module — every task from Figure 1(B): logistic regression,
+//!   SVM classification, low-rank matrix factorization, conditional random
+//!   fields, least squares / Kalman smoothing, and portfolio optimization;
+//! * [`igd::IgdAggregate`] — IGD packaged as a UDA (initialize / transition /
+//!   terminate / merge);
+//! * [`trainer::Trainer`] — the epoch loop with data-ordering policies
+//!   (clustered, shuffle-once, shuffle-always) from Section 3.2;
+//! * [`parallel`] — the pure-UDA (model averaging) and shared-memory (Lock /
+//!   AIG / NoLock a.k.a. Hogwild) parallelization schemes of Section 3.3;
+//! * [`mrs`] — multiplexed reservoir sampling for data that cannot be
+//!   shuffled (Section 3.4);
+//! * [`frontend`] — `SVMTrain`-style entry points that read a training table
+//!   from a [`bismarck_storage::Database`] and persist the model back as a
+//!   table, mimicking the MADlib-style SQL interface of Section 2.1.
+
+pub mod evaluation;
+pub mod frontend;
+pub mod igd;
+pub mod metrics;
+pub mod model;
+pub mod mrs;
+pub mod parallel;
+pub mod stepsize;
+pub mod task;
+pub mod tasks;
+pub mod trainer;
+
+pub use igd::{IgdAggregate, IgdState};
+pub use model::{AigStore, DenseModelStore, ModelStore, NoLockStore};
+pub use mrs::{MrsConfig, MrsTrainer};
+pub use parallel::{ParallelStrategy, ParallelTrainer, UpdateDiscipline};
+pub use stepsize::StepSizeSchedule;
+pub use task::{IgdTask, ProximalPolicy};
+pub use trainer::{TrainedModel, Trainer, TrainerConfig};

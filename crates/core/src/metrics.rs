@@ -1,0 +1,112 @@
+//! Evaluation metrics used by the examples and experiments.
+
+/// Fraction of predictions whose sign matches the ±1 label.
+///
+/// Zero predictions count as wrong (the model abstained), matching how the
+/// paper's quality checks treat undecided examples conservatively.
+pub fn classification_accuracy(predictions: &[f64], labels: &[f64]) -> f64 {
+    if predictions.is_empty() || predictions.len() != labels.len() {
+        return 0.0;
+    }
+    let correct = predictions
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, y)| p.signum() == y.signum() && **p != 0.0)
+        .count();
+    correct as f64 / predictions.len() as f64
+}
+
+/// Root-mean-squared error between predictions and targets.
+pub fn rmse(predictions: &[f64], targets: &[f64]) -> f64 {
+    if predictions.is_empty() || predictions.len() != targets.len() {
+        return f64::NAN;
+    }
+    let mse: f64 = predictions
+        .iter()
+        .zip(targets.iter())
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / predictions.len() as f64;
+    mse.sqrt()
+}
+
+/// Token-level accuracy for sequence labeling: the fraction of positions
+/// whose predicted label equals the gold label, over all sequences.
+pub fn sequence_accuracy(predicted: &[Vec<usize>], gold: &[Vec<usize>]) -> f64 {
+    let mut total = 0usize;
+    let mut correct = 0usize;
+    for (p, g) in predicted.iter().zip(gold.iter()) {
+        for (a, b) in p.iter().zip(g.iter()) {
+            total += 1;
+            if a == b {
+                correct += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+/// "Fraction of optimal log-likelihood" used by Figure 7(B): how much of the
+/// gap between a reference (untrained) loss and the best-known loss has been
+/// closed, as a percentage in `[0, 100]`.
+pub fn fraction_of_optimal(current: f64, initial: f64, best: f64) -> f64 {
+    if !current.is_finite() || !initial.is_finite() || !best.is_finite() {
+        return 0.0;
+    }
+    let denom = initial - best;
+    if denom.abs() < 1e-12 {
+        return 100.0;
+    }
+    (((initial - current) / denom) * 100.0).clamp(0.0, 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matching_signs() {
+        let preds = [1.5, -0.2, 0.4, -2.0];
+        let labels = [1.0, 1.0, 1.0, -1.0];
+        assert!((classification_accuracy(&preds, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_edge_cases() {
+        assert_eq!(classification_accuracy(&[], &[]), 0.0);
+        assert_eq!(classification_accuracy(&[1.0], &[]), 0.0);
+        // zero prediction counts as wrong
+        assert_eq!(classification_accuracy(&[0.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn rmse_basic() {
+        assert!((rmse(&[1.0, 2.0], &[1.0, 4.0]) - 2.0f64.sqrt()).abs() < 1e-12);
+        assert!(rmse(&[], &[]).is_nan());
+        assert_eq!(rmse(&[1.0, 1.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn sequence_accuracy_counts_positions() {
+        let pred = vec![vec![0, 1, 1], vec![1, 0]];
+        let gold = vec![vec![0, 1, 0], vec![1, 1]];
+        assert!((sequence_accuracy(&pred, &gold) - 3.0 / 5.0).abs() < 1e-12);
+        assert_eq!(sequence_accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn fraction_of_optimal_interpolates() {
+        assert!((fraction_of_optimal(10.0, 10.0, 0.0) - 0.0).abs() < 1e-12);
+        assert!((fraction_of_optimal(0.0, 10.0, 0.0) - 100.0).abs() < 1e-12);
+        assert!((fraction_of_optimal(5.0, 10.0, 0.0) - 50.0).abs() < 1e-12);
+        // Overshooting the best value is clamped.
+        assert_eq!(fraction_of_optimal(-5.0, 10.0, 0.0), 100.0);
+        // Degenerate gap.
+        assert_eq!(fraction_of_optimal(3.0, 1.0, 1.0), 100.0);
+        assert_eq!(fraction_of_optimal(f64::NAN, 1.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Model storage abstractions.
+//!
+//! Every Bismarck task represents its model as a flat vector of `f64`
+//! components (a coefficient vector for LR/SVM/CRF, the stacked `L` and `R`
+//! factors for matrix factorization, stacked per-timestep states for Kalman
+//! smoothing). Tasks perform their gradient step through the [`ModelStore`]
+//! trait, so the *same* transition code runs against:
+//!
+//! * a private dense vector (sequential execution and the pure-UDA segments),
+//! * a [`bismarck_storage::SharedModel`] updated without any locking at all
+//!   (the Hogwild!-style **NoLock** scheme), or
+//! * a shared model updated with per-component compare-and-swap (**AIG**).
+//!
+//! The whole-model **Lock** discipline does not need its own store: the
+//! parallel executor serializes workers around a mutex and hands each of them
+//! the plain dense store while the lock is held.
+
+use bismarck_storage::SharedModel;
+
+/// Read/update access to a flat model, abstracting over private and shared
+/// storage so task transition functions are written once.
+pub trait ModelStore {
+    /// Number of model components.
+    fn len(&self) -> usize;
+
+    /// Whether the model has no components.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read component `i`.
+    fn read(&self, i: usize) -> f64;
+
+    /// Add `delta` to component `i`.
+    fn update(&mut self, i: usize, delta: f64);
+
+    /// Overwrite component `i` with `value`.
+    fn write(&mut self, i: usize, value: f64);
+
+    /// Copy the model into a dense vector (used for loss evaluation and for
+    /// applying dense proximal operators).
+    fn snapshot(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.read(i)).collect()
+    }
+}
+
+/// A private dense model: the ordinary sequential case.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DenseModelStore {
+    values: Vec<f64>,
+}
+
+impl DenseModelStore {
+    /// Wrap an existing dense model.
+    pub fn new(values: Vec<f64>) -> Self {
+        DenseModelStore { values }
+    }
+
+    /// A zero model of dimension `n`.
+    pub fn zeros(n: usize) -> Self {
+        DenseModelStore { values: vec![0.0; n] }
+    }
+
+    /// Borrow the underlying components.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutably borrow the underlying components.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Consume into the underlying vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.values
+    }
+}
+
+impl ModelStore for DenseModelStore {
+    fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    #[inline]
+    fn read(&self, i: usize) -> f64 {
+        self.values[i]
+    }
+
+    #[inline]
+    fn update(&mut self, i: usize, delta: f64) {
+        self.values[i] += delta;
+    }
+
+    #[inline]
+    fn write(&mut self, i: usize, value: f64) {
+        self.values[i] = value;
+    }
+
+    fn snapshot(&self) -> Vec<f64> {
+        self.values.clone()
+    }
+}
+
+/// Mutable-slice model store used when a caller already holds exclusive
+/// access to a dense model (e.g. inside the Lock discipline's critical
+/// section).
+#[derive(Debug)]
+pub struct SliceModelStore<'a> {
+    values: &'a mut [f64],
+}
+
+impl<'a> SliceModelStore<'a> {
+    /// Wrap a mutable slice.
+    pub fn new(values: &'a mut [f64]) -> Self {
+        SliceModelStore { values }
+    }
+}
+
+impl ModelStore for SliceModelStore<'_> {
+    fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    #[inline]
+    fn read(&self, i: usize) -> f64 {
+        self.values[i]
+    }
+
+    #[inline]
+    fn update(&mut self, i: usize, delta: f64) {
+        self.values[i] += delta;
+    }
+
+    #[inline]
+    fn write(&mut self, i: usize, value: f64) {
+        self.values[i] = value;
+    }
+
+    fn snapshot(&self) -> Vec<f64> {
+        self.values.to_vec()
+    }
+}
+
+/// Shared-memory store with no locking at all: racy read-modify-write, the
+/// NoLock (Hogwild!) discipline of Section 3.3.
+#[derive(Debug, Clone)]
+pub struct NoLockStore {
+    shared: SharedModel,
+}
+
+impl NoLockStore {
+    /// Wrap a shared model.
+    pub fn new(shared: SharedModel) -> Self {
+        NoLockStore { shared }
+    }
+
+    /// The underlying shared model.
+    pub fn shared(&self) -> &SharedModel {
+        &self.shared
+    }
+}
+
+impl ModelStore for NoLockStore {
+    fn len(&self) -> usize {
+        self.shared.len()
+    }
+
+    #[inline]
+    fn read(&self, i: usize) -> f64 {
+        self.shared.load(i)
+    }
+
+    #[inline]
+    fn update(&mut self, i: usize, delta: f64) {
+        self.shared.add_racy(i, delta);
+    }
+
+    #[inline]
+    fn write(&mut self, i: usize, value: f64) {
+        self.shared.store(i, value);
+    }
+
+    fn snapshot(&self) -> Vec<f64> {
+        self.shared.snapshot()
+    }
+}
+
+/// Shared-memory store with per-component atomic updates: the Atomic
+/// Incremental Gradient (AIG) discipline, which "uses only
+/// CompareAndExchange instructions to effectively perform per-component
+/// locking".
+#[derive(Debug, Clone)]
+pub struct AigStore {
+    shared: SharedModel,
+}
+
+impl AigStore {
+    /// Wrap a shared model.
+    pub fn new(shared: SharedModel) -> Self {
+        AigStore { shared }
+    }
+
+    /// The underlying shared model.
+    pub fn shared(&self) -> &SharedModel {
+        &self.shared
+    }
+}
+
+impl ModelStore for AigStore {
+    fn len(&self) -> usize {
+        self.shared.len()
+    }
+
+    #[inline]
+    fn read(&self, i: usize) -> f64 {
+        self.shared.load(i)
+    }
+
+    #[inline]
+    fn update(&mut self, i: usize, delta: f64) {
+        self.shared.add_atomic(i, delta);
+    }
+
+    #[inline]
+    fn write(&mut self, i: usize, value: f64) {
+        self.shared.store(i, value);
+    }
+
+    fn snapshot(&self) -> Vec<f64> {
+        self.shared.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<M: ModelStore>(store: &mut M) {
+        assert_eq!(store.len(), 3);
+        assert!(!store.is_empty());
+        store.write(0, 1.0);
+        store.update(0, 0.5);
+        store.update(2, -1.0);
+        assert_eq!(store.read(0), 1.5);
+        assert_eq!(store.read(1), 0.0);
+        assert_eq!(store.snapshot(), vec![1.5, 0.0, -1.0]);
+    }
+
+    #[test]
+    fn dense_store_contract() {
+        let mut store = DenseModelStore::zeros(3);
+        exercise(&mut store);
+        assert_eq!(store.into_vec(), vec![1.5, 0.0, -1.0]);
+    }
+
+    #[test]
+    fn slice_store_contract() {
+        let mut backing = vec![0.0; 3];
+        {
+            let mut store = SliceModelStore::new(&mut backing);
+            exercise(&mut store);
+        }
+        assert_eq!(backing, vec![1.5, 0.0, -1.0]);
+    }
+
+    #[test]
+    fn nolock_store_contract_and_shares_memory() {
+        let shared = SharedModel::zeros(3);
+        let mut store = NoLockStore::new(shared.clone());
+        exercise(&mut store);
+        assert_eq!(shared.snapshot(), vec![1.5, 0.0, -1.0]);
+        assert_eq!(store.shared().len(), 3);
+    }
+
+    #[test]
+    fn aig_store_contract_and_shares_memory() {
+        let shared = SharedModel::zeros(3);
+        let mut store = AigStore::new(shared.clone());
+        exercise(&mut store);
+        assert_eq!(shared.snapshot(), vec![1.5, 0.0, -1.0]);
+        assert_eq!(store.shared().len(), 3);
+    }
+
+    #[test]
+    fn dense_store_from_existing_model() {
+        let store = DenseModelStore::new(vec![1.0, 2.0]);
+        assert_eq!(store.as_slice(), &[1.0, 2.0]);
+        assert_eq!(store.snapshot(), vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,441 @@
+//! Parallelizing the IGD aggregate (Section 3.3).
+//!
+//! Two families of schemes, both built from standard engine facilities:
+//!
+//! * **Pure UDA** — shared-nothing parallelism through the aggregate's
+//!   `merge` function: each segment trains its own model copy over its slice
+//!   of the data and the partial models are averaged (Zinkevich et al.).
+//!   Near-linear speed-up of the gradient pass, but the model averaging
+//!   costs convergence quality (Figure 9(A)).
+//! * **Shared-memory UDA** — the model lives in user-managed shared memory
+//!   and all workers update it concurrently, with one of three disciplines:
+//!   whole-model **Lock**, per-component **AIG** (compare-and-swap), or
+//!   **NoLock** (Hogwild!). The paper adopts NoLock for Bismarck because it
+//!   converges like Lock but scales like the lock-free scheme.
+
+use std::time::{Duration, Instant};
+
+use bismarck_storage::{segment_ranges, ScanOrder, SharedModel, Table};
+use bismarck_uda::{run_segmented_parallel, EpochOutcome, EpochRunner};
+use parking_lot::Mutex;
+
+use crate::igd::IgdAggregate;
+use crate::model::{AigStore, NoLockStore, SliceModelStore};
+use crate::task::{IgdTask, ProximalPolicy};
+use crate::trainer::{TrainedModel, TrainerConfig};
+
+/// How shared-memory workers update the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateDiscipline {
+    /// Serialize every gradient step behind a whole-model mutex.
+    Lock,
+    /// Per-component atomic adds (compare-and-swap loops).
+    Aig,
+    /// No synchronization at all (Hogwild!).
+    NoLock,
+}
+
+impl UpdateDiscipline {
+    /// Human-readable name used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            UpdateDiscipline::Lock => "Lock",
+            UpdateDiscipline::Aig => "AIG",
+            UpdateDiscipline::NoLock => "NoLock",
+        }
+    }
+}
+
+/// Which parallelization scheme to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelStrategy {
+    /// Shared-nothing model averaging through the UDA `merge` function.
+    PureUda {
+        /// Number of segments (one worker thread per segment).
+        segments: usize,
+    },
+    /// Concurrent updates to a model in shared memory.
+    SharedMemory {
+        /// Number of worker threads.
+        workers: usize,
+        /// Update discipline.
+        discipline: UpdateDiscipline,
+    },
+}
+
+impl ParallelStrategy {
+    /// Human-readable name used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ParallelStrategy::PureUda { .. } => "PureUDA",
+            ParallelStrategy::SharedMemory { discipline, .. } => discipline.label(),
+        }
+    }
+
+    /// Number of workers the strategy employs.
+    pub fn workers(&self) -> usize {
+        match *self {
+            ParallelStrategy::PureUda { segments } => segments,
+            ParallelStrategy::SharedMemory { workers, .. } => workers,
+        }
+    }
+}
+
+/// Per-epoch measurements specific to parallel runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelEpochStats {
+    /// Time spent in the parallel gradient pass (excludes shuffle and loss).
+    pub gradient_duration: Duration,
+}
+
+/// Trainer that runs each epoch's gradient pass in parallel.
+#[derive(Debug, Clone)]
+pub struct ParallelTrainer<'a, T: IgdTask> {
+    task: &'a T,
+    config: TrainerConfig,
+    strategy: ParallelStrategy,
+}
+
+impl<'a, T: IgdTask> ParallelTrainer<'a, T> {
+    /// Create a parallel trainer.
+    pub fn new(task: &'a T, config: TrainerConfig, strategy: ParallelStrategy) -> Self {
+        ParallelTrainer { task, config, strategy }
+    }
+
+    /// The strategy in use.
+    pub fn strategy(&self) -> ParallelStrategy {
+        self.strategy
+    }
+
+    /// Train on a table starting from the task's initial model.
+    pub fn train(&self, table: &Table) -> (TrainedModel, Vec<ParallelEpochStats>) {
+        self.train_from(table, self.task.initial_model())
+    }
+
+    /// Train starting from a caller-provided model.
+    pub fn train_from(
+        &self,
+        table: &Table,
+        initial_model: Vec<f64>,
+    ) -> (TrainedModel, Vec<ParallelEpochStats>) {
+        let mut model = initial_model;
+        let mut stats = Vec::new();
+        let mut cached_permutation: Option<Vec<usize>> = None;
+        let runner = EpochRunner::new(self.config.convergence);
+        let task = self.task;
+        let config = self.config;
+        let strategy = self.strategy;
+
+        let history = runner.run(|epoch| {
+            // Reorder if requested (timed, as in the sequential trainer).
+            let shuffle_start = Instant::now();
+            let permutation: Option<&[usize]> = match config.scan_order {
+                ScanOrder::Clustered => None,
+                ScanOrder::ShuffleOnce { .. } => {
+                    if cached_permutation.is_none() {
+                        cached_permutation = config.scan_order.permutation(table.len(), epoch);
+                    }
+                    cached_permutation.as_deref()
+                }
+                ScanOrder::ShuffleAlways { .. } => {
+                    cached_permutation = config.scan_order.permutation(table.len(), epoch);
+                    cached_permutation.as_deref()
+                }
+            };
+            let shuffle_duration = if config.scan_order.shuffles_at(epoch) {
+                shuffle_start.elapsed()
+            } else {
+                Duration::ZERO
+            };
+
+            let alpha = config.step_size.at(epoch);
+            let gradient_start = Instant::now();
+            let current = std::mem::take(&mut model);
+            model = match strategy {
+                ParallelStrategy::PureUda { segments } => {
+                    run_pure_uda_epoch(task, table, current, alpha, segments)
+                }
+                ParallelStrategy::SharedMemory { workers, discipline } => {
+                    run_shared_memory_epoch(
+                        task,
+                        table,
+                        permutation,
+                        current,
+                        alpha,
+                        workers,
+                        discipline,
+                    )
+                }
+            };
+            let gradient_duration = gradient_start.elapsed();
+            stats.push(ParallelEpochStats { gradient_duration });
+
+            let mut loss = task.regularizer(&model);
+            for tuple in table.scan() {
+                loss += task.example_loss(&model, tuple);
+            }
+            EpochOutcome { loss, gradient_norm: None, shuffle_duration }
+        });
+
+        (
+            TrainedModel { task_name: self.task.name(), model, history },
+            stats,
+        )
+    }
+}
+
+/// One pure-UDA (shared-nothing) epoch: segment-parallel aggregation with
+/// model-averaging merge. Segments see their rows in clustered order, which
+/// matches how a parallel engine distributes tuples to segments.
+fn run_pure_uda_epoch<T: IgdTask>(
+    task: &T,
+    table: &Table,
+    model: Vec<f64>,
+    alpha: f64,
+    segments: usize,
+) -> Vec<f64> {
+    let aggregate = IgdAggregate::new(task, alpha, model);
+    let state = run_segmented_parallel(&aggregate, table, segments.max(1));
+    state.model.into_vec()
+}
+
+/// One shared-memory epoch with the chosen update discipline.
+fn run_shared_memory_epoch<T: IgdTask>(
+    task: &T,
+    table: &Table,
+    permutation: Option<&[usize]>,
+    model: Vec<f64>,
+    alpha: f64,
+    workers: usize,
+    discipline: UpdateDiscipline,
+) -> Vec<f64> {
+    let workers = workers.max(1);
+    let n = table.len();
+    let ranges = segment_ranges(permutation.map_or(n, <[usize]>::len), workers);
+
+    // Row ids each worker visits: a slice of the permutation, or a contiguous
+    // range of storage order.
+    let worker_rows: Vec<Vec<usize>> = ranges
+        .iter()
+        .map(|&(start, end)| match permutation {
+            Some(perm) => perm[start..end].to_vec(),
+            None => (start..end).collect(),
+        })
+        .collect();
+
+    let mut final_model = match discipline {
+        UpdateDiscipline::Lock => {
+            let locked = Mutex::new(model);
+            std::thread::scope(|scope| {
+                for rows in &worker_rows {
+                    let locked = &locked;
+                    scope.spawn(move || {
+                        for &row in rows {
+                            let Ok(tuple) = table.get(row) else { continue };
+                            let mut guard = locked.lock();
+                            let mut store = SliceModelStore::new(guard.as_mut_slice());
+                            task.gradient_step(&mut store, tuple, alpha);
+                            if task.proximal_policy() == ProximalPolicy::PerStep {
+                                task.proximal_step(guard.as_mut_slice(), alpha);
+                            }
+                        }
+                    });
+                }
+            });
+            locked.into_inner()
+        }
+        UpdateDiscipline::Aig | UpdateDiscipline::NoLock => {
+            let shared = SharedModel::from_slice(&model);
+            std::thread::scope(|scope| {
+                for rows in &worker_rows {
+                    let shared = shared.clone();
+                    scope.spawn(move || {
+                        match discipline {
+                            UpdateDiscipline::Aig => {
+                                let mut store = AigStore::new(shared);
+                                for &row in rows {
+                                    if let Ok(tuple) = table.get(row) {
+                                        task.gradient_step(&mut store, tuple, alpha);
+                                    }
+                                }
+                            }
+                            _ => {
+                                let mut store = NoLockStore::new(shared);
+                                for &row in rows {
+                                    if let Ok(tuple) = table.get(row) {
+                                        task.gradient_step(&mut store, tuple, alpha);
+                                    }
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            shared.snapshot()
+        }
+    };
+
+    // Per-epoch proximal step (and, for the lock-free disciplines, the
+    // per-step operator demoted to per-epoch as documented in `task`).
+    match task.proximal_policy() {
+        ProximalPolicy::PerEpoch => task.proximal_step(&mut final_model, alpha),
+        ProximalPolicy::PerStep => {
+            if discipline != UpdateDiscipline::Lock {
+                task.proximal_step(&mut final_model, alpha);
+            }
+        }
+        ProximalPolicy::None => {}
+    }
+    final_model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stepsize::StepSizeSchedule;
+    use crate::tasks::{LogisticRegressionTask, PortfolioTask, SvmTask};
+    use bismarck_uda::ConvergenceTest;
+    use crate::trainer::Trainer;
+    use bismarck_storage::{Column, DataType, Schema, Value};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn classification_table(n: usize, seed: u64) -> Table {
+        let schema = Schema::new(vec![
+            Column::new("vec", DataType::DenseVec),
+            Column::new("label", DataType::Double),
+        ])
+        .unwrap();
+        let mut t = Table::new("data", schema);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n {
+            let y = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let x = vec![
+                y * 1.2 + rng.gen_range(-0.4..0.4),
+                -y * 0.7 + rng.gen_range(-0.4..0.4),
+                rng.gen_range(-0.4..0.4),
+            ];
+            t.insert(vec![Value::from(x), Value::Double(y)]).unwrap();
+        }
+        t
+    }
+
+    fn config(epochs: usize) -> TrainerConfig {
+        TrainerConfig::default()
+            .with_step_size(StepSizeSchedule::Constant(0.2))
+            .with_convergence(ConvergenceTest::FixedEpochs(epochs))
+    }
+
+    #[test]
+    fn pure_uda_trains_to_a_reasonable_model() {
+        let table = classification_table(300, 3);
+        let task = LogisticRegressionTask::new(0, 1, 3);
+        let trainer =
+            ParallelTrainer::new(&task, config(10), ParallelStrategy::PureUda { segments: 4 });
+        let (trained, stats) = trainer.train(&table);
+        assert_eq!(stats.len(), trained.epochs());
+        let seq = Trainer::new(&task, config(10)).train(&table);
+        // Model averaging loses some quality but should land in the same
+        // ballpark as the sequential run.
+        assert!(trained.final_loss().unwrap() <= seq.final_loss().unwrap() * 2.0 + 1.0);
+    }
+
+    #[test]
+    fn all_shared_memory_disciplines_reduce_loss() {
+        let table = classification_table(300, 5);
+        let task = SvmTask::new(0, 1, 3);
+        let zero_loss: f64 = {
+            let zero = task.initial_model();
+            table.scan().map(|tup| task.example_loss(&zero, tup)).sum()
+        };
+        for discipline in [UpdateDiscipline::Lock, UpdateDiscipline::Aig, UpdateDiscipline::NoLock] {
+            let trainer = ParallelTrainer::new(
+                &task,
+                config(8),
+                ParallelStrategy::SharedMemory { workers: 4, discipline },
+            );
+            let (trained, _) = trainer.train(&table);
+            assert!(
+                trained.final_loss().unwrap() < zero_loss * 0.5,
+                "{} did not reduce loss",
+                discipline.label()
+            );
+        }
+    }
+
+    #[test]
+    fn shared_memory_respects_scan_order_permutation() {
+        let table = classification_table(100, 9);
+        let task = LogisticRegressionTask::new(0, 1, 3);
+        let cfg = config(3).with_scan_order(ScanOrder::ShuffleAlways { seed: 1 });
+        let trainer = ParallelTrainer::new(
+            &task,
+            cfg,
+            ParallelStrategy::SharedMemory { workers: 2, discipline: UpdateDiscipline::NoLock },
+        );
+        let (trained, _) = trainer.train(&table);
+        assert_eq!(trained.epochs(), 3);
+        assert!(trained.final_loss().unwrap().is_finite());
+    }
+
+    #[test]
+    fn single_worker_shared_memory_matches_sequential_closely() {
+        let table = classification_table(150, 2);
+        let task = LogisticRegressionTask::new(0, 1, 3);
+        let cfg = config(5).with_scan_order(ScanOrder::Clustered);
+        let (par, _) = ParallelTrainer::new(
+            &task,
+            cfg,
+            ParallelStrategy::SharedMemory { workers: 1, discipline: UpdateDiscipline::Lock },
+        )
+        .train(&table);
+        let seq = Trainer::new(&task, cfg).train(&table);
+        let diff: f64 = par
+            .model
+            .iter()
+            .zip(seq.model.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff < 1e-9, "single-worker Lock should match sequential exactly, diff={diff}");
+    }
+
+    #[test]
+    fn portfolio_projection_is_applied_in_all_disciplines() {
+        let schema = Schema::new(vec![Column::new("returns", DataType::DenseVec)]).unwrap();
+        let mut table = Table::new("returns", schema);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..60 {
+            let r = vec![
+                0.05 + rng.gen_range(-0.1..0.1),
+                0.01 + rng.gen_range(-0.01..0.01),
+                0.03 + rng.gen_range(-0.03..0.03),
+            ];
+            table.insert(vec![Value::from(r)]).unwrap();
+        }
+        let expected = vec![0.05, 0.01, 0.03];
+        let task = PortfolioTask::new(0, expected.clone(), expected, 1.0, 60);
+        for strategy in [
+            ParallelStrategy::PureUda { segments: 3 },
+            ParallelStrategy::SharedMemory { workers: 3, discipline: UpdateDiscipline::NoLock },
+            ParallelStrategy::SharedMemory { workers: 3, discipline: UpdateDiscipline::Lock },
+        ] {
+            let (trained, _) =
+                ParallelTrainer::new(&task, config(5), strategy).train(&table);
+            let sum: f64 = trained.model.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "{}: sum {sum}", strategy.label());
+            assert!(trained.model.iter().all(|&v| v >= -1e-9));
+        }
+    }
+
+    #[test]
+    fn strategy_labels_and_workers() {
+        assert_eq!(ParallelStrategy::PureUda { segments: 8 }.label(), "PureUDA");
+        assert_eq!(ParallelStrategy::PureUda { segments: 8 }.workers(), 8);
+        let sm = ParallelStrategy::SharedMemory { workers: 4, discipline: UpdateDiscipline::Aig };
+        assert_eq!(sm.label(), "AIG");
+        assert_eq!(sm.workers(), 4);
+        assert_eq!(UpdateDiscipline::NoLock.label(), "NoLock");
+        assert_eq!(UpdateDiscipline::Lock.label(), "Lock");
+    }
+}

@@ -1,0 +1,32 @@
+//! The analytics tasks of Figure 1(B).
+//!
+//! Each task implements [`crate::task::IgdTask`]; the per-task code is
+//! essentially just the objective's gradient on one example (compare
+//! [`logistic`] and [`svm`] — they differ by a handful of lines, exactly the
+//! point Figure 4 makes).
+//!
+//! | Paper task | Module | Objective |
+//! |---|---|---|
+//! | Logistic Regression (LR) | [`logistic`] | `Σ log(1 + exp(−y_i wᵀx_i)) + µ‖w‖₁` |
+//! | Classification (SVM) | [`svm`] | `Σ (1 − y_i wᵀx_i)₊ + µ‖w‖₁` |
+//! | Recommendation (LMF) | [`lmf`] | `Σ_{(i,j)∈Ω} (L_iᵀR_j − M_ij)² + µ‖L,R‖²_F` |
+//! | Labeling (CRF) | [`crf`] | `Σ_k [Σ_j w_j F_j(y_k, x_k) − log Z(x_k)]` |
+//! | Kalman filters | [`kalman`] | `Σ_t ‖w_t − y_t‖² + λ‖w_t − w_{t−1}‖²` |
+//! | Portfolio optimization | [`portfolio`] | `γ wᵀΣw − pᵀw  s.t. w ∈ Δ` |
+//! | Least squares | [`least_squares`] | `½ Σ (wᵀx_i − y_i)²` (the CA-TX example) |
+
+pub mod crf;
+pub mod kalman;
+pub mod least_squares;
+pub mod lmf;
+pub mod logistic;
+pub mod portfolio;
+pub mod svm;
+
+pub use crf::CrfTask;
+pub use kalman::KalmanTask;
+pub use least_squares::LeastSquaresTask;
+pub use lmf::LmfTask;
+pub use logistic::LogisticRegressionTask;
+pub use portfolio::PortfolioTask;
+pub use svm::SvmTask;

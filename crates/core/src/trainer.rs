@@ -1,0 +1,310 @@
+//! The sequential Bismarck trainer: epochs, data ordering and convergence.
+//!
+//! This is the single-threaded path of Figure 2: each epoch runs the IGD
+//! aggregate over the table in the configured scan order, evaluates the loss,
+//! and consults the convergence test. The three ordering policies of
+//! Section 3.2 (Clustered, ShuffleOnce, ShuffleAlways) differ only in which
+//! permutation — if any — is handed to the scan, and in how often the
+//! (timed) shuffle cost is paid.
+
+use std::time::{Duration, Instant};
+
+use bismarck_storage::{ScanOrder, Table};
+use bismarck_uda::{run_sequential, ConvergenceTest, EpochOutcome, EpochRunner, TrainingHistory};
+
+use crate::igd::IgdAggregate;
+use crate::stepsize::StepSizeSchedule;
+use crate::task::IgdTask;
+
+/// Configuration shared by the sequential and parallel trainers.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainerConfig {
+    /// Step-size schedule indexed by epoch.
+    pub step_size: StepSizeSchedule,
+    /// Data ordering policy.
+    pub scan_order: ScanOrder,
+    /// Stopping condition.
+    pub convergence: ConvergenceTest,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            step_size: StepSizeSchedule::default(),
+            scan_order: ScanOrder::ShuffleOnce { seed: 42 },
+            convergence: ConvergenceTest::paper_default(20),
+        }
+    }
+}
+
+impl TrainerConfig {
+    /// Builder-style override of the step-size schedule.
+    pub fn with_step_size(mut self, step_size: StepSizeSchedule) -> Self {
+        self.step_size = step_size;
+        self
+    }
+
+    /// Builder-style override of the scan order.
+    pub fn with_scan_order(mut self, scan_order: ScanOrder) -> Self {
+        self.scan_order = scan_order;
+        self
+    }
+
+    /// Builder-style override of the convergence test.
+    pub fn with_convergence(mut self, convergence: ConvergenceTest) -> Self {
+        self.convergence = convergence;
+        self
+    }
+}
+
+/// A trained model plus the per-epoch history that produced it.
+#[derive(Debug, Clone)]
+pub struct TrainedModel {
+    /// Name of the task that produced the model.
+    pub task_name: &'static str,
+    /// The flat model vector.
+    pub model: Vec<f64>,
+    /// Per-epoch loss and timing records.
+    pub history: TrainingHistory,
+}
+
+impl TrainedModel {
+    /// Final objective value, if at least one epoch ran.
+    pub fn final_loss(&self) -> Option<f64> {
+        self.history.final_loss()
+    }
+
+    /// Number of epochs run.
+    pub fn epochs(&self) -> usize {
+        self.history.epochs()
+    }
+}
+
+/// The sequential trainer.
+#[derive(Debug, Clone)]
+pub struct Trainer<'a, T: IgdTask> {
+    task: &'a T,
+    config: TrainerConfig,
+}
+
+impl<'a, T: IgdTask> Trainer<'a, T> {
+    /// Create a trainer for a task with the given configuration.
+    pub fn new(task: &'a T, config: TrainerConfig) -> Self {
+        Trainer { task, config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// Full objective (`Σ_i f_i(w) + P(w)`) of a model over a table.
+    pub fn objective(&self, model: &[f64], table: &Table) -> f64 {
+        let mut total = self.task.regularizer(model);
+        for tuple in table.scan() {
+            total += self.task.example_loss(model, tuple);
+        }
+        total
+    }
+
+    /// Train on a table starting from the task's initial model.
+    pub fn train(&self, table: &Table) -> TrainedModel {
+        self.train_from(table, self.task.initial_model())
+    }
+
+    /// Train on a table starting from a caller-provided model (the paper's
+    /// "a model returned by a previous run").
+    pub fn train_from(&self, table: &Table, initial_model: Vec<f64>) -> TrainedModel {
+        let mut model = initial_model;
+        // ShuffleOnce reuses one permutation; cache it so its cost is paid
+        // exactly once and counted in epoch 0's shuffle time.
+        let mut cached_permutation: Option<Vec<usize>> = None;
+        let runner = EpochRunner::new(self.config.convergence);
+        let task = self.task;
+        let config = self.config;
+
+        let history = runner.run(|epoch| {
+            // 1. Reorder the data if the policy asks for it (timed).
+            let shuffle_start = Instant::now();
+            let permutation: Option<&[usize]> = match config.scan_order {
+                ScanOrder::Clustered => None,
+                ScanOrder::ShuffleOnce { .. } => {
+                    if cached_permutation.is_none() {
+                        cached_permutation = config.scan_order.permutation(table.len(), epoch);
+                    }
+                    cached_permutation.as_deref()
+                }
+                ScanOrder::ShuffleAlways { .. } => {
+                    cached_permutation = config.scan_order.permutation(table.len(), epoch);
+                    cached_permutation.as_deref()
+                }
+            };
+            let shuffle_duration = if config.scan_order.shuffles_at(epoch) {
+                shuffle_start.elapsed()
+            } else {
+                Duration::ZERO
+            };
+
+            // 2. One epoch of IGD as a UDA.
+            let alpha = config.step_size.at(epoch);
+            let aggregate = IgdAggregate::new(task, alpha, std::mem::take(&mut model));
+            let state = run_sequential(&aggregate, table, permutation);
+            model = state.model.into_vec();
+
+            // 3. Evaluate the objective for the convergence test.
+            let mut loss = task.regularizer(&model);
+            for tuple in table.scan() {
+                loss += task.example_loss(&model, tuple);
+            }
+            EpochOutcome { loss, gradient_norm: None, shuffle_duration }
+        });
+
+        TrainedModel { task_name: self.task.name(), model, history }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::{LeastSquaresTask, LogisticRegressionTask, SvmTask};
+    use bismarck_storage::{Column, DataType, Schema, Value};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    /// A small linearly separable classification table; `clustered` controls
+    /// whether positives all precede negatives (the pathological order).
+    fn classification_table(n: usize, clustered: bool, seed: u64) -> Table {
+        let schema = Schema::new(vec![
+            Column::new("vec", DataType::DenseVec),
+            Column::new("label", DataType::Double),
+        ])
+        .unwrap();
+        let mut t = Table::new("data", schema);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        for i in 0..n {
+            let y = if i < n / 2 { 1.0 } else { -1.0 };
+            let x = vec![
+                y * 1.5 + rng.gen_range(-0.5..0.5),
+                -y * 0.8 + rng.gen_range(-0.5..0.5),
+                rng.gen_range(-0.5..0.5),
+            ];
+            rows.push((x, y));
+        }
+        if !clustered {
+            // interleave classes
+            rows.sort_by_key(|(x, _)| (x[2] * 1e6) as i64);
+        }
+        for (x, y) in rows {
+            t.insert(vec![Value::from(x), Value::Double(y)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn lr_training_converges_and_reduces_loss() {
+        let table = classification_table(200, false, 7);
+        let task = LogisticRegressionTask::new(0, 1, 3);
+        let config = TrainerConfig::default()
+            .with_step_size(StepSizeSchedule::Constant(0.2))
+            .with_convergence(ConvergenceTest::paper_default(40));
+        let trainer = Trainer::new(&task, config);
+        let initial = trainer.objective(&task.initial_model(), &table);
+        let trained = trainer.train(&table);
+        assert!(trained.epochs() >= 1);
+        let final_loss = trained.final_loss().unwrap();
+        assert!(final_loss < initial * 0.5, "final {final_loss} vs initial {initial}");
+        assert_eq!(trained.task_name, "LR");
+    }
+
+    #[test]
+    fn svm_training_with_fixed_epochs_runs_exactly_that_many() {
+        let table = classification_table(100, false, 3);
+        let task = SvmTask::new(0, 1, 3);
+        let config = TrainerConfig::default()
+            .with_step_size(StepSizeSchedule::Constant(0.05))
+            .with_convergence(ConvergenceTest::FixedEpochs(5));
+        let trainer = Trainer::new(&task, config);
+        let trained = trainer.train(&table);
+        assert_eq!(trained.epochs(), 5);
+    }
+
+    #[test]
+    fn shuffle_once_converges_in_fewer_epochs_than_clustered() {
+        // The CA-TX phenomenon on a classification table clustered by label.
+        let table = classification_table(400, true, 11);
+        let task = LogisticRegressionTask::new(0, 1, 3);
+        let base = TrainerConfig::default()
+            .with_step_size(StepSizeSchedule::Constant(0.5))
+            .with_convergence(ConvergenceTest::FixedEpochs(15));
+
+        let clustered = Trainer::new(&task, base.with_scan_order(ScanOrder::Clustered))
+            .train(&table);
+        let shuffled = Trainer::new(
+            &task,
+            base.with_scan_order(ScanOrder::ShuffleOnce { seed: 5 }),
+        )
+        .train(&table);
+
+        // Compare the loss reached after the same number of epochs.
+        let target = shuffled.final_loss().unwrap();
+        let clustered_final = clustered.final_loss().unwrap();
+        assert!(
+            target <= clustered_final * 1.05,
+            "shuffled {target} should be no worse than clustered {clustered_final}"
+        );
+    }
+
+    #[test]
+    fn shuffle_always_records_shuffle_time_every_epoch() {
+        let table = classification_table(100, false, 1);
+        let task = LeastSquaresTask::new(0, 1, 3);
+        let config = TrainerConfig::default()
+            .with_scan_order(ScanOrder::ShuffleAlways { seed: 2 })
+            .with_step_size(StepSizeSchedule::Constant(0.01))
+            .with_convergence(ConvergenceTest::FixedEpochs(4));
+        let trained = Trainer::new(&task, config).train(&table);
+        let with_shuffle = trained
+            .history
+            .records()
+            .iter()
+            .filter(|r| r.shuffle_duration > Duration::ZERO)
+            .count();
+        assert_eq!(with_shuffle, 4);
+
+        let once = TrainerConfig::default()
+            .with_scan_order(ScanOrder::ShuffleOnce { seed: 2 })
+            .with_step_size(StepSizeSchedule::Constant(0.01))
+            .with_convergence(ConvergenceTest::FixedEpochs(4));
+        let trained_once = Trainer::new(&task, once).train(&table);
+        let with_shuffle_once = trained_once
+            .history
+            .records()
+            .iter()
+            .filter(|r| r.shuffle_duration > Duration::ZERO)
+            .count();
+        assert_eq!(with_shuffle_once, 1);
+    }
+
+    #[test]
+    fn train_from_continues_from_previous_model() {
+        let table = classification_table(100, false, 9);
+        let task = LogisticRegressionTask::new(0, 1, 3);
+        let config = TrainerConfig::default()
+            .with_step_size(StepSizeSchedule::Constant(0.2))
+            .with_convergence(ConvergenceTest::FixedEpochs(3));
+        let trainer = Trainer::new(&task, config);
+        let first = trainer.train(&table);
+        let resumed = trainer.train_from(&table, first.model.clone());
+        assert!(resumed.final_loss().unwrap() <= first.final_loss().unwrap() + 1e-9);
+    }
+
+    #[test]
+    fn config_accessors() {
+        let task = LeastSquaresTask::new(0, 1, 1);
+        let config = TrainerConfig::default();
+        let trainer = Trainer::new(&task, config);
+        assert_eq!(trainer.config().scan_order.label(), "ShuffleOnce");
+    }
+}

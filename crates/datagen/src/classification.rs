@@ -1,0 +1,319 @@
+//! Classification datasets: dense (Forest-like), sparse (DBLife-like) and
+//! the exact 1-D CA-TX example of Section 3.2.
+
+use bismarck_linalg::SparseVector;
+use bismarck_storage::{Column, DataType, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+fn classification_schema(sparse: bool) -> Schema {
+    Schema::new(vec![
+        Column::new("id", DataType::Int),
+        Column::new(
+            "vec",
+            if sparse { DataType::SparseVec } else { DataType::DenseVec },
+        ),
+        Column::new("label", DataType::Double),
+    ])
+    .expect("static schema is valid")
+}
+
+/// Configuration of the dense (Forest-like) classification generator.
+#[derive(Debug, Clone, Copy)]
+pub struct DenseClassificationConfig {
+    /// Number of examples.
+    pub examples: usize,
+    /// Feature dimensionality (Forest has 54 attributes).
+    pub dimension: usize,
+    /// Fraction of examples with label +1.
+    pub positive_fraction: f64,
+    /// Gap between the class means relative to the noise scale; larger means
+    /// more separable.
+    pub separation: f64,
+    /// If true, the table is stored clustered by label (+1 block before −1
+    /// block) — the pathological in-RDBMS ordering of Section 3.2. If false,
+    /// classes are interleaved in storage order.
+    pub clustered_by_label: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DenseClassificationConfig {
+    fn default() -> Self {
+        DenseClassificationConfig {
+            examples: 10_000,
+            dimension: 54,
+            positive_fraction: 0.5,
+            separation: 1.0,
+            clustered_by_label: true,
+            seed: 7,
+        }
+    }
+}
+
+/// Generate a dense classification table shaped like the Forest dataset.
+///
+/// Columns: `(id INT, vec DENSE_VEC, label DOUBLE)`; labels are ±1.
+pub fn dense_classification(name: &str, config: DenseClassificationConfig) -> Table {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rows: Vec<(Vec<f64>, f64)> = Vec::with_capacity(config.examples);
+    let positives = (config.examples as f64 * config.positive_fraction).round() as usize;
+    // A random (but fixed) direction separates the classes; remaining
+    // dimensions are noise, like the mostly-uninformative cartographic
+    // attributes of Forest.
+    let direction: Vec<f64> = (0..config.dimension).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let norm: f64 = direction.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-9);
+    for i in 0..config.examples {
+        let label = if i < positives { 1.0 } else { -1.0 };
+        let x: Vec<f64> = direction
+            .iter()
+            .map(|&d| label * config.separation * d / norm + rng.gen_range(-1.0..1.0))
+            .collect();
+        rows.push((x, label));
+    }
+    if !config.clustered_by_label {
+        // Interleave by a deterministic shuffle.
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        use rand::seq::SliceRandom;
+        order.shuffle(&mut rng);
+        rows = order.into_iter().map(|i| rows[i].clone()).collect();
+    }
+    let mut table = Table::new(name, classification_schema(false));
+    for (i, (x, y)) in rows.into_iter().enumerate() {
+        table
+            .insert(vec![Value::Int(i as i64), Value::from(x), Value::Double(y)])
+            .expect("generated row matches schema");
+    }
+    table
+}
+
+/// Configuration of the sparse (DBLife-like) classification generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SparseClassificationConfig {
+    /// Number of examples (DBLife has ~16k documents).
+    pub examples: usize,
+    /// Vocabulary size (DBLife has ~41k features).
+    pub vocabulary: usize,
+    /// Average number of non-zero features per example.
+    pub avg_nnz: usize,
+    /// Number of vocabulary terms that are predictive of the label.
+    pub informative: usize,
+    /// If true, store all +1 examples before all −1 examples.
+    pub clustered_by_label: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SparseClassificationConfig {
+    fn default() -> Self {
+        SparseClassificationConfig {
+            examples: 4_000,
+            vocabulary: 20_000,
+            avg_nnz: 40,
+            informative: 200,
+            clustered_by_label: true,
+            seed: 11,
+        }
+    }
+}
+
+/// Generate a sparse (bag-of-words-like) classification table shaped like
+/// DBLife: high-dimensional, very sparse rows, labels ±1.
+///
+/// Two properties matter for the ordering experiments (Section 3.2 /
+/// Figure 8) and are modelled explicitly:
+///
+/// * every document carries an intercept-like feature (index 0, think of a
+///   document-length or bias token) that both classes share;
+/// * a third of the informative vocabulary is *shared* between the classes
+///   (common research-area words), so gradient steps taken on one class's
+///   block of documents drag the shared weights — and therefore the other
+///   class's predictions — with them. This is what makes the clustered
+///   (label-sorted) storage order genuinely slower to converge, exactly the
+///   CA-TX phenomenon.
+pub fn sparse_classification(name: &str, config: SparseClassificationConfig) -> Table {
+    assert!(config.vocabulary > config.informative, "vocabulary must exceed informative terms");
+    assert!(config.informative >= 3, "need at least three informative terms");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rows: Vec<(SparseVector, f64)> = Vec::with_capacity(config.examples);
+    // Informative vocabulary layout: [1, shared) is shared between classes,
+    // then equal private blocks for the positive and negative class. Index 0
+    // is the intercept.
+    let shared_end = 1 + (config.informative - 1) / 3;
+    let private = (config.informative - shared_end) / 2;
+    for i in 0..config.examples {
+        let label = if i < config.examples / 2 { 1.0 } else { -1.0 };
+        let nnz = rng.gen_range((config.avg_nnz / 2).max(1)..=config.avg_nnz * 3 / 2);
+        let mut pairs: Vec<(usize, f64)> = Vec::with_capacity(nnz + 1);
+        // Intercept token present in every document.
+        pairs.push((0, 1.0));
+        for _ in 0..nnz {
+            let roll: f64 = rng.gen();
+            let idx = if roll < 0.25 {
+                // shared informative vocabulary
+                1 + rng.gen_range(0..shared_end.saturating_sub(1).max(1))
+            } else if roll < 0.5 {
+                // class-private informative vocabulary
+                let base = if label > 0.0 { shared_end } else { shared_end + private };
+                base + rng.gen_range(0..private.max(1))
+            } else {
+                // background vocabulary
+                config.informative + rng.gen_range(0..config.vocabulary - config.informative)
+            };
+            pairs.push((idx, 1.0 + rng.gen_range(0.0..1.0)));
+        }
+        rows.push((SparseVector::from_pairs(pairs), label));
+    }
+    if !config.clustered_by_label {
+        use rand::seq::SliceRandom;
+        rows.shuffle(&mut rng);
+    }
+    let mut table = Table::new(name, classification_schema(true));
+    for (i, (x, y)) in rows.into_iter().enumerate() {
+        table
+            .insert(vec![Value::Int(i as i64), Value::from(x), Value::Double(y)])
+            .expect("generated row matches schema");
+    }
+    table
+}
+
+/// The exact 1-D CA-TX dataset of Example 2.1 / 3.1: `2n` points with
+/// `x_i = 1`, the first `n` labeled `+1` and the rest `−1`, stored clustered.
+pub fn ca_tx_table(n: usize) -> Table {
+    let mut table = Table::new("ca_tx", classification_schema(false));
+    for i in 0..2 * n {
+        let label = if i < n { 1.0 } else { -1.0 };
+        table
+            .insert(vec![Value::Int(i as i64), Value::from(vec![1.0]), Value::Double(label)])
+            .expect("generated row matches schema");
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_generator_honours_config() {
+        let config = DenseClassificationConfig {
+            examples: 200,
+            dimension: 10,
+            positive_fraction: 0.25,
+            ..DenseClassificationConfig::default()
+        };
+        let t = dense_classification("forest_small", config);
+        assert_eq!(t.len(), 200);
+        let positives = t.scan().filter(|r| r.get_double(2) == Some(1.0)).count();
+        assert_eq!(positives, 50);
+        assert!(t
+            .scan()
+            .all(|r| r.get_feature_vector(1).map(|f| f.dimension()) == Some(10)));
+    }
+
+    #[test]
+    fn dense_generator_is_deterministic() {
+        let config = DenseClassificationConfig { examples: 50, dimension: 5, ..Default::default() };
+        let a = dense_classification("a", config);
+        let b = dense_classification("b", config);
+        for (ra, rb) in a.scan().zip(b.scan()) {
+            assert_eq!(ra.get_feature_vector(1), rb.get_feature_vector(1));
+        }
+    }
+
+    #[test]
+    fn clustered_flag_controls_storage_order() {
+        let clustered = dense_classification(
+            "c",
+            DenseClassificationConfig { examples: 100, dimension: 4, ..Default::default() },
+        );
+        let labels: Vec<f64> = clustered.scan().map(|r| r.get_double(2).unwrap()).collect();
+        // All +1s precede all -1s.
+        let first_neg = labels.iter().position(|&l| l < 0.0).unwrap();
+        assert!(labels[first_neg..].iter().all(|&l| l < 0.0));
+
+        let shuffled = dense_classification(
+            "s",
+            DenseClassificationConfig {
+                examples: 100,
+                dimension: 4,
+                clustered_by_label: false,
+                ..Default::default()
+            },
+        );
+        let labels: Vec<f64> = shuffled.scan().map(|r| r.get_double(2).unwrap()).collect();
+        let transitions = labels.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(transitions > 5, "interleaved labels should alternate often");
+    }
+
+    #[test]
+    fn dense_classes_are_linearly_separable_in_expectation() {
+        let config = DenseClassificationConfig {
+            examples: 400,
+            dimension: 8,
+            separation: 2.0,
+            ..Default::default()
+        };
+        let t = dense_classification("sep", config);
+        // Mean positive vector and mean negative vector should differ.
+        let mut pos = vec![0.0; 8];
+        let mut neg = vec![0.0; 8];
+        for row in t.scan() {
+            let x = row.get_feature_vector(1).unwrap().to_dense(8);
+            let target = if row.get_double(2).unwrap() > 0.0 { &mut pos } else { &mut neg };
+            for (t, v) in target.iter_mut().zip(x.as_slice()) {
+                *t += v;
+            }
+        }
+        let diff: f64 = pos.iter().zip(neg.iter()).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 10.0, "class means should differ, diff={diff}");
+    }
+
+    #[test]
+    fn sparse_generator_shapes() {
+        let config = SparseClassificationConfig {
+            examples: 300,
+            vocabulary: 5_000,
+            avg_nnz: 20,
+            informative: 100,
+            ..Default::default()
+        };
+        let t = sparse_classification("dblife_small", config);
+        assert_eq!(t.len(), 300);
+        let max_dim = t
+            .scan()
+            .map(|r| r.get_feature_vector(1).unwrap().dimension())
+            .max()
+            .unwrap();
+        assert!(max_dim <= 5_000);
+        let avg_nnz: f64 = t
+            .scan()
+            .map(|r| r.get_feature_vector(1).unwrap().nnz() as f64)
+            .sum::<f64>()
+            / 300.0;
+        assert!((10.0..=35.0).contains(&avg_nnz), "avg nnz {avg_nnz}");
+    }
+
+    #[test]
+    fn sparse_generator_is_deterministic_and_clusterable() {
+        let config = SparseClassificationConfig { examples: 100, ..Default::default() };
+        let a = sparse_classification("a", config);
+        let b = sparse_classification("b", config);
+        assert_eq!(a.get(3).unwrap().get_feature_vector(1), b.get(3).unwrap().get_feature_vector(1));
+        let labels: Vec<f64> = a.scan().map(|r| r.get_double(2).unwrap()).collect();
+        let first_neg = labels.iter().position(|&l| l < 0.0).unwrap();
+        assert!(labels[first_neg..].iter().all(|&l| l < 0.0));
+    }
+
+    #[test]
+    fn ca_tx_matches_paper_construction() {
+        let t = ca_tx_table(500);
+        assert_eq!(t.len(), 1000);
+        assert!(t.scan().take(500).all(|r| r.get_double(2) == Some(1.0)));
+        assert!(t.scan().skip(500).all(|r| r.get_double(2) == Some(-1.0)));
+        assert!(t
+            .scan()
+            .all(|r| r.get_feature_vector(1).unwrap().dot(&[1.0]) == 1.0));
+    }
+}

@@ -1,0 +1,42 @@
+//! Synthetic dataset generators shaped like the paper's workloads (Table 1).
+//!
+//! The original evaluation uses Forest, DBLife, MovieLens, CoNLL, two large
+//! synthetic sets (Classify300M, Matrix5B) and DBLP. Those exact files are
+//! not redistributable here, so each generator produces data with the same
+//! *shape* — dimensionality, sparsity, label structure, clustering — scaled
+//! to sizes that run on a laptop. The experiments only depend on those shape
+//! properties (see DESIGN.md for the substitution argument).
+//!
+//! All generators are deterministic given their seed.
+
+pub mod classification;
+pub mod ratings;
+pub mod sequences;
+pub mod series;
+pub mod stats;
+
+pub use classification::{
+    ca_tx_table, dense_classification, sparse_classification, DenseClassificationConfig,
+    SparseClassificationConfig,
+};
+pub use ratings::{ratings_table, RatingsConfig};
+pub use sequences::{labeled_sequences, SequenceConfig};
+pub use series::{returns_table, timeseries_table, ReturnsConfig, TimeSeriesConfig};
+pub use stats::{dataset_stats, DatasetStats};
+
+/// Standard column layout of generated classification tables:
+/// `(id INT, vec DENSE_VEC | SPARSE_VEC, label DOUBLE)`.
+pub const CLASSIFICATION_FEATURES_COL: usize = 1;
+/// Position of the label column in generated classification tables.
+pub const CLASSIFICATION_LABEL_COL: usize = 2;
+
+/// Standard column layout of generated rating tables:
+/// `(row INT, col INT, rating DOUBLE)`.
+pub const RATINGS_ROW_COL: usize = 0;
+/// Position of the column index in generated rating tables.
+pub const RATINGS_COL_COL: usize = 1;
+/// Position of the rating value in generated rating tables.
+pub const RATINGS_VALUE_COL: usize = 2;
+
+/// Position of the sentence column in generated sequence tables.
+pub const SEQUENCE_COL: usize = 0;

@@ -1,0 +1,168 @@
+//! Labeled token sequences shaped like the CoNLL-2000 chunking data.
+//!
+//! Each generated row is one sentence: a sequence of (sparse observation
+//! features, gold label) pairs. Observation features correlate with the
+//! label (like word identity / capitalization features in text chunking) and
+//! labels follow a Markov chain (like BIO chunk tags), so both the state and
+//! the transition weights of a linear-chain CRF are informative.
+
+use bismarck_linalg::SparseVector;
+use bismarck_storage::{Column, DataType, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Configuration of the sequence generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SequenceConfig {
+    /// Number of sentences (CoNLL has ~9k).
+    pub sentences: usize,
+    /// Minimum sentence length in tokens.
+    pub min_tokens: usize,
+    /// Maximum sentence length in tokens.
+    pub max_tokens: usize,
+    /// Number of distinct observation features.
+    pub num_features: usize,
+    /// Number of labels (CoNLL chunking uses a handful of BIO tags).
+    pub num_labels: usize,
+    /// Number of features per token.
+    pub features_per_token: usize,
+    /// Probability that a token keeps the previous token's label (Markov
+    /// self-transition; makes transition weights informative).
+    pub label_stickiness: f64,
+    /// Probability that each emitted feature is drawn from the label's own
+    /// feature block rather than background vocabulary.
+    pub feature_fidelity: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SequenceConfig {
+    fn default() -> Self {
+        SequenceConfig {
+            sentences: 1_000,
+            min_tokens: 5,
+            max_tokens: 25,
+            num_features: 2_000,
+            num_labels: 5,
+            features_per_token: 6,
+            label_stickiness: 0.6,
+            feature_fidelity: 0.7,
+            seed: 23,
+        }
+    }
+}
+
+/// Generate a one-column `(sentence SEQUENCE)` table of labeled sequences.
+pub fn labeled_sequences(name: &str, config: SequenceConfig) -> Table {
+    assert!(config.num_labels > 0, "need at least one label");
+    assert!(config.min_tokens > 0 && config.max_tokens >= config.min_tokens, "bad token range");
+    assert!(
+        config.num_features >= config.num_labels,
+        "need at least one feature per label block"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let block = config.num_features / config.num_labels;
+    let schema =
+        Schema::new(vec![Column::new("sentence", DataType::Sequence)]).expect("valid schema");
+    let mut table = Table::new(name, schema);
+    for _ in 0..config.sentences {
+        let len = rng.gen_range(config.min_tokens..=config.max_tokens);
+        let mut label = rng.gen_range(0..config.num_labels) as u32;
+        let mut sentence = Vec::with_capacity(len);
+        for _ in 0..len {
+            if !rng.gen_bool(config.label_stickiness) {
+                label = rng.gen_range(0..config.num_labels) as u32;
+            }
+            let mut pairs = Vec::with_capacity(config.features_per_token);
+            for _ in 0..config.features_per_token {
+                let idx = if rng.gen_bool(config.feature_fidelity) {
+                    // label-specific block
+                    label as usize * block + rng.gen_range(0..block.max(1))
+                } else {
+                    rng.gen_range(0..config.num_features)
+                };
+                pairs.push((idx, 1.0));
+            }
+            sentence.push((SparseVector::from_pairs(pairs), label));
+        }
+        table.insert(vec![Value::Sequence(sentence)]).expect("generated row matches schema");
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_sentences_with_valid_labels() {
+        let config = SequenceConfig { sentences: 50, ..Default::default() };
+        let t = labeled_sequences("conll_small", config);
+        assert_eq!(t.len(), 50);
+        for row in t.scan() {
+            let seq = row.get_sequence(0).unwrap();
+            assert!((config.min_tokens..=config.max_tokens).contains(&seq.len()));
+            for (features, label) in seq {
+                assert!((*label as usize) < config.num_labels);
+                assert!(features.nnz() >= 1);
+                assert!(features.dimension() <= config.num_features);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let config = SequenceConfig { sentences: 10, ..Default::default() };
+        let a = labeled_sequences("a", config);
+        let b = labeled_sequences("b", config);
+        for (ra, rb) in a.scan().zip(b.scan()) {
+            assert_eq!(ra.get_sequence(0), rb.get_sequence(0));
+        }
+    }
+
+    #[test]
+    fn labels_are_sticky() {
+        let config = SequenceConfig {
+            sentences: 100,
+            label_stickiness: 0.9,
+            min_tokens: 20,
+            max_tokens: 20,
+            ..Default::default()
+        };
+        let t = labeled_sequences("sticky", config);
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for row in t.scan() {
+            let seq = row.get_sequence(0).unwrap();
+            for w in seq.windows(2) {
+                total += 1;
+                if w[0].1 == w[1].1 {
+                    same += 1;
+                }
+            }
+        }
+        let frac = same as f64 / total as f64;
+        assert!(frac > 0.8, "self-transition fraction {frac}");
+    }
+
+    #[test]
+    fn features_identify_labels_in_expectation() {
+        let config = SequenceConfig {
+            sentences: 200,
+            feature_fidelity: 1.0,
+            num_features: 100,
+            num_labels: 4,
+            ..Default::default()
+        };
+        let block = 100 / 4;
+        let t = labeled_sequences("faithful", config);
+        for row in t.scan() {
+            for (features, label) in row.get_sequence(0).unwrap() {
+                for (idx, _) in features.iter() {
+                    assert_eq!(idx / block, *label as usize);
+                }
+            }
+        }
+    }
+}

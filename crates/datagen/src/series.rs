@@ -1,0 +1,177 @@
+//! Time-series and asset-return generators for the Kalman and portfolio
+//! tasks of Figure 1(B).
+
+use bismarck_storage::{Column, DataType, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Configuration of the noisy time-series generator (Kalman smoothing).
+#[derive(Debug, Clone, Copy)]
+pub struct TimeSeriesConfig {
+    /// Number of timesteps.
+    pub horizon: usize,
+    /// Dimensionality of each observation.
+    pub state_dim: usize,
+    /// Amplitude of the smooth underlying signal.
+    pub amplitude: f64,
+    /// Standard deviation of the observation noise.
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TimeSeriesConfig {
+    fn default() -> Self {
+        TimeSeriesConfig { horizon: 200, state_dim: 2, amplitude: 1.0, noise: 0.3, seed: 31 }
+    }
+}
+
+/// Generate a `(t INT, obs DENSE_VEC)` table of noisy observations of a
+/// smooth (sinusoidal) latent signal.
+pub fn timeseries_table(name: &str, config: TimeSeriesConfig) -> Table {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schema = Schema::new(vec![
+        Column::new("t", DataType::Int),
+        Column::new("obs", DataType::DenseVec),
+    ])
+    .expect("static schema is valid");
+    let mut table = Table::new(name, schema);
+    for t in 0..config.horizon {
+        let phase = t as f64 / config.horizon.max(1) as f64 * std::f64::consts::TAU;
+        let obs: Vec<f64> = (0..config.state_dim)
+            .map(|k| {
+                config.amplitude * (phase + k as f64).sin()
+                    + rng.gen_range(-config.noise..config.noise.max(1e-12))
+            })
+            .collect();
+        table
+            .insert(vec![Value::Int(t as i64), Value::from(obs)])
+            .expect("generated row matches schema");
+    }
+    table
+}
+
+/// Configuration of the asset-return generator (portfolio optimization).
+#[derive(Debug, Clone)]
+pub struct ReturnsConfig {
+    /// Number of trading days.
+    pub days: usize,
+    /// Per-asset mean daily return.
+    pub mean_returns: Vec<f64>,
+    /// Per-asset return volatility (standard deviation).
+    pub volatilities: Vec<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ReturnsConfig {
+    fn default() -> Self {
+        ReturnsConfig {
+            days: 250,
+            mean_returns: vec![0.08, 0.03, 0.05, 0.01],
+            volatilities: vec![0.25, 0.05, 0.12, 0.01],
+            seed: 37,
+        }
+    }
+}
+
+impl ReturnsConfig {
+    /// Number of assets.
+    pub fn num_assets(&self) -> usize {
+        self.mean_returns.len()
+    }
+}
+
+/// Generate a `(returns DENSE_VEC)` table of daily asset returns with the
+/// configured means and volatilities (independent assets, uniform noise).
+pub fn returns_table(name: &str, config: &ReturnsConfig) -> Table {
+    assert_eq!(
+        config.mean_returns.len(),
+        config.volatilities.len(),
+        "means and volatilities must agree in length"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schema =
+        Schema::new(vec![Column::new("returns", DataType::DenseVec)]).expect("valid schema");
+    let mut table = Table::new(name, schema);
+    for _ in 0..config.days {
+        let r: Vec<f64> = config
+            .mean_returns
+            .iter()
+            .zip(config.volatilities.iter())
+            .map(|(&m, &v)| m + if v > 0.0 { rng.gen_range(-v..v) } else { 0.0 })
+            .collect();
+        table.insert(vec![Value::from(r)]).expect("generated row matches schema");
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeseries_has_one_row_per_timestep() {
+        let config = TimeSeriesConfig { horizon: 50, state_dim: 3, ..Default::default() };
+        let t = timeseries_table("ts", config);
+        assert_eq!(t.len(), 50);
+        for (i, row) in t.scan().enumerate() {
+            assert_eq!(row.get_int(0), Some(i as i64));
+            assert_eq!(row.get_feature_vector(1).unwrap().dimension(), 3);
+        }
+    }
+
+    #[test]
+    fn timeseries_amplitude_bounds_observations() {
+        let config =
+            TimeSeriesConfig { horizon: 100, state_dim: 1, amplitude: 2.0, noise: 0.1, seed: 3 };
+        let t = timeseries_table("amp", config);
+        assert!(t
+            .scan()
+            .all(|r| r.get_feature_vector(1).unwrap().dot(&[1.0]).abs() <= 2.1 + 1e-9));
+    }
+
+    #[test]
+    fn returns_match_asset_count_and_means() {
+        let config = ReturnsConfig::default();
+        let t = returns_table("rets", &config);
+        assert_eq!(t.len(), 250);
+        let n = config.num_assets();
+        let mut sums = vec![0.0; n];
+        for row in t.scan() {
+            let r = row.get_feature_vector(0).unwrap().to_dense(n);
+            for (s, v) in sums.iter_mut().zip(r.as_slice()) {
+                *s += v;
+            }
+        }
+        for (k, s) in sums.iter().enumerate() {
+            let mean = s / 250.0;
+            assert!(
+                (mean - config.mean_returns[k]).abs() < config.volatilities[k] / 2.0 + 0.02,
+                "asset {k} empirical mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = timeseries_table("a", TimeSeriesConfig::default());
+        let b = timeseries_table("b", TimeSeriesConfig::default());
+        assert_eq!(a.get(7).unwrap().get_feature_vector(1), b.get(7).unwrap().get_feature_vector(1));
+        let ra = returns_table("a", &ReturnsConfig::default());
+        let rb = returns_table("b", &ReturnsConfig::default());
+        assert_eq!(ra.get(3).unwrap().get_feature_vector(0), rb.get(3).unwrap().get_feature_vector(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "agree in length")]
+    fn mismatched_returns_config_panics() {
+        let config = ReturnsConfig {
+            mean_returns: vec![0.1],
+            volatilities: vec![0.1, 0.2],
+            ..Default::default()
+        };
+        returns_table("bad", &config);
+    }
+}

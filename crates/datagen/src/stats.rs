@@ -1,0 +1,77 @@
+//! Dataset statistics in the style of Table 1.
+
+use bismarck_storage::Table;
+
+/// A Table 1 style row: dataset name, dimensionality, example count and
+/// approximate size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset / table name.
+    pub name: String,
+    /// Human-readable dimension description (e.g. `"54"` or `"6k x 4k"`).
+    pub dimension: String,
+    /// Number of examples (rows).
+    pub examples: usize,
+    /// Approximate size in bytes.
+    pub bytes: usize,
+}
+
+impl DatasetStats {
+    /// Approximate size rendered like the paper's Table 1 (`"77M"`, `"2.7M"`).
+    pub fn size_label(&self) -> String {
+        let b = self.bytes as f64;
+        if b >= 1e9 {
+            format!("{:.1}G", b / 1e9)
+        } else if b >= 1e6 {
+            format!("{:.1}M", b / 1e6)
+        } else if b >= 1e3 {
+            format!("{:.1}K", b / 1e3)
+        } else {
+            format!("{}B", self.bytes)
+        }
+    }
+}
+
+/// Compute statistics for a generated table. `dimension` is supplied by the
+/// caller because it is a property of the workload (e.g. `"6k x 4k"` for a
+/// rating matrix), not derivable from the rows alone.
+pub fn dataset_stats(table: &Table, dimension: impl Into<String>) -> DatasetStats {
+    DatasetStats {
+        name: table.name().to_string(),
+        dimension: dimension.into(),
+        examples: table.len(),
+        bytes: table.approx_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classification::{dense_classification, DenseClassificationConfig};
+
+    #[test]
+    fn stats_reflect_table_contents() {
+        let config = DenseClassificationConfig { examples: 100, dimension: 10, ..Default::default() };
+        let table = dense_classification("forest_tiny", config);
+        let stats = dataset_stats(&table, "10");
+        assert_eq!(stats.name, "forest_tiny");
+        assert_eq!(stats.examples, 100);
+        assert_eq!(stats.dimension, "10");
+        // 100 rows x (8 id + 10*8+16 vec + 8 label) ~ 11k bytes
+        assert!(stats.bytes > 5_000 && stats.bytes < 50_000, "bytes {}", stats.bytes);
+    }
+
+    #[test]
+    fn size_labels_scale() {
+        let mk = |bytes| DatasetStats {
+            name: "x".into(),
+            dimension: "1".into(),
+            examples: 0,
+            bytes,
+        };
+        assert_eq!(mk(500).size_label(), "500B");
+        assert_eq!(mk(2_500).size_label(), "2.5K");
+        assert_eq!(mk(77_000_000).size_label(), "77.0M");
+        assert_eq!(mk(3_000_000_000).size_label(), "3.0G");
+    }
+}

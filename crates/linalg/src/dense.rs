@@ -1,0 +1,227 @@
+//! Dense, owned `f64` vectors.
+//!
+//! `DenseVector` is the representation of models (the UDA `state` in the
+//! paper) and of dense feature columns such as the Forest dataset's 54
+//! cartographic attributes.
+
+use crate::ops;
+
+/// A dense vector of `f64` values.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DenseVector {
+    values: Vec<f64>,
+}
+
+impl DenseVector {
+    /// Create a zero vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        DenseVector { values: vec![0.0; n] }
+    }
+
+    /// Create a vector filled with `value`.
+    pub fn filled(n: usize, value: f64) -> Self {
+        DenseVector { values: vec![value; n] }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the vector has zero components.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Borrow the underlying slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutably borrow the underlying slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Consume into the underlying `Vec`.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Grow (zero-padding) or shrink to exactly `n` components.
+    pub fn resize(&mut self, n: usize) {
+        self.values.resize(n, 0.0);
+    }
+
+    /// Component access; returns 0.0 out of range so models can be probed by
+    /// feature index without bounds bookkeeping at call sites.
+    pub fn get(&self, i: usize) -> f64 {
+        self.values.get(i).copied().unwrap_or(0.0)
+    }
+
+    /// Set component `i`, growing the vector if needed.
+    pub fn set(&mut self, i: usize, v: f64) {
+        if i >= self.values.len() {
+            self.values.resize(i + 1, 0.0);
+        }
+        self.values[i] = v;
+    }
+
+    /// Dot product with another dense vector.
+    pub fn dot(&self, other: &DenseVector) -> f64 {
+        ops::dot(&self.values, &other.values)
+    }
+
+    /// `self += c * other`.
+    pub fn scale_and_add(&mut self, other: &DenseVector, c: f64) {
+        if other.len() > self.len() {
+            self.resize(other.len());
+        }
+        ops::scale_and_add(&mut self.values, &other.values, c);
+    }
+
+    /// `self *= c`.
+    pub fn scale(&mut self, c: f64) {
+        ops::scale(&mut self.values, c);
+    }
+
+    /// Euclidean norm.
+    pub fn norm2(&self) -> f64 {
+        ops::norm2(&self.values)
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm2_sq(&self) -> f64 {
+        ops::norm2_sq(&self.values)
+    }
+
+    /// L1 norm.
+    pub fn norm1(&self) -> f64 {
+        ops::norm1(&self.values)
+    }
+
+    /// Squared Euclidean distance to another vector.
+    pub fn dist_sq(&self, other: &DenseVector) -> f64 {
+        ops::dist_sq(&self.values, &other.values)
+    }
+
+    /// Element-wise average of two vectors (used by the PureUDA merge step).
+    pub fn average_with(&mut self, other: &DenseVector, self_weight: f64, other_weight: f64) {
+        let total = self_weight + other_weight;
+        if total <= 0.0 {
+            return;
+        }
+        if other.len() > self.len() {
+            self.resize(other.len());
+        }
+        let n = self.len().min(other.len());
+        for i in 0..n {
+            self.values[i] =
+                (self.values[i] * self_weight + other.values[i] * other_weight) / total;
+        }
+        // Components present only in `self` keep only their weighted share.
+        for i in n..self.len() {
+            self.values[i] = self.values[i] * self_weight / total;
+        }
+    }
+}
+
+impl From<Vec<f64>> for DenseVector {
+    fn from(values: Vec<f64>) -> Self {
+        DenseVector { values }
+    }
+}
+
+impl From<&[f64]> for DenseVector {
+    fn from(values: &[f64]) -> Self {
+        DenseVector { values: values.to_vec() }
+    }
+}
+
+impl std::ops::Index<usize> for DenseVector {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.values[i]
+    }
+}
+
+impl std::ops::IndexMut<usize> for DenseVector {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.values[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_filled() {
+        assert_eq!(DenseVector::zeros(3).as_slice(), &[0.0, 0.0, 0.0]);
+        assert_eq!(DenseVector::filled(2, 1.5).as_slice(), &[1.5, 1.5]);
+        assert!(DenseVector::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn get_out_of_range_is_zero() {
+        let v = DenseVector::from(vec![1.0]);
+        assert_eq!(v.get(0), 1.0);
+        assert_eq!(v.get(5), 0.0);
+    }
+
+    #[test]
+    fn set_grows() {
+        let mut v = DenseVector::zeros(1);
+        v.set(3, 2.0);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.get(3), 2.0);
+    }
+
+    #[test]
+    fn scale_and_add_grows_to_other() {
+        let mut v = DenseVector::from(vec![1.0]);
+        v.scale_and_add(&DenseVector::from(vec![1.0, 2.0]), 2.0);
+        assert_eq!(v.as_slice(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn norms_and_distance() {
+        let v = DenseVector::from(vec![3.0, 4.0]);
+        assert!((v.norm2() - 5.0).abs() < 1e-12);
+        assert!((v.norm2_sq() - 25.0).abs() < 1e-12);
+        assert!((v.norm1() - 7.0).abs() < 1e-12);
+        let u = DenseVector::zeros(2);
+        assert!((v.dist_sq(&u) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_with_equal_weights_is_midpoint() {
+        let mut a = DenseVector::from(vec![2.0, 0.0]);
+        let b = DenseVector::from(vec![0.0, 2.0]);
+        a.average_with(&b, 1.0, 1.0);
+        assert_eq!(a.as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn average_with_weighted() {
+        let mut a = DenseVector::from(vec![0.0]);
+        let b = DenseVector::from(vec![4.0]);
+        a.average_with(&b, 3.0, 1.0);
+        assert!((a[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_with_zero_total_weight_is_noop() {
+        let mut a = DenseVector::from(vec![1.0]);
+        let b = DenseVector::from(vec![5.0]);
+        a.average_with(&b, 0.0, 0.0);
+        assert_eq!(a.as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn index_ops() {
+        let mut v = DenseVector::from(vec![1.0, 2.0]);
+        v[1] = 7.0;
+        assert_eq!(v[1], 7.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Row-major factor matrices for low-rank matrix factorization (LMF).
+//!
+//! The recommendation task of Figure 1(B) factorizes a partially observed
+//! matrix `M ≈ Lᵀ R` where `L` has one rank-`r` column per row of `M` and `R`
+//! one per column. We store each factor as a row-major matrix whose row `i`
+//! is the rank-`r` latent vector of entity `i`.
+
+use crate::ops;
+
+/// A dense row-major matrix of shape `rows x rank`, used for the `L` and `R`
+/// factors of low-rank matrix factorization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactorMatrix {
+    rows: usize,
+    rank: usize,
+    data: Vec<f64>,
+}
+
+impl FactorMatrix {
+    /// A `rows x rank` matrix of zeros.
+    pub fn zeros(rows: usize, rank: usize) -> Self {
+        FactorMatrix { rows, rank, data: vec![0.0; rows * rank] }
+    }
+
+    /// A `rows x rank` matrix with every entry set to `value`.
+    pub fn filled(rows: usize, rank: usize, value: f64) -> Self {
+        FactorMatrix { rows, rank, data: vec![value; rows * rank] }
+    }
+
+    /// Build from a closure mapping `(row, k)` to a value; used to seed
+    /// factors with small pseudo-random values.
+    pub fn from_fn(rows: usize, rank: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * rank);
+        for r in 0..rows {
+            for k in 0..rank {
+                data.push(f(r, k));
+            }
+        }
+        FactorMatrix { rows, rank, data }
+    }
+
+    /// Number of rows (entities).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Latent dimensionality.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Borrow row `i` as a slice of length `rank`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        let start = i * self.rank;
+        &self.data[start..start + self.rank]
+    }
+
+    /// Mutably borrow row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        let start = i * self.rank;
+        &mut self.data[start..start + self.rank]
+    }
+
+    /// Flat view of the underlying data (row-major).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Flat mutable view of the underlying data (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Predicted value for cell `(i, j)` given the other factor: the dot
+    /// product `L_i . R_j`.
+    pub fn predict(&self, other: &FactorMatrix, i: usize, j: usize) -> f64 {
+        ops::dot(self.row(i), other.row(j))
+    }
+
+    /// Squared Frobenius norm, the `‖L,R‖_F²` regularizer of Figure 1(B).
+    pub fn frobenius_sq(&self) -> f64 {
+        ops::norm2_sq(&self.data)
+    }
+
+    /// Element-wise weighted average with another factor matrix of identical
+    /// shape; used by the PureUDA merge step for LMF.
+    pub fn average_with(&mut self, other: &FactorMatrix, self_weight: f64, other_weight: f64) {
+        assert_eq!(self.rows, other.rows, "factor matrices must agree in rows");
+        assert_eq!(self.rank, other.rank, "factor matrices must agree in rank");
+        let total = self_weight + other_weight;
+        if total <= 0.0 {
+            return;
+        }
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a = (*a * self_weight + *b * other_weight) / total;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape() {
+        let m = FactorMatrix::zeros(3, 2);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.rank(), 2);
+        assert_eq!(m.as_slice().len(), 6);
+    }
+
+    #[test]
+    fn from_fn_row_major_layout() {
+        let m = FactorMatrix::from_fn(2, 3, |r, k| (r * 10 + k) as f64);
+        assert_eq!(m.row(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn predict_is_row_dot() {
+        let l = FactorMatrix::from_fn(2, 2, |r, k| (r + k) as f64);
+        let r = FactorMatrix::from_fn(3, 2, |row, k| (row * k) as f64 + 1.0);
+        // l.row(1) = [1,2]; r.row(2) = [1,3]; dot = 7
+        assert!((l.predict(&r, 1, 2) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frobenius_sq() {
+        let m = FactorMatrix::filled(2, 2, 2.0);
+        assert!((m.frobenius_sq() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_mut_updates_only_that_row() {
+        let mut m = FactorMatrix::zeros(2, 2);
+        m.row_mut(1)[0] = 5.0;
+        assert_eq!(m.row(0), &[0.0, 0.0]);
+        assert_eq!(m.row(1), &[5.0, 0.0]);
+    }
+
+    #[test]
+    fn average_with_midpoint() {
+        let mut a = FactorMatrix::filled(1, 2, 0.0);
+        let b = FactorMatrix::filled(1, 2, 4.0);
+        a.average_with(&b, 1.0, 1.0);
+        assert_eq!(a.row(0), &[2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows")]
+    fn average_with_mismatched_shapes_panics() {
+        let mut a = FactorMatrix::zeros(1, 2);
+        let b = FactorMatrix::zeros(2, 2);
+        a.average_with(&b, 1.0, 1.0);
+    }
+}

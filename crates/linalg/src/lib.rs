@@ -1,0 +1,168 @@
+//! Vector and matrix primitives used throughout the Bismarck reproduction.
+//!
+//! The paper's transition functions are written in terms of a handful of
+//! kernels — `Dot_Product`, `Scale_And_Add`, `Sigmoid` (Figure 4) — applied to
+//! either dense feature vectors (e.g. the Forest dataset) or sparse ones
+//! (e.g. DBLife, CoNLL). This crate provides those kernels together with the
+//! small amount of matrix machinery needed for low-rank matrix factorization
+//! and linear-chain CRFs.
+//!
+//! Everything here is deliberately dependency-free and allocation-conscious:
+//! the transition function runs once per tuple per epoch, so it is the hot
+//! loop of the whole system.
+
+pub mod dense;
+pub mod factor;
+pub mod ops;
+pub mod projection;
+pub mod sparse;
+
+pub use dense::DenseVector;
+pub use factor::FactorMatrix;
+pub use ops::{log1p_exp, log_sum_exp, sigmoid};
+pub use projection::{project_l1_ball, project_l2_ball, project_simplex};
+pub use sparse::SparseVector;
+
+/// A feature vector that is either dense or sparse.
+///
+/// Tasks such as logistic regression and SVM are written once against this
+/// enum so the same transition code handles both the dense Forest-like and
+/// sparse DBLife-like datasets, mirroring how the paper's C implementation
+/// dispatches on the input column type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FeatureVector {
+    /// Dense feature values, index `i` holds feature `i`.
+    Dense(DenseVector),
+    /// Sparse feature values as sorted (index, value) pairs.
+    Sparse(SparseVector),
+}
+
+impl FeatureVector {
+    /// Dot product with a dense model vector.
+    #[inline]
+    pub fn dot(&self, w: &[f64]) -> f64 {
+        match self {
+            FeatureVector::Dense(x) => ops::dot(x.as_slice(), w),
+            FeatureVector::Sparse(x) => x.dot_dense(w),
+        }
+    }
+
+    /// `w += c * x`, the `Scale_And_Add` kernel from Figure 4.
+    #[inline]
+    pub fn scale_and_add_into(&self, w: &mut [f64], c: f64) {
+        match self {
+            FeatureVector::Dense(x) => ops::scale_and_add(w, x.as_slice(), c),
+            FeatureVector::Sparse(x) => x.scale_and_add_into(w, c),
+        }
+    }
+
+    /// Number of logical dimensions (highest index + 1 for sparse vectors).
+    pub fn dimension(&self) -> usize {
+        match self {
+            FeatureVector::Dense(x) => x.len(),
+            FeatureVector::Sparse(x) => x.dimension(),
+        }
+    }
+
+    /// Number of stored (possibly zero) entries.
+    pub fn nnz(&self) -> usize {
+        match self {
+            FeatureVector::Dense(x) => x.len(),
+            FeatureVector::Sparse(x) => x.nnz(),
+        }
+    }
+
+    /// Squared Euclidean norm of the feature vector.
+    pub fn norm_sq(&self) -> f64 {
+        match self {
+            FeatureVector::Dense(x) => ops::dot(x.as_slice(), x.as_slice()),
+            FeatureVector::Sparse(x) => x.norm_sq(),
+        }
+    }
+
+    /// Materialize into a dense vector of dimension `dim`.
+    pub fn to_dense(&self, dim: usize) -> DenseVector {
+        match self {
+            FeatureVector::Dense(x) => {
+                let mut v = x.clone();
+                v.resize(dim);
+                v
+            }
+            FeatureVector::Sparse(x) => x.to_dense(dim),
+        }
+    }
+
+    /// Iterate over (index, value) pairs of the stored entries.
+    pub fn iter_entries(&self) -> Box<dyn Iterator<Item = (usize, f64)> + '_> {
+        match self {
+            FeatureVector::Dense(x) => {
+                Box::new(x.as_slice().iter().copied().enumerate())
+            }
+            FeatureVector::Sparse(x) => Box::new(x.iter()),
+        }
+    }
+}
+
+impl From<DenseVector> for FeatureVector {
+    fn from(v: DenseVector) -> Self {
+        FeatureVector::Dense(v)
+    }
+}
+
+impl From<SparseVector> for FeatureVector {
+    fn from(v: SparseVector) -> Self {
+        FeatureVector::Sparse(v)
+    }
+}
+
+impl From<Vec<f64>> for FeatureVector {
+    fn from(v: Vec<f64>) -> Self {
+        FeatureVector::Dense(DenseVector::from(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_vector_dispatches_dot() {
+        let dense = FeatureVector::from(vec![1.0, 2.0, 3.0]);
+        let sparse = FeatureVector::Sparse(SparseVector::from_pairs(vec![(0, 1.0), (2, 3.0)]));
+        let w = [2.0, 0.5, 1.0];
+        assert!((dense.dot(&w) - 6.0).abs() < 1e-12);
+        assert!((sparse.dot(&w) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feature_vector_scale_and_add() {
+        let sparse = FeatureVector::Sparse(SparseVector::from_pairs(vec![(1, 2.0)]));
+        let mut w = vec![0.0; 3];
+        sparse.scale_and_add_into(&mut w, 0.5);
+        assert_eq!(w, vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn feature_vector_dimension_and_nnz() {
+        let dense = FeatureVector::from(vec![1.0, 0.0, 3.0]);
+        assert_eq!(dense.dimension(), 3);
+        assert_eq!(dense.nnz(), 3);
+        let sparse = FeatureVector::Sparse(SparseVector::from_pairs(vec![(4, 1.0)]));
+        assert_eq!(sparse.dimension(), 5);
+        assert_eq!(sparse.nnz(), 1);
+    }
+
+    #[test]
+    fn feature_vector_to_dense_pads() {
+        let sparse = FeatureVector::Sparse(SparseVector::from_pairs(vec![(1, 2.0)]));
+        let dense = sparse.to_dense(4);
+        assert_eq!(dense.as_slice(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn iter_entries_matches_norm() {
+        let fv = FeatureVector::from(vec![3.0, 4.0]);
+        let sum: f64 = fv.iter_entries().map(|(_, v)| v * v).sum();
+        assert!((sum - fv.norm_sq()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,208 @@
+//! Scalar and dense-slice kernels: the `Dot_Product`, `Scale_And_Add` and
+//! `Sigmoid` primitives of Figure 4, plus numerically-stable log-sum-exp used
+//! by the CRF task.
+
+/// Dot product of two equally-long slices.
+///
+/// The shorter length is used if the slices disagree so the kernel never
+/// panics on ragged inputs (the storage layer validates dimensions upstream).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+
+/// `w += c * x` over dense slices (`Scale_And_Add` in the paper's Figure 4).
+#[inline]
+pub fn scale_and_add(w: &mut [f64], x: &[f64], c: f64) {
+    let n = w.len().min(x.len());
+    for i in 0..n {
+        w[i] += c * x[i];
+    }
+}
+
+/// Scale a vector in place: `w *= c`.
+#[inline]
+pub fn scale(w: &mut [f64], c: f64) {
+    for v in w.iter_mut() {
+        *v *= c;
+    }
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean norm.
+#[inline]
+pub fn norm2_sq(a: &[f64]) -> f64 {
+    dot(a, a)
+}
+
+/// L1 norm.
+#[inline]
+pub fn norm1(a: &[f64]) -> f64 {
+    a.iter().map(|v| v.abs()).sum()
+}
+
+/// Squared Euclidean distance between two slices.
+#[inline]
+pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let mut acc = 0.0;
+    for i in 0..n {
+        let d = a[i] - b[i];
+        acc += d * d;
+    }
+    acc
+}
+
+/// The logistic sigmoid `1 / (1 + exp(-z))`, evaluated without overflow for
+/// large `|z|`.
+#[inline]
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        let e = (-z).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// `log(1 + exp(z))` evaluated without overflow; the logistic loss of a
+/// single example is `log1p_exp(-y * w.x)`.
+#[inline]
+pub fn log1p_exp(z: f64) -> f64 {
+    if z > 35.0 {
+        // exp(z) dominates; log(1+exp(z)) ~ z
+        z
+    } else if z < -35.0 {
+        // exp(z) ~ 0
+        z.exp()
+    } else {
+        z.exp().ln_1p()
+    }
+}
+
+/// Numerically stable `log(sum_i exp(xs[i]))`.
+///
+/// Returns negative infinity for an empty slice, matching the convention
+/// `log(0) = -inf` so callers can fold sequences without special cases.
+#[inline]
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if m.is_infinite() {
+        return m;
+    }
+    let sum: f64 = xs.iter().map(|x| (x - m).exp()).sum();
+    m + sum.ln()
+}
+
+/// Soft-thresholding operator used by the L1 (lasso) proximal step:
+/// `sign(z) * max(|z| - t, 0)`.
+#[inline]
+pub fn soft_threshold(z: f64, t: f64) -> f64 {
+    if z > t {
+        z - t
+    } else if z < -t {
+        z + t
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert!((dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]) - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_ragged_uses_shorter() {
+        assert!((dot(&[1.0, 2.0], &[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_and_add_basic() {
+        let mut w = vec![1.0, 1.0];
+        scale_and_add(&mut w, &[2.0, -1.0], 0.5);
+        assert_eq!(w, vec![2.0, 0.5]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut w = vec![2.0, -4.0];
+        scale(&mut w, 0.5);
+        assert_eq!(w, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert!((norm2_sq(&[3.0, 4.0]) - 25.0).abs() < 1e-12);
+        assert!((norm1(&[3.0, -4.0]) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dist_sq_basic() {
+        assert!((dist_sq(&[1.0, 1.0], &[4.0, 5.0]) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigmoid_is_bounded_and_symmetric() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        let z = 1.7;
+        assert!((sigmoid(z) + sigmoid(-z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log1p_exp_matches_naive_in_safe_range() {
+        for &z in &[-10.0, -1.0, 0.0, 1.0, 10.0] {
+            let naive = (1.0f64 + f64::exp(z)).ln();
+            assert!((log1p_exp(z) - naive).abs() < 1e-9, "z={z}");
+        }
+    }
+
+    #[test]
+    fn log1p_exp_large_inputs_do_not_overflow() {
+        assert!((log1p_exp(1000.0) - 1000.0).abs() < 1e-9);
+        assert!(log1p_exp(-1000.0) >= 0.0);
+        assert!(log1p_exp(-1000.0) < 1e-300);
+    }
+
+    #[test]
+    fn log_sum_exp_matches_naive() {
+        let xs = [0.1, -2.0, 3.5];
+        let naive = xs.iter().map(|x: &f64| x.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&xs) - naive).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_sum_exp_empty_and_large() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+        let big = [1000.0, 1000.0];
+        assert!((log_sum_exp(&big) - (1000.0 + 2.0f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn soft_threshold_cases() {
+        assert_eq!(soft_threshold(3.0, 1.0), 2.0);
+        assert_eq!(soft_threshold(-3.0, 1.0), -2.0);
+        assert_eq!(soft_threshold(0.5, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Euclidean projections used as proximal-point operators (Appendix A).
+//!
+//! The paper's step rule `w ← Π_{αP}(w − α ∇f_i(w))` needs, for the tasks of
+//! Figure 1(B):
+//! * projection onto the probability simplex Δ (portfolio optimization),
+//! * projection onto an L2 ball (norm constraints on classifiers),
+//! * the soft-thresholding / L1-ball machinery behind `µ‖w‖₁` regularizers.
+
+use crate::ops::soft_threshold;
+
+/// Project `w` onto the probability simplex `{ w : w_i >= 0, Σ w_i = 1 }`.
+///
+/// Uses the classic sort-based algorithm (Held, Wolfe & Crowder). The empty
+/// vector is returned unchanged.
+pub fn project_simplex(w: &mut [f64]) {
+    let n = w.len();
+    if n == 0 {
+        return;
+    }
+    let mut sorted: Vec<f64> = w.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let mut cumsum = 0.0;
+    let mut rho = 0usize;
+    let mut rho_cumsum = 0.0;
+    for (k, &v) in sorted.iter().enumerate() {
+        cumsum += v;
+        let t = (cumsum - 1.0) / (k as f64 + 1.0);
+        if v - t > 0.0 {
+            rho = k + 1;
+            rho_cumsum = cumsum;
+        }
+    }
+    // rho is at least 1 because the largest element always satisfies the test.
+    let theta = (rho_cumsum - 1.0) / rho as f64;
+    for v in w.iter_mut() {
+        *v = (*v - theta).max(0.0);
+    }
+}
+
+/// Project `w` onto the Euclidean ball of the given `radius` centered at the
+/// origin. Vectors already inside the ball are left untouched.
+pub fn project_l2_ball(w: &mut [f64], radius: f64) {
+    assert!(radius >= 0.0, "radius must be non-negative");
+    let norm = crate::ops::norm2(w);
+    if norm > radius && norm > 0.0 {
+        let scale = radius / norm;
+        for v in w.iter_mut() {
+            *v *= scale;
+        }
+    }
+}
+
+/// Project `w` onto the L1 ball of the given `radius`.
+///
+/// Implemented by projecting `|w|` onto the simplex scaled by `radius` and
+/// restoring signs; vectors already inside the ball are unchanged.
+pub fn project_l1_ball(w: &mut [f64], radius: f64) {
+    assert!(radius >= 0.0, "radius must be non-negative");
+    let l1: f64 = w.iter().map(|v| v.abs()).sum();
+    if l1 <= radius || w.is_empty() {
+        return;
+    }
+    if radius == 0.0 {
+        for v in w.iter_mut() {
+            *v = 0.0;
+        }
+        return;
+    }
+    let mut abs: Vec<f64> = w.iter().map(|v| v.abs() / radius).collect();
+    project_simplex(&mut abs);
+    for (v, a) in w.iter_mut().zip(abs.iter()) {
+        *v = v.signum() * a * radius;
+    }
+}
+
+/// Apply element-wise soft-thresholding with threshold `t >= 0`; this is the
+/// proximal operator of `t * ‖w‖₁` and implements the `µ‖w‖₁` penalty of the
+/// LR and SVM objectives in Figure 1(B).
+pub fn soft_threshold_vec(w: &mut [f64], t: f64) {
+    assert!(t >= 0.0, "threshold must be non-negative");
+    for v in w.iter_mut() {
+        *v = soft_threshold(*v, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{norm1, norm2};
+
+    fn assert_on_simplex(w: &[f64]) {
+        assert!(w.iter().all(|&v| v >= -1e-12), "non-negative: {w:?}");
+        let s: f64 = w.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9, "sums to one: {s}");
+    }
+
+    #[test]
+    fn simplex_projection_of_simplex_point_is_identity() {
+        let mut w = vec![0.2, 0.3, 0.5];
+        let orig = w.clone();
+        project_simplex(&mut w);
+        for (a, b) in w.iter().zip(orig.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn simplex_projection_produces_simplex_point() {
+        let mut w = vec![2.0, -1.0, 0.5, 3.0];
+        project_simplex(&mut w);
+        assert_on_simplex(&w);
+    }
+
+    #[test]
+    fn simplex_projection_uniform_for_equal_inputs() {
+        let mut w = vec![5.0; 4];
+        project_simplex(&mut w);
+        for &v in &w {
+            assert!((v - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn simplex_projection_single_element() {
+        let mut w = vec![-3.0];
+        project_simplex(&mut w);
+        assert!((w[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simplex_projection_empty_is_noop() {
+        let mut w: Vec<f64> = vec![];
+        project_simplex(&mut w);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn l2_ball_projection_shrinks_outside_points() {
+        let mut w = vec![3.0, 4.0];
+        project_l2_ball(&mut w, 1.0);
+        assert!((norm2(&w) - 1.0).abs() < 1e-9);
+        // direction preserved
+        assert!((w[0] / w[1] - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l2_ball_projection_keeps_inside_points() {
+        let mut w = vec![0.1, 0.2];
+        let orig = w.clone();
+        project_l2_ball(&mut w, 1.0);
+        assert_eq!(w, orig);
+    }
+
+    #[test]
+    fn l1_ball_projection_reduces_norm_to_radius() {
+        let mut w = vec![3.0, -4.0, 0.5];
+        project_l1_ball(&mut w, 2.0);
+        assert!(norm1(&w) <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn l1_ball_projection_keeps_inside_points_and_zero_radius() {
+        let mut w = vec![0.5, -0.5];
+        let orig = w.clone();
+        project_l1_ball(&mut w, 2.0);
+        assert_eq!(w, orig);
+        project_l1_ball(&mut w, 0.0);
+        assert_eq!(w, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn soft_threshold_vec_shrinks_towards_zero() {
+        let mut w = vec![2.0, -0.5, -3.0];
+        soft_threshold_vec(&mut w, 1.0);
+        assert_eq!(w, vec![1.0, 0.0, -2.0]);
+    }
+}

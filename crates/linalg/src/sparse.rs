@@ -1,0 +1,192 @@
+//! Sparse vectors stored as sorted (index, value) pairs.
+//!
+//! The DBLife, CoNLL and DBLP datasets of Table 1 are "in sparse-vector
+//! format"; sparse updates are also what makes the Hogwild!-style NoLock
+//! parallelism effective (conflicting writes are rare when each example
+//! touches few coordinates).
+
+use crate::dense::DenseVector;
+
+/// A sparse `f64` vector: strictly increasing indices with their values.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseVector {
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl SparseVector {
+    /// Empty sparse vector.
+    pub fn new() -> Self {
+        SparseVector::default()
+    }
+
+    /// Build from (index, value) pairs. Pairs are sorted and duplicate
+    /// indices are summed, so any insertion order is accepted.
+    pub fn from_pairs(mut pairs: Vec<(usize, f64)>) -> Self {
+        pairs.sort_by_key(|&(i, _)| i);
+        let mut indices = Vec::with_capacity(pairs.len());
+        let mut values: Vec<f64> = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            if let Some(&last) = indices.last() {
+                if last == i as u32 {
+                    *values.last_mut().expect("values tracks indices") += v;
+                    continue;
+                }
+            }
+            indices.push(i as u32);
+            values.push(v);
+        }
+        SparseVector { indices, values }
+    }
+
+    /// Build from parallel index/value arrays that are already sorted by
+    /// strictly increasing index. Panics in debug builds if they are not.
+    pub fn from_sorted(indices: Vec<u32>, values: Vec<f64>) -> Self {
+        debug_assert_eq!(indices.len(), values.len());
+        debug_assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        SparseVector { indices, values }
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the vector stores no entries.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Logical dimension: one past the largest stored index (0 when empty).
+    pub fn dimension(&self) -> usize {
+        self.indices.last().map(|&i| i as usize + 1).unwrap_or(0)
+    }
+
+    /// Stored indices.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Stored values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterate over (index, value) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.indices
+            .iter()
+            .zip(self.values.iter())
+            .map(|(&i, &v)| (i as usize, v))
+    }
+
+    /// Value at logical index `i` (0.0 if not stored).
+    pub fn get(&self, i: usize) -> f64 {
+        match self.indices.binary_search(&(i as u32)) {
+            Ok(pos) => self.values[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Dot product against a dense model slice. Indices beyond the model's
+    /// length contribute zero (the model is logically zero-padded).
+    pub fn dot_dense(&self, w: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (&i, &v) in self.indices.iter().zip(self.values.iter()) {
+            if let Some(&wi) = w.get(i as usize) {
+                acc += wi * v;
+            }
+        }
+        acc
+    }
+
+    /// `w += c * self`, touching only the stored coordinates. Indices beyond
+    /// `w.len()` are ignored (callers size the model to the data dimension).
+    pub fn scale_and_add_into(&self, w: &mut [f64], c: f64) {
+        for (&i, &v) in self.indices.iter().zip(self.values.iter()) {
+            if let Some(slot) = w.get_mut(i as usize) {
+                *slot += c * v;
+            }
+        }
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm_sq(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+
+    /// Materialize into a dense vector of dimension `dim` (at least the
+    /// sparse vector's own dimension).
+    pub fn to_dense(&self, dim: usize) -> DenseVector {
+        let n = dim.max(self.dimension());
+        let mut out = DenseVector::zeros(n);
+        for (i, v) in self.iter() {
+            out.as_mut_slice()[i] = v;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sorts_and_merges_duplicates() {
+        let v = SparseVector::from_pairs(vec![(3, 1.0), (1, 2.0), (3, 0.5)]);
+        assert_eq!(v.indices(), &[1, 3]);
+        assert_eq!(v.values(), &[2.0, 1.5]);
+        assert_eq!(v.nnz(), 2);
+    }
+
+    #[test]
+    fn dimension_of_empty_is_zero() {
+        assert_eq!(SparseVector::new().dimension(), 0);
+        assert!(SparseVector::new().is_empty());
+    }
+
+    #[test]
+    fn get_returns_stored_or_zero() {
+        let v = SparseVector::from_pairs(vec![(2, 5.0)]);
+        assert_eq!(v.get(2), 5.0);
+        assert_eq!(v.get(0), 0.0);
+        assert_eq!(v.get(100), 0.0);
+    }
+
+    #[test]
+    fn dot_dense_ignores_out_of_range() {
+        let v = SparseVector::from_pairs(vec![(0, 1.0), (5, 10.0)]);
+        let w = [2.0, 0.0, 0.0];
+        assert!((v.dot_dense(&w) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_and_add_touches_only_stored() {
+        let v = SparseVector::from_pairs(vec![(1, 2.0), (9, 1.0)]);
+        let mut w = vec![0.0; 3];
+        v.scale_and_add_into(&mut w, 3.0);
+        assert_eq!(w, vec![0.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn to_dense_roundtrip() {
+        let v = SparseVector::from_pairs(vec![(1, 2.0), (3, -1.0)]);
+        let d = v.to_dense(4);
+        assert_eq!(d.as_slice(), &[0.0, 2.0, 0.0, -1.0]);
+        assert!((v.norm_sq() - d.norm2_sq()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_dense_respects_requested_dim() {
+        let v = SparseVector::from_pairs(vec![(1, 2.0)]);
+        assert_eq!(v.to_dense(5).len(), 5);
+        // Requested dim smaller than actual dimension is still large enough.
+        assert_eq!(v.to_dense(0).len(), 2);
+    }
+
+    #[test]
+    fn from_sorted_accepts_valid_input() {
+        let v = SparseVector::from_sorted(vec![0, 2], vec![1.0, 2.0]);
+        assert_eq!(v.get(2), 2.0);
+    }
+}

@@ -1,0 +1,1006 @@
+//! Statement execution: a [`SqlSession`] owns a [`Database`] and runs parsed
+//! statements against it.
+
+use bismarck_core::TrainerConfig;
+use bismarck_storage::{Column, Database, DataType, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::analytics::{execute_analytics, is_analytics_function};
+use crate::ast::{CopyDirection, Expr, OrderKey, SelectItem, SelectStatement, Statement};
+use crate::error::{Result, SqlError};
+use crate::eval::{compare_values, evaluate, evaluate_grouped, is_truthy, EvalContext, RowContext};
+use crate::parser::{parse_script, parse_statement};
+use crate::result::QueryResult;
+
+/// Default RNG seed so `ORDER BY RANDOM()` and `RANDOM()` are reproducible
+/// unless the caller overrides the seed.
+const DEFAULT_SEED: u64 = 0xB15_AA5C;
+
+/// An interactive SQL session: a catalog of tables plus the trainer
+/// configuration used by analytics calls and the RNG behind `RANDOM()`.
+pub struct SqlSession {
+    db: Database,
+    trainer_config: TrainerConfig,
+    ctx: EvalContext,
+}
+
+impl Default for SqlSession {
+    fn default() -> Self {
+        SqlSession::new()
+    }
+}
+
+impl SqlSession {
+    /// A session over an empty database with the default trainer settings.
+    pub fn new() -> Self {
+        SqlSession::with_seed(DEFAULT_SEED)
+    }
+
+    /// A session whose `RANDOM()` / `ORDER BY RANDOM()` stream is seeded with
+    /// `seed`, for reproducible scripts and tests.
+    pub fn with_seed(seed: u64) -> Self {
+        SqlSession {
+            db: Database::new(),
+            trainer_config: TrainerConfig::default(),
+            ctx: EvalContext { rng: StdRng::seed_from_u64(seed) },
+        }
+    }
+
+    /// Override the trainer configuration used by analytics functions
+    /// (`SVMTrain`, `LRTrain`, ...). Per-call step-size / epoch arguments are
+    /// applied on top of this.
+    pub fn with_trainer_config(mut self, config: TrainerConfig) -> Self {
+        self.trainer_config = config;
+        self
+    }
+
+    /// The underlying database (for inspection from Rust code).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the underlying database.
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Consume the session, returning the database.
+    pub fn into_database(self) -> Database {
+        self.db
+    }
+
+    /// Register an already-built table (e.g. from `bismarck-datagen`),
+    /// replacing any table of the same name.
+    pub fn register_table(&mut self, table: Table) {
+        self.db.register_table(table);
+    }
+
+    /// Execute a single statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let statement = parse_statement(sql)?;
+        self.run_statement(statement)
+    }
+
+    /// Execute a `;`-separated script, returning one result per statement.
+    /// Execution stops at the first error.
+    pub fn execute_script(&mut self, sql: &str) -> Result<Vec<QueryResult>> {
+        let statements = parse_script(sql)?;
+        let mut results = Vec::with_capacity(statements.len());
+        for statement in statements {
+            results.push(self.run_statement(statement)?);
+        }
+        Ok(results)
+    }
+
+    fn run_statement(&mut self, statement: Statement) -> Result<QueryResult> {
+        match statement {
+            Statement::CreateTable { name, columns } => self.run_create_table(name, columns),
+            Statement::DropTable { name } => {
+                self.db.drop_table(&name)?;
+                Ok(QueryResult::status_only("DROP TABLE"))
+            }
+            Statement::Insert { table, columns, rows } => self.run_insert(table, columns, rows),
+            Statement::Select(select) => self.run_select(select),
+            Statement::Copy { table, direction, path } => self.run_copy(table, direction, path),
+            Statement::Shuffle { table, seed } => self.run_reorder(table, Reorder::Shuffle(seed)),
+            Statement::Cluster { table, column, ascending } => {
+                self.run_reorder(table, Reorder::Cluster { column, ascending })
+            }
+            Statement::CreateTableAs { name, query } => self.run_create_table_as(name, query),
+            Statement::ShowTables => Ok(self.run_show_tables()),
+            Statement::Describe { name } => self.run_describe(&name),
+        }
+    }
+
+    /// `CREATE TABLE ... AS SELECT ...`: materialize a query result. Column
+    /// types are inferred from the result values (integer columns containing
+    /// any double are widened to DOUBLE; all-NULL columns default to DOUBLE).
+    fn run_create_table_as(
+        &mut self,
+        name: String,
+        query: SelectStatement,
+    ) -> Result<QueryResult> {
+        if self.db.contains(&name) {
+            return Err(SqlError::Storage(bismarck_storage::StorageError::TableExists(name)));
+        }
+        let result = self.run_select(query)?;
+        let arity = result.columns.len();
+
+        // Infer one type per output column.
+        let mut types: Vec<Option<DataType>> = vec![None; arity];
+        for row in &result.rows {
+            for (i, value) in row.iter().enumerate() {
+                let Some(dtype) = value.data_type() else { continue };
+                types[i] = Some(match (types[i], dtype) {
+                    (None, t) => t,
+                    (Some(DataType::Int), DataType::Double)
+                    | (Some(DataType::Double), DataType::Int) => DataType::Double,
+                    (Some(existing), t) if existing == t => existing,
+                    (Some(existing), t) => {
+                        return Err(SqlError::Analysis(format!(
+                            "column '{}' mixes {existing} and {t} values; cannot materialize",
+                            result.columns[i]
+                        )))
+                    }
+                });
+            }
+        }
+
+        let columns: Vec<Column> = result
+            .columns
+            .iter()
+            .zip(&types)
+            .map(|(name, dtype)| Column::nullable(name.clone(), dtype.unwrap_or(DataType::Double)))
+            .collect();
+        let schema = Schema::new(columns)?;
+        let mut table = Table::new(name.clone(), schema);
+        let count = result.rows.len();
+        for row in result.rows {
+            let coerced = row
+                .into_iter()
+                .zip(&types)
+                .map(|(value, dtype)| match (value, dtype) {
+                    // Widen integers stored in a DOUBLE column.
+                    (Value::Int(v), Some(DataType::Double)) => Value::Double(v as f64),
+                    (value, _) => value,
+                })
+                .collect();
+            table.insert(coerced)?;
+        }
+        self.db.register_table(table);
+        Ok(QueryResult::status_only(format!("CREATE TABLE AS ({count} rows)")))
+    }
+
+    /// `SHOW TABLES`: table names and row counts, sorted by name.
+    fn run_show_tables(&self) -> QueryResult {
+        let mut names = self.db.table_names();
+        names.sort();
+        let rows = names
+            .into_iter()
+            .map(|name| {
+                let len = self.db.table(&name).map(Table::len).unwrap_or(0);
+                vec![Value::Text(name), Value::Int(len as i64)]
+            })
+            .collect();
+        QueryResult::with_rows(vec!["table".into(), "rows".into()], rows)
+    }
+
+    /// `DESCRIBE <table>`: column names, types and nullability.
+    fn run_describe(&self, name: &str) -> Result<QueryResult> {
+        let table = self.db.table(name)?;
+        let rows = table
+            .schema()
+            .columns()
+            .iter()
+            .map(|column| {
+                vec![
+                    Value::Text(column.name.clone()),
+                    Value::Text(column.dtype.to_string()),
+                    Value::Int(i64::from(column.nullable)),
+                ]
+            })
+            .collect();
+        Ok(QueryResult::with_rows(
+            vec!["column".into(), "type".into(), "nullable".into()],
+            rows,
+        ))
+    }
+
+    fn run_copy(
+        &mut self,
+        table_name: String,
+        direction: CopyDirection,
+        path: String,
+    ) -> Result<QueryResult> {
+        match direction {
+            CopyDirection::FromFile => {
+                let text = std::fs::read_to_string(&path).map_err(|e| {
+                    SqlError::Evaluation(format!("cannot read '{path}': {e}"))
+                })?;
+                let schema = self.db.table(&table_name)?.schema().clone();
+                // Parse into a staging table first so a malformed file never
+                // leaves a half-loaded target behind.
+                let staged = bismarck_storage::csv::table_from_str("staged", schema, &text)?;
+                let count = staged.len();
+                let target = self.db.table_mut(&table_name)?;
+                for tuple in staged.scan() {
+                    target.insert(tuple.values().to_vec())?;
+                }
+                Ok(QueryResult::status_only(format!("COPY {count}")))
+            }
+            CopyDirection::ToFile => {
+                let table = self.db.table(&table_name)?;
+                let text = bismarck_storage::csv::table_to_string(table);
+                std::fs::write(&path, text).map_err(|e| {
+                    SqlError::Evaluation(format!("cannot write '{path}': {e}"))
+                })?;
+                Ok(QueryResult::status_only(format!("COPY {}", table.len())))
+            }
+        }
+    }
+
+    /// Physically rewrite a stored table in a new order (`SHUFFLE TABLE` /
+    /// `CLUSTER TABLE ... BY`). This is the storage-side knob Section 3.2
+    /// studies: the scan order of later training runs follows this layout.
+    fn run_reorder(&mut self, table_name: String, reorder: Reorder) -> Result<QueryResult> {
+        let (schema, mut rows) = {
+            let table = self.db.table(&table_name)?;
+            let rows: Vec<Vec<Value>> =
+                table.scan().map(|tuple| tuple.values().to_vec()).collect();
+            (table.schema().clone(), rows)
+        };
+        let status = match reorder {
+            Reorder::Shuffle(seed) => {
+                match seed {
+                    Some(seed) => rows.shuffle(&mut StdRng::seed_from_u64(seed)),
+                    None => rows.shuffle(&mut self.ctx.rng),
+                }
+                format!("SHUFFLE {}", rows.len())
+            }
+            Reorder::Cluster { column, ascending } => {
+                let idx = schema.index_of(&column)?;
+                rows.sort_by(|a, b| {
+                    let ordering = compare_values(&a[idx], &b[idx]);
+                    if ascending {
+                        ordering
+                    } else {
+                        ordering.reverse()
+                    }
+                });
+                format!("CLUSTER {}", rows.len())
+            }
+        };
+        let mut rebuilt = Table::new(table_name, schema);
+        for row in rows {
+            rebuilt.insert(row)?;
+        }
+        self.db.register_table(rebuilt);
+        Ok(QueryResult::status_only(status))
+    }
+
+    fn run_create_table(
+        &mut self,
+        name: String,
+        columns: Vec<crate::ast::ColumnDef>,
+    ) -> Result<QueryResult> {
+        // Columns are nullable so `INSERT` with an explicit column list can
+        // omit the rest; the storage layer still enforces declared types.
+        let schema = Schema::new(
+            columns.into_iter().map(|c| Column::nullable(c.name, c.data_type)).collect(),
+        )?;
+        self.db.create_table(name, schema)?;
+        Ok(QueryResult::status_only("CREATE TABLE"))
+    }
+
+    fn run_insert(
+        &mut self,
+        table_name: String,
+        columns: Option<Vec<String>>,
+        rows: Vec<Vec<Expr>>,
+    ) -> Result<QueryResult> {
+        // Evaluate all rows before touching the table so a mid-statement
+        // error does not leave a partial insert behind.
+        let arity = self.db.table(&table_name)?.schema().arity();
+        let column_indices: Option<Vec<usize>> = match &columns {
+            Some(names) => {
+                let table = self.db.table(&table_name)?;
+                let mut indices = Vec::with_capacity(names.len());
+                for name in names {
+                    indices.push(table.column_index(name)?);
+                }
+                Some(indices)
+            }
+            None => None,
+        };
+
+        let mut materialized: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
+        for row in &rows {
+            let mut values = Vec::with_capacity(row.len());
+            for expr in row {
+                values.push(evaluate(expr, None, &mut self.ctx)?);
+            }
+            let full_row = match &column_indices {
+                Some(indices) => {
+                    if values.len() != indices.len() {
+                        return Err(SqlError::Analysis(format!(
+                            "INSERT row has {} values for {} named columns",
+                            values.len(),
+                            indices.len()
+                        )));
+                    }
+                    let mut full = vec![Value::Null; arity];
+                    for (idx, value) in indices.iter().zip(values) {
+                        full[*idx] = value;
+                    }
+                    full
+                }
+                None => values,
+            };
+            materialized.push(full_row);
+        }
+
+        let table = self.db.table_mut(&table_name)?;
+        let count = materialized.len();
+        for row in materialized {
+            table.insert(row)?;
+        }
+        Ok(QueryResult::status_only(format!("INSERT {count}")))
+    }
+
+    fn run_select(&mut self, select: SelectStatement) -> Result<QueryResult> {
+        match &select.from {
+            None => self.run_tableless_select(select),
+            Some(_) => self.run_table_select(select),
+        }
+    }
+
+    /// `SELECT` without `FROM`: either a single analytics call
+    /// (`SELECT SVMTrain(...)`) or a row of scalar expressions.
+    fn run_tableless_select(&mut self, select: SelectStatement) -> Result<QueryResult> {
+        // Analytics calls take over the whole statement: they produce their
+        // own result shape (a training summary or a prediction row set).
+        let analytics_items = select
+            .items
+            .iter()
+            .filter(|item| {
+                matches!(item, SelectItem::Expr { expr: Expr::Function { name, .. }, .. }
+                    if is_analytics_function(name))
+            })
+            .count();
+        if analytics_items > 0 {
+            if select.items.len() != 1 {
+                return Err(SqlError::Analysis(
+                    "an analytics function must be the only item in its SELECT".into(),
+                ));
+            }
+            let SelectItem::Expr { expr: Expr::Function { name, args }, .. } = &select.items[0]
+            else {
+                unreachable!("filtered on function items above");
+            };
+            let mut arg_values = Vec::with_capacity(args.len());
+            for arg in args {
+                arg_values.push(evaluate(arg, None, &mut self.ctx)?);
+            }
+            return execute_analytics(&mut self.db, self.trainer_config, name, &arg_values);
+        }
+
+        let mut columns = Vec::with_capacity(select.items.len());
+        let mut row = Vec::with_capacity(select.items.len());
+        for item in &select.items {
+            match item {
+                SelectItem::Wildcard => {
+                    return Err(SqlError::Analysis(
+                        "SELECT * requires a FROM clause".to_string(),
+                    ))
+                }
+                SelectItem::Expr { expr, alias } => {
+                    columns.push(alias.clone().unwrap_or_else(|| expr.default_name()));
+                    row.push(evaluate(expr, None, &mut self.ctx)?);
+                }
+            }
+        }
+        Ok(QueryResult::with_rows(columns, vec![row]))
+    }
+
+    fn run_table_select(&mut self, select: SelectStatement) -> Result<QueryResult> {
+        let table_name = select.from.as_deref().expect("checked by caller");
+        // Split borrows: the table is read-only while the RNG in `ctx` is
+        // mutated by RANDOM().
+        let SqlSession { db, ctx, .. } = self;
+        let table = db.table(table_name)?;
+        let schema = table.schema().clone();
+
+        // Filter.
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        for tuple in table.scan() {
+            let keep = match &select.filter {
+                Some(predicate) => {
+                    let row = RowContext { schema: &schema, values: tuple.values() };
+                    is_truthy(&evaluate(predicate, Some(row), ctx)?)
+                }
+                None => true,
+            };
+            if keep {
+                rows.push(tuple.values().to_vec());
+            }
+        }
+
+        let has_aggregates = !select.group_by.is_empty()
+            || select.items.iter().any(|item| {
+                matches!(item, SelectItem::Expr { expr, .. } if expr.contains_aggregate())
+            });
+
+        let (columns, mut keyed_rows) = if has_aggregates {
+            self.grouped_projection(&select, &schema, rows)?
+        } else {
+            self.plain_projection(&select, &schema, rows)?
+        };
+
+        // Order.
+        if !select.order_by.is_empty() {
+            if order_by_is_random(&select.order_by) {
+                keyed_rows.shuffle(&mut self.ctx.rng);
+            } else {
+                keyed_rows.sort_by(|(a, _), (b, _)| {
+                    for (idx, key) in select.order_by.iter().enumerate() {
+                        let ordering = compare_values(&a[idx], &b[idx]);
+                        let ordering = if key.ascending { ordering } else { ordering.reverse() };
+                        if ordering != std::cmp::Ordering::Equal {
+                            return ordering;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+            }
+        }
+
+        let mut output: Vec<Vec<Value>> = keyed_rows.into_iter().map(|(_, row)| row).collect();
+        if let Some(limit) = select.limit {
+            output.truncate(limit);
+        }
+        Ok(QueryResult::with_rows(columns, output))
+    }
+
+    /// Project rows without aggregation. Returns `(columns, keyed rows)`
+    /// where each row carries its pre-computed `ORDER BY` key values.
+    #[allow(clippy::type_complexity)]
+    fn plain_projection(
+        &mut self,
+        select: &SelectStatement,
+        schema: &Schema,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<(Vec<String>, Vec<(Vec<Value>, Vec<Value>)>)> {
+        let mut columns = Vec::new();
+        for item in &select.items {
+            match item {
+                SelectItem::Wildcard => {
+                    columns.extend(schema.columns().iter().map(|c| c.name.clone()));
+                }
+                SelectItem::Expr { expr, alias } => {
+                    columns.push(alias.clone().unwrap_or_else(|| expr.default_name()));
+                }
+            }
+        }
+
+        let mut keyed_rows = Vec::with_capacity(rows.len());
+        for values in rows {
+            let row = RowContext { schema, values: &values };
+            let mut out = Vec::with_capacity(columns.len());
+            for item in &select.items {
+                match item {
+                    SelectItem::Wildcard => out.extend(values.iter().cloned()),
+                    SelectItem::Expr { expr, .. } => {
+                        out.push(evaluate(expr, Some(row), &mut self.ctx)?)
+                    }
+                }
+            }
+            let keys = self.order_keys_scalar(&select.order_by, Some(row))?;
+            keyed_rows.push((keys, out));
+        }
+        Ok((columns, keyed_rows))
+    }
+
+    /// Project with `GROUP BY` / aggregates: one output row per group.
+    #[allow(clippy::type_complexity)]
+    fn grouped_projection(
+        &mut self,
+        select: &SelectStatement,
+        schema: &Schema,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<(Vec<String>, Vec<(Vec<Value>, Vec<Value>)>)> {
+        for item in &select.items {
+            if matches!(item, SelectItem::Wildcard) {
+                return Err(SqlError::Analysis(
+                    "SELECT * cannot be combined with GROUP BY or aggregates".into(),
+                ));
+            }
+        }
+
+        // Partition rows into groups keyed by the GROUP BY expressions
+        // (a single all-rows group when there is no GROUP BY).
+        let mut groups: Vec<(Vec<Value>, Vec<Vec<Value>>)> = Vec::new();
+        if select.group_by.is_empty() {
+            groups.push((Vec::new(), rows));
+        } else {
+            for values in rows {
+                let row = RowContext { schema, values: &values };
+                let mut key = Vec::with_capacity(select.group_by.len());
+                for expr in &select.group_by {
+                    key.push(evaluate(expr, Some(row), &mut self.ctx)?);
+                }
+                match groups.iter_mut().find(|(existing, _)| *existing == key) {
+                    Some((_, members)) => members.push(values),
+                    None => groups.push((key, vec![values])),
+                }
+            }
+        }
+
+        let mut columns = Vec::with_capacity(select.items.len());
+        for item in &select.items {
+            let SelectItem::Expr { expr, alias } = item else { unreachable!() };
+            columns.push(alias.clone().unwrap_or_else(|| expr.default_name()));
+        }
+
+        let mut keyed_rows = Vec::with_capacity(groups.len());
+        for (_, members) in groups {
+            // An aggregate over zero rows is only meaningful without GROUP BY
+            // (e.g. COUNT(*) over an empty table).
+            let mut out = Vec::with_capacity(columns.len());
+            for item in &select.items {
+                let SelectItem::Expr { expr, .. } = item else { unreachable!() };
+                out.push(evaluate_grouped(expr, schema, &members, &mut self.ctx)?);
+            }
+            let mut keys = Vec::with_capacity(select.order_by.len());
+            for key in &select.order_by {
+                keys.push(evaluate_grouped(&key.expr, schema, &members, &mut self.ctx)?);
+            }
+            keyed_rows.push((keys, out));
+        }
+        Ok((columns, keyed_rows))
+    }
+
+    fn order_keys_scalar(
+        &mut self,
+        order_by: &[OrderKey],
+        row: Option<RowContext<'_>>,
+    ) -> Result<Vec<Value>> {
+        if order_by_is_random(order_by) {
+            return Ok(Vec::new());
+        }
+        let mut keys = Vec::with_capacity(order_by.len());
+        for key in order_by {
+            keys.push(evaluate(&key.expr, row, &mut self.ctx)?);
+        }
+        Ok(keys)
+    }
+}
+
+/// How `run_reorder` rewrites a table.
+enum Reorder {
+    /// Random permutation, optionally with an explicit seed.
+    Shuffle(Option<u64>),
+    /// Sort by a column.
+    Cluster {
+        /// Column to sort by.
+        column: String,
+        /// Sort direction.
+        ascending: bool,
+    },
+}
+
+/// True when the `ORDER BY` clause is the paper's `ORDER BY RANDOM()` shuffle.
+fn order_by_is_random(order_by: &[OrderKey]) -> bool {
+    order_by.len() == 1
+        && matches!(
+            &order_by[0].expr,
+            Expr::Function { name, args } if name.eq_ignore_ascii_case("random") && args.is_empty()
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session_with_points() -> SqlSession {
+        let mut session = SqlSession::with_seed(11);
+        session
+            .execute_script(
+                "CREATE TABLE points (id INT, x DOUBLE, label DOUBLE, name TEXT);
+                 INSERT INTO points VALUES
+                   (1, 0.5, 1.0, 'a'),
+                   (2, -0.5, -1.0, 'b'),
+                   (3, 1.5, 1.0, 'c'),
+                   (4, -1.5, -1.0, 'd'),
+                   (5, 2.5, 1.0, 'e');",
+            )
+            .unwrap();
+        session
+    }
+
+    #[test]
+    fn create_insert_select_roundtrip() {
+        let mut session = session_with_points();
+        let result = session.execute("SELECT * FROM points").unwrap();
+        assert_eq!(result.columns, vec!["id", "x", "label", "name"]);
+        assert_eq!(result.len(), 5);
+
+        let filtered =
+            session.execute("SELECT id, name FROM points WHERE label > 0 ORDER BY id DESC").unwrap();
+        assert_eq!(filtered.len(), 3);
+        assert_eq!(filtered.rows[0][0], Value::Int(5));
+        assert_eq!(filtered.rows[2][0], Value::Int(1));
+    }
+
+    #[test]
+    fn insert_with_column_list_fills_missing_with_null() {
+        let mut session = session_with_points();
+        session.execute("INSERT INTO points (id, label) VALUES (6, 1.0)").unwrap();
+        let row = session.execute("SELECT x FROM points WHERE id = 6").unwrap();
+        assert_eq!(row.rows[0][0], Value::Null);
+    }
+
+    #[test]
+    fn insert_arity_mismatch_is_rejected_before_writing() {
+        let mut session = session_with_points();
+        let err = session
+            .execute("INSERT INTO points (id, label) VALUES (7, 1.0, 2.0)")
+            .unwrap_err();
+        assert!(err.to_string().contains("2 named columns"));
+        let count = session.execute("SELECT COUNT(*) FROM points").unwrap();
+        assert_eq!(count.single_value(), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn aggregates_with_and_without_group_by() {
+        let mut session = session_with_points();
+        let total = session.execute("SELECT COUNT(*), AVG(x) FROM points").unwrap();
+        assert_eq!(total.rows[0][0], Value::Int(5));
+        assert_eq!(total.rows[0][1], Value::Double(0.5));
+
+        let grouped = session
+            .execute(
+                "SELECT label, COUNT(*) AS n, MAX(x) AS biggest FROM points \
+                 GROUP BY label ORDER BY label",
+            )
+            .unwrap();
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped.columns, vec!["label", "n", "biggest"]);
+        assert_eq!(grouped.rows[0][0], Value::Double(-1.0));
+        assert_eq!(grouped.rows[0][1], Value::Int(2));
+        assert_eq!(grouped.rows[1][2], Value::Double(2.5));
+    }
+
+    #[test]
+    fn count_star_over_empty_table_is_zero() {
+        let mut session = SqlSession::new();
+        session.execute("CREATE TABLE empty (x INT)").unwrap();
+        let result = session.execute("SELECT COUNT(*) FROM empty").unwrap();
+        assert_eq!(result.single_value(), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn order_by_random_is_a_permutation_and_seed_dependent() {
+        let run = |seed: u64| {
+            let mut session = SqlSession::with_seed(seed);
+            session
+                .execute_script(
+                    "CREATE TABLE t (id INT);
+                     INSERT INTO t VALUES (1),(2),(3),(4),(5),(6),(7),(8),(9),(10);",
+                )
+                .unwrap();
+            session
+                .execute("SELECT id FROM t ORDER BY RANDOM()")
+                .unwrap()
+                .rows
+                .iter()
+                .map(|r| r[0].as_int().unwrap())
+                .collect::<Vec<_>>()
+        };
+        let a = run(1);
+        let b = run(2);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (1..=10).collect::<Vec<_>>());
+        assert_ne!(a, b, "different seeds should give different shuffles");
+        assert_eq!(run(1), a, "same seed must reproduce the shuffle");
+    }
+
+    #[test]
+    fn limit_caps_rows() {
+        let mut session = session_with_points();
+        let result = session.execute("SELECT id FROM points ORDER BY id LIMIT 2").unwrap();
+        assert_eq!(result.len(), 2);
+        assert_eq!(result.rows[1][0], Value::Int(2));
+    }
+
+    #[test]
+    fn tableless_select_evaluates_scalars() {
+        let mut session = SqlSession::new();
+        let result = session.execute("SELECT 1 + 2 AS three, 'x'").unwrap();
+        assert_eq!(result.columns, vec!["three", "?column?"]);
+        assert_eq!(result.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn select_star_without_from_is_rejected() {
+        let mut session = SqlSession::new();
+        assert!(session.execute("SELECT *").is_err());
+    }
+
+    #[test]
+    fn wildcard_with_group_by_is_rejected() {
+        let mut session = session_with_points();
+        let err = session.execute("SELECT * FROM points GROUP BY label").unwrap_err();
+        assert!(err.to_string().contains("GROUP BY"));
+    }
+
+    #[test]
+    fn drop_table_removes_it_from_the_catalog() {
+        let mut session = session_with_points();
+        session.execute("DROP TABLE points").unwrap();
+        assert!(session.execute("SELECT * FROM points").is_err());
+        assert!(!session.database().contains("points"));
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors_surface() {
+        let mut session = session_with_points();
+        assert!(matches!(
+            session.execute("SELECT * FROM missing").unwrap_err(),
+            SqlError::Storage(_)
+        ));
+        assert!(session.execute("SELECT nope FROM points").is_err());
+    }
+
+    #[test]
+    fn script_stops_at_first_error() {
+        let mut session = SqlSession::new();
+        let err = session
+            .execute_script("CREATE TABLE t (x INT); INSERT INTO missing VALUES (1); SELECT 1")
+            .unwrap_err();
+        assert!(matches!(err, SqlError::Storage(_)));
+        // The CREATE before the failure still took effect (no transactions).
+        assert!(session.database().contains("t"));
+    }
+
+    #[test]
+    fn type_mismatch_on_insert_is_a_storage_error() {
+        let mut session = SqlSession::new();
+        session.execute("CREATE TABLE typed (x INT)").unwrap();
+        let err = session.execute("INSERT INTO typed VALUES ('text')").unwrap_err();
+        assert!(matches!(err, SqlError::Storage(_)));
+    }
+
+    #[test]
+    fn end_to_end_svm_training_via_sql() {
+        let mut session = SqlSession::with_seed(3);
+        session
+            .execute("CREATE TABLE LabeledPapers (id INT, vec DENSE_VEC, label DOUBLE)")
+            .unwrap();
+        // 40 linearly separable examples.
+        for i in 0..40 {
+            let y = if i % 2 == 0 { 1.0 } else { -1.0 };
+            session
+                .execute(&format!(
+                    "INSERT INTO LabeledPapers VALUES ({i}, ARRAY[{}, {}], {y})",
+                    y * 2.0,
+                    -y
+                ))
+                .unwrap();
+        }
+        let summary = session
+            .execute("SELECT SVMTrain('myModel', 'LabeledPapers', 'vec', 'label', 0.2, 8)")
+            .unwrap();
+        assert_eq!(summary.len(), 1);
+        assert!(session.database().contains("myModel"));
+
+        let predictions = session
+            .execute("SELECT SVMPredict('myModel', 'LabeledPapers', 'vec')")
+            .unwrap();
+        assert_eq!(predictions.len(), 40);
+
+        // The persisted model is an ordinary table we can query.
+        let coefs = session.execute("SELECT COUNT(*) FROM myModel").unwrap();
+        assert_eq!(coefs.single_value(), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn analytics_call_must_be_the_only_select_item() {
+        let mut session = session_with_points();
+        let err = session
+            .execute("SELECT SVMTrain('m', 'points', 'x', 'label'), 1")
+            .unwrap_err();
+        assert!(err.to_string().contains("only item"));
+    }
+
+    #[test]
+    fn create_table_as_select_materializes_the_papers_shuffle_once() {
+        let mut session = session_with_points();
+        session
+            .execute("CREATE TABLE shuffled AS SELECT * FROM points ORDER BY RANDOM()")
+            .unwrap();
+        // Same rows, same schema shape, independent of the source table.
+        let n = session.execute("SELECT COUNT(*) FROM shuffled").unwrap();
+        assert_eq!(n.single_value(), Some(&Value::Int(5)));
+        let described = session.execute("DESCRIBE shuffled").unwrap();
+        assert_eq!(described.len(), 4);
+        let ids: Vec<i64> = session
+            .execute("SELECT id FROM shuffled ORDER BY id")
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+
+        // A projection / aggregate result can be materialized too, with
+        // integers widened to DOUBLE where the column mixes both.
+        session
+            .execute(
+                "CREATE TABLE class_sizes AS \
+                 SELECT label, COUNT(*) AS n, AVG(x) AS mean_x FROM points GROUP BY label",
+            )
+            .unwrap();
+        let rows = session.execute("SELECT COUNT(*) FROM class_sizes").unwrap();
+        assert_eq!(rows.single_value(), Some(&Value::Int(2)));
+
+        // Creating over an existing name is rejected.
+        assert!(session
+            .execute("CREATE TABLE shuffled AS SELECT * FROM points")
+            .is_err());
+    }
+
+    #[test]
+    fn show_tables_lists_names_and_row_counts() {
+        let mut session = session_with_points();
+        session.execute("CREATE TABLE empty (x INT)").unwrap();
+        let tables = session.execute("SHOW TABLES").unwrap();
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables.rows[0][0], Value::Text("empty".into()));
+        assert_eq!(tables.rows[0][1], Value::Int(0));
+        assert_eq!(tables.rows[1][0], Value::Text("points".into()));
+        assert_eq!(tables.rows[1][1], Value::Int(5));
+    }
+
+    #[test]
+    fn describe_reports_columns_types_and_nullability() {
+        let mut session = session_with_points();
+        let described = session.execute("DESCRIBE points").unwrap();
+        assert_eq!(described.columns, vec!["column", "type", "nullable"]);
+        assert_eq!(described.rows[0][0], Value::Text("id".into()));
+        assert_eq!(described.rows[0][1], Value::Text("INT".into()));
+        assert_eq!(described.rows[1][1], Value::Text("DOUBLE".into()));
+        assert!(session.execute("DESCRIBE missing").is_err());
+    }
+
+    #[test]
+    fn shuffle_table_permutes_storage_order_deterministically_with_seed() {
+        let mut session = session_with_points();
+        let before: Vec<i64> = session
+            .execute("SELECT id FROM points")
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
+        session.execute("SHUFFLE TABLE points SEED 9").unwrap();
+        let after: Vec<i64> = session
+            .execute("SELECT id FROM points")
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
+        let mut sorted = after.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2, 3, 4, 5]);
+        assert_ne!(before, after, "seeded shuffle should move at least one row");
+
+        // Re-running with the same seed from a fresh copy gives the same order.
+        let mut session2 = session_with_points();
+        session2.execute("SHUFFLE TABLE points SEED 9").unwrap();
+        let after2: Vec<i64> = session2
+            .execute("SELECT id FROM points")
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
+        assert_eq!(after, after2);
+    }
+
+    #[test]
+    fn cluster_table_sorts_storage_order() {
+        let mut session = session_with_points();
+        session.execute("CLUSTER TABLE points BY x DESC").unwrap();
+        let xs: Vec<f64> = session
+            .execute("SELECT x FROM points")
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| r[0].as_double().unwrap())
+            .collect();
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert_eq!(xs, sorted);
+
+        // Clustering by a missing column is rejected and leaves the table intact.
+        assert!(session.execute("CLUSTER TABLE points BY missing").is_err());
+        assert_eq!(session.execute("SELECT COUNT(*) FROM points").unwrap().single_value(),
+            Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn copy_to_and_from_roundtrips_through_a_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("bismarck_sql_copy_test_{}.csv", std::process::id()));
+        let path_str = path.to_str().unwrap().to_string();
+
+        let mut session = session_with_points();
+        let exported = session.execute(&format!("COPY points TO '{path_str}'")).unwrap();
+        assert_eq!(exported.status, "COPY 5");
+
+        // Append the exported rows into a second table with the same schema.
+        session
+            .execute("CREATE TABLE points2 (id INT, x DOUBLE, label DOUBLE, name TEXT)")
+            .unwrap();
+        let imported = session.execute(&format!("COPY points2 FROM '{path_str}'")).unwrap();
+        assert_eq!(imported.status, "COPY 5");
+        let n = session.execute("SELECT COUNT(*) FROM points2").unwrap();
+        assert_eq!(n.single_value(), Some(&Value::Int(5)));
+        let avg_match = session
+            .execute("SELECT AVG(x) FROM points2")
+            .unwrap()
+            .single_value()
+            .unwrap()
+            .as_double()
+            .unwrap();
+        assert!((avg_match - 0.5).abs() < 1e-9);
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn copy_from_missing_file_is_an_error_and_loads_nothing() {
+        let mut session = session_with_points();
+        let err = session.execute("COPY points FROM '/definitely/not/here.csv'").unwrap_err();
+        assert!(matches!(err, SqlError::Evaluation(_)));
+        let n = session.execute("SELECT COUNT(*) FROM points").unwrap();
+        assert_eq!(n.single_value(), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn svm_loss_via_sql_after_training() {
+        let mut session = SqlSession::with_seed(13);
+        session
+            .execute("CREATE TABLE d (id INT, vec DENSE_VEC, label DOUBLE)")
+            .unwrap();
+        for i in 0..30 {
+            let y = if i % 2 == 0 { 1.0 } else { -1.0 };
+            session
+                .execute(&format!("INSERT INTO d VALUES ({i}, ARRAY[{}, {}], {y})", y, -y * 0.5))
+                .unwrap();
+        }
+        session.execute("SELECT SVMTrain('m', 'd', 'vec', 'label', 0.2, 10)").unwrap();
+        let loss = session.execute("SELECT SVMLoss('m', 'd', 'vec', 'label')").unwrap();
+        let value = loss.single_value().unwrap().as_double().unwrap();
+        assert!(value.is_finite() && value >= 0.0);
+        // A well-separated toy problem should reach a small hinge loss.
+        assert!(value < 30.0);
+    }
+
+    #[test]
+    fn random_scalar_function_varies_per_row() {
+        let mut session = session_with_points();
+        let result = session.execute("SELECT RANDOM() AS r FROM points").unwrap();
+        let values: Vec<f64> = result.rows.iter().map(|r| r[0].as_double().unwrap()).collect();
+        assert_eq!(values.len(), 5);
+        let distinct = values
+            .iter()
+            .map(|v| format!("{v:.12}"))
+            .collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 1, "RANDOM() should not repeat the same value every row");
+    }
+}

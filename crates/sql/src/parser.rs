@@ -1,0 +1,769 @@
+//! Recursive-descent parser producing [`Statement`]s from token streams.
+
+use bismarck_storage::DataType;
+
+use crate::ast::{
+    BinaryOp, ColumnDef, CopyDirection, Expr, Literal, OrderKey, SelectItem, SelectStatement,
+    Statement, UnaryOp,
+};
+use crate::error::{Result, SqlError};
+use crate::token::{tokenize, Token, TokenKind};
+
+/// Parse a single statement (a trailing `;` is allowed).
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let mut statements = parse_script(sql)?;
+    match statements.len() {
+        1 => Ok(statements.remove(0)),
+        0 => Err(SqlError::Parse { position: 0, message: "empty statement".into() }),
+        n => Err(SqlError::Parse {
+            position: 0,
+            message: format!("expected a single statement, found {n}"),
+        }),
+    }
+}
+
+/// Parse a `;`-separated script into its statements.
+pub fn parse_script(sql: &str) -> Result<Vec<Statement>> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut statements = Vec::new();
+    loop {
+        // Skip empty statements (stray semicolons).
+        while parser.eat(&TokenKind::Semicolon) {}
+        if parser.at_end() {
+            break;
+        }
+        statements.push(parser.parse_statement()?);
+        if !parser.at_end() && !parser.eat(&TokenKind::Semicolon) {
+            return Err(parser.error("expected ';' between statements"));
+        }
+    }
+    Ok(statements)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn advance(&mut self) -> Option<TokenKind> {
+        let kind = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if kind.is_some() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn error(&self, message: impl Into<String>) -> SqlError {
+        let mut message = message.into();
+        if let Some(tok) = self.tokens.get(self.pos) {
+            message = format!("{message} (found {})", tok.kind.describe());
+        } else {
+            message = format!("{message} (found end of input)");
+        }
+        SqlError::Parse { position: self.pos, message }
+    }
+
+    /// Consume the next token if it equals `kind`.
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume the next token if it is the given keyword.
+    fn eat_keyword(&mut self, keyword: &str) -> bool {
+        matches!(self.peek(), Some(TokenKind::Keyword(k)) if k == keyword) && {
+            self.pos += 1;
+            true
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {}", kind.describe())))
+        }
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<()> {
+        if self.eat_keyword(keyword) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {keyword}")))
+        }
+    }
+
+    /// An identifier, or a keyword used in an identifier position (column
+    /// names such as `values` are accepted).
+    fn expect_identifier(&mut self) -> Result<String> {
+        match self.advance() {
+            Some(TokenKind::Identifier(name)) => Ok(name),
+            Some(other) => {
+                self.pos -= 1;
+                Err(self.error(format!("expected identifier, found {}", other.describe())))
+            }
+            None => Err(self.error("expected identifier")),
+        }
+    }
+
+    fn parse_statement(&mut self) -> Result<Statement> {
+        match self.peek() {
+            Some(TokenKind::Keyword(k)) if k == "CREATE" => self.parse_create_table(),
+            Some(TokenKind::Keyword(k)) if k == "DROP" => self.parse_drop_table(),
+            Some(TokenKind::Keyword(k)) if k == "INSERT" => self.parse_insert(),
+            Some(TokenKind::Keyword(k)) if k == "SELECT" => {
+                Ok(Statement::Select(self.parse_select()?))
+            }
+            Some(TokenKind::Keyword(k)) if k == "COPY" => self.parse_copy(),
+            Some(TokenKind::Keyword(k)) if k == "SHUFFLE" => self.parse_shuffle(),
+            Some(TokenKind::Keyword(k)) if k == "CLUSTER" => self.parse_cluster(),
+            Some(TokenKind::Keyword(k)) if k == "SHOW" => {
+                self.expect_keyword("SHOW")?;
+                self.expect_keyword("TABLES")?;
+                Ok(Statement::ShowTables)
+            }
+            Some(TokenKind::Keyword(k)) if k == "DESCRIBE" => {
+                self.expect_keyword("DESCRIBE")?;
+                let name = self.expect_identifier()?;
+                Ok(Statement::Describe { name })
+            }
+            _ => Err(self.error("expected CREATE, DROP, INSERT, SELECT, COPY, SHUFFLE or CLUSTER")),
+        }
+    }
+
+    fn parse_copy(&mut self) -> Result<Statement> {
+        self.expect_keyword("COPY")?;
+        let table = self.expect_identifier()?;
+        let direction = if self.eat_keyword("FROM") {
+            CopyDirection::FromFile
+        } else if self.eat_keyword("TO") {
+            CopyDirection::ToFile
+        } else {
+            return Err(self.error("expected FROM or TO after the table name in COPY"));
+        };
+        let path = match self.advance() {
+            Some(TokenKind::StringLiteral(path)) => path,
+            _ => {
+                self.pos -= 1;
+                return Err(self.error("expected a quoted file path in COPY"));
+            }
+        };
+        Ok(Statement::Copy { table, direction, path })
+    }
+
+    fn parse_shuffle(&mut self) -> Result<Statement> {
+        self.expect_keyword("SHUFFLE")?;
+        self.expect_keyword("TABLE")?;
+        let table = self.expect_identifier()?;
+        let seed = if self.eat_keyword("SEED") {
+            match self.advance() {
+                Some(TokenKind::Integer(n)) if n >= 0 => Some(n as u64),
+                _ => {
+                    self.pos -= 1;
+                    return Err(self.error("expected a non-negative integer after SEED"));
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Statement::Shuffle { table, seed })
+    }
+
+    fn parse_cluster(&mut self) -> Result<Statement> {
+        self.expect_keyword("CLUSTER")?;
+        self.expect_keyword("TABLE")?;
+        let table = self.expect_identifier()?;
+        self.expect_keyword("BY")?;
+        let column = self.expect_identifier()?;
+        let ascending = if self.eat_keyword("DESC") {
+            false
+        } else {
+            self.eat_keyword("ASC");
+            true
+        };
+        Ok(Statement::Cluster { table, column, ascending })
+    }
+
+    fn parse_create_table(&mut self) -> Result<Statement> {
+        self.expect_keyword("CREATE")?;
+        self.expect_keyword("TABLE")?;
+        let name = self.expect_identifier()?;
+        if self.eat_keyword("AS") {
+            let query = self.parse_select()?;
+            return Ok(Statement::CreateTableAs { name, query });
+        }
+        self.expect(&TokenKind::LeftParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col_name = self.expect_identifier()?;
+            let data_type = self.parse_data_type()?;
+            columns.push(ColumnDef { name: col_name, data_type });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RightParen)?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn parse_data_type(&mut self) -> Result<DataType> {
+        let name = self.expect_identifier()?;
+        match name.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" | "BIGINT" => Ok(DataType::Int),
+            "DOUBLE" | "FLOAT" | "FLOAT8" | "REAL" => Ok(DataType::Double),
+            "TEXT" | "VARCHAR" | "STRING" => Ok(DataType::Text),
+            "DENSE_VEC" | "VECTOR" => Ok(DataType::DenseVec),
+            "SPARSE_VEC" => Ok(DataType::SparseVec),
+            "SEQUENCE" => Ok(DataType::Sequence),
+            other => {
+                self.pos -= 1;
+                Err(self.error(format!("unknown column type '{other}'")))
+            }
+        }
+    }
+
+    fn parse_drop_table(&mut self) -> Result<Statement> {
+        self.expect_keyword("DROP")?;
+        self.expect_keyword("TABLE")?;
+        let name = self.expect_identifier()?;
+        Ok(Statement::DropTable { name })
+    }
+
+    fn parse_insert(&mut self) -> Result<Statement> {
+        self.expect_keyword("INSERT")?;
+        self.expect_keyword("INTO")?;
+        let table = self.expect_identifier()?;
+        let columns = if self.eat(&TokenKind::LeftParen) {
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.expect_identifier()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RightParen)?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_keyword("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&TokenKind::LeftParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.parse_expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RightParen)?;
+            rows.push(row);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, columns, rows })
+    }
+
+    fn parse_select(&mut self) -> Result<SelectStatement> {
+        self.expect_keyword("SELECT")?;
+        let mut items = Vec::new();
+        loop {
+            if self.eat(&TokenKind::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.parse_expr()?;
+                let alias = if self.eat_keyword("AS") {
+                    Some(self.expect_identifier()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+
+        let from = if self.eat_keyword("FROM") { Some(self.expect_identifier()?) } else { None };
+        let filter = if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
+
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let ascending = if self.eat_keyword("DESC") {
+                    false
+                } else {
+                    // ASC is the default and may be written explicitly.
+                    self.eat_keyword("ASC");
+                    true
+                };
+                order_by.push(OrderKey { expr, ascending });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.advance() {
+                Some(TokenKind::Integer(n)) if n >= 0 => Some(n as usize),
+                _ => {
+                    self.pos -= 1;
+                    return Err(self.error("expected a non-negative integer after LIMIT"));
+                }
+            }
+        } else {
+            None
+        };
+
+        Ok(SelectStatement { items, from, filter, group_by, order_by, limit })
+    }
+
+    // Expression grammar, lowest precedence first:
+    //   or_expr   := and_expr (OR and_expr)*
+    //   and_expr  := not_expr (AND not_expr)*
+    //   not_expr  := NOT not_expr | cmp_expr
+    //   cmp_expr  := add_expr ((= | <> | < | <= | > | >=) add_expr)?
+    //              | add_expr IS [NOT] NULL
+    //   add_expr  := mul_expr ((+ | -) mul_expr)*
+    //   mul_expr  := unary ((* | /) unary)*
+    //   unary     := - unary | primary
+    //   primary   := literal | column | function(args) | ARRAY[...] | {i: v, ...} | ( or_expr )
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword("OR") {
+            let right = self.parse_and()?;
+            left = Expr::Binary { left: Box::new(left), op: BinaryOp::Or, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword("AND") {
+            let right = self.parse_not()?;
+            left = Expr::Binary { left: Box::new(left), op: BinaryOp::And, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_keyword("NOT") {
+            let expr = self.parse_not()?;
+            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(expr) });
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        let op = match self.peek() {
+            Some(TokenKind::Eq) => Some(BinaryOp::Eq),
+            Some(TokenKind::NotEq) => Some(BinaryOp::NotEq),
+            Some(TokenKind::Lt) => Some(BinaryOp::Lt),
+            Some(TokenKind::LtEq) => Some(BinaryOp::LtEq),
+            Some(TokenKind::Gt) => Some(BinaryOp::Gt),
+            Some(TokenKind::GtEq) => Some(BinaryOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.parse_additive()?;
+            return Ok(Expr::Binary { left: Box::new(left), op, right: Box::new(right) });
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Plus) => BinaryOp::Add,
+                Some(TokenKind::Minus) => BinaryOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_multiplicative()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Star) => BinaryOp::Mul,
+                Some(TokenKind::Slash) => BinaryOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Minus) {
+            let expr = self.parse_unary()?;
+            return Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(expr) });
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.advance() {
+            Some(TokenKind::Integer(v)) => Ok(Expr::Literal(Literal::Int(v))),
+            Some(TokenKind::Float(v)) => Ok(Expr::Literal(Literal::Double(v))),
+            Some(TokenKind::StringLiteral(s)) => Ok(Expr::Literal(Literal::Text(s))),
+            Some(TokenKind::Keyword(k)) if k == "NULL" => Ok(Expr::Literal(Literal::Null)),
+            Some(TokenKind::Keyword(k)) if k == "TRUE" => Ok(Expr::Literal(Literal::Bool(true))),
+            Some(TokenKind::Keyword(k)) if k == "FALSE" => Ok(Expr::Literal(Literal::Bool(false))),
+            Some(TokenKind::Keyword(k)) if k == "ARRAY" => {
+                self.expect(&TokenKind::LeftBracket)?;
+                let mut items = Vec::new();
+                if self.peek() != Some(&TokenKind::RightBracket) {
+                    loop {
+                        items.push(self.parse_expr()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RightBracket)?;
+                Ok(Expr::ArrayLiteral(items))
+            }
+            Some(TokenKind::LeftBrace) => {
+                let mut pairs = Vec::new();
+                if self.peek() != Some(&TokenKind::RightBrace) {
+                    loop {
+                        let index = self.parse_expr()?;
+                        self.expect(&TokenKind::Colon)?;
+                        let value = self.parse_expr()?;
+                        pairs.push((index, value));
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RightBrace)?;
+                Ok(Expr::SparseLiteral(pairs))
+            }
+            Some(TokenKind::LeftParen) => {
+                let expr = self.parse_expr()?;
+                self.expect(&TokenKind::RightParen)?;
+                Ok(expr)
+            }
+            Some(TokenKind::Identifier(name)) => {
+                if self.eat(&TokenKind::LeftParen) {
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&TokenKind::RightParen) {
+                        loop {
+                            if self.eat(&TokenKind::Star) {
+                                args.push(Expr::Wildcard);
+                            } else {
+                                args.push(self.parse_expr()?);
+                            }
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RightParen)?;
+                    Ok(Expr::Function { name, args })
+                } else {
+                    Ok(Expr::Column(name))
+                }
+            }
+            Some(other) => {
+                self.pos -= 1;
+                Err(self.error(format!("unexpected {} in expression", other.describe())))
+            }
+            None => Err(self.error("unexpected end of input in expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_training_query() {
+        let stmt =
+            parse_statement("SELECT SVMTrain('myModel', 'LabeledPapers', 'vec', 'label');")
+                .unwrap();
+        let Statement::Select(select) = stmt else { panic!("expected SELECT") };
+        assert_eq!(select.items.len(), 1);
+        assert!(select.from.is_none());
+        let SelectItem::Expr { expr: Expr::Function { name, args }, .. } = &select.items[0] else {
+            panic!("expected function item")
+        };
+        assert_eq!(name, "SVMTrain");
+        assert_eq!(args.len(), 4);
+    }
+
+    #[test]
+    fn parses_create_table_with_all_types() {
+        let stmt = parse_statement(
+            "CREATE TABLE LabeledPapers (id INT, vec DENSE_VEC, sv SPARSE_VEC, \
+             label DOUBLE, title TEXT, seq SEQUENCE)",
+        )
+        .unwrap();
+        let Statement::CreateTable { name, columns } = stmt else { panic!() };
+        assert_eq!(name, "LabeledPapers");
+        assert_eq!(columns.len(), 6);
+        assert_eq!(columns[1].data_type, DataType::DenseVec);
+        assert_eq!(columns[2].data_type, DataType::SparseVec);
+        assert_eq!(columns[5].data_type, DataType::Sequence);
+    }
+
+    #[test]
+    fn rejects_unknown_column_type() {
+        let err = parse_statement("CREATE TABLE t (x BLOB)").unwrap_err();
+        assert!(err.to_string().contains("unknown column type"));
+    }
+
+    #[test]
+    fn parses_insert_with_vector_literals() {
+        let stmt = parse_statement(
+            "INSERT INTO t (id, vec, label) VALUES (1, ARRAY[1.0, 2.0], 1.0), \
+             (2, ARRAY[0.5, -0.25], -1.0)",
+        )
+        .unwrap();
+        let Statement::Insert { table, columns, rows } = stmt else { panic!() };
+        assert_eq!(table, "t");
+        assert_eq!(columns.as_deref().unwrap().len(), 3);
+        assert_eq!(rows.len(), 2);
+        assert!(matches!(rows[0][1], Expr::ArrayLiteral(ref items) if items.len() == 2));
+    }
+
+    #[test]
+    fn parses_sparse_vector_literal() {
+        let stmt = parse_statement("INSERT INTO t VALUES ({0: 1.5, 41000: 2.0})").unwrap();
+        let Statement::Insert { rows, .. } = stmt else { panic!() };
+        assert!(matches!(rows[0][0], Expr::SparseLiteral(ref pairs) if pairs.len() == 2));
+    }
+
+    #[test]
+    fn parses_select_with_all_clauses() {
+        let stmt = parse_statement(
+            "SELECT label, COUNT(*) AS n FROM points WHERE label > 0 AND id <> 3 \
+             GROUP BY label ORDER BY n DESC LIMIT 10",
+        )
+        .unwrap();
+        let Statement::Select(select) = stmt else { panic!() };
+        assert_eq!(select.items.len(), 2);
+        assert_eq!(select.from.as_deref(), Some("points"));
+        assert!(select.filter.is_some());
+        assert_eq!(select.group_by.len(), 1);
+        assert_eq!(select.order_by.len(), 1);
+        assert!(!select.order_by[0].ascending);
+        assert_eq!(select.limit, Some(10));
+    }
+
+    #[test]
+    fn parses_order_by_random() {
+        let stmt = parse_statement("SELECT * FROM data ORDER BY RANDOM()").unwrap();
+        let Statement::Select(select) = stmt else { panic!() };
+        assert!(matches!(
+            &select.order_by[0].expr,
+            Expr::Function { name, args } if name.eq_ignore_ascii_case("random") && args.is_empty()
+        ));
+    }
+
+    #[test]
+    fn operator_precedence_binds_mul_tighter_than_add_and_cmp() {
+        let stmt = parse_statement("SELECT 1 + 2 * 3 < 10").unwrap();
+        let Statement::Select(select) = stmt else { panic!() };
+        let SelectItem::Expr { expr, .. } = &select.items[0] else { panic!() };
+        // Shape: (1 + (2 * 3)) < 10
+        let Expr::Binary { op: BinaryOp::Lt, left, .. } = expr else { panic!("expected <") };
+        let Expr::Binary { op: BinaryOp::Add, right, .. } = left.as_ref() else {
+            panic!("expected + on the left of <")
+        };
+        assert!(matches!(right.as_ref(), Expr::Binary { op: BinaryOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parses_is_null_and_is_not_null() {
+        let stmt = parse_statement("SELECT * FROM t WHERE a IS NULL OR b IS NOT NULL").unwrap();
+        let Statement::Select(select) = stmt else { panic!() };
+        let Some(Expr::Binary { op: BinaryOp::Or, left, right }) = select.filter else { panic!() };
+        assert!(matches!(*left, Expr::IsNull { negated: false, .. }));
+        assert!(matches!(*right, Expr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn parses_script_with_multiple_statements() {
+        let stmts = parse_script(
+            "CREATE TABLE t (x INT); INSERT INTO t VALUES (1); SELECT COUNT(*) FROM t;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+        assert!(matches!(stmts[0], Statement::CreateTable { .. }));
+        assert!(matches!(stmts[1], Statement::Insert { .. }));
+        assert!(matches!(stmts[2], Statement::Select(_)));
+    }
+
+    #[test]
+    fn missing_semicolon_between_statements_is_an_error() {
+        let err = parse_script("SELECT 1 SELECT 2").unwrap_err();
+        assert!(err.to_string().contains("';'"));
+    }
+
+    #[test]
+    fn single_statement_parse_rejects_scripts() {
+        let err = parse_statement("SELECT 1; SELECT 2").unwrap_err();
+        assert!(err.to_string().contains("single statement"));
+    }
+
+    #[test]
+    fn drop_table_parses() {
+        assert_eq!(
+            parse_statement("DROP TABLE myModel").unwrap(),
+            Statement::DropTable { name: "myModel".into() }
+        );
+    }
+
+    #[test]
+    fn count_star_is_a_wildcard_argument() {
+        let stmt = parse_statement("SELECT COUNT(*) FROM t").unwrap();
+        let Statement::Select(select) = stmt else { panic!() };
+        let SelectItem::Expr { expr: Expr::Function { args, .. }, .. } = &select.items[0] else {
+            panic!()
+        };
+        assert_eq!(args, &vec![Expr::Wildcard]);
+    }
+
+    #[test]
+    fn reports_error_position_for_garbage() {
+        let err = parse_statement("SELECT FROM").unwrap_err();
+        assert!(matches!(err, SqlError::Parse { .. }));
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert!(parse_statement("   ").is_err());
+        assert!(parse_script("  ;;  ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn copy_shuffle_and_cluster_statements_parse() {
+        assert_eq!(
+            parse_statement("COPY forest FROM '/tmp/forest.csv'").unwrap(),
+            Statement::Copy {
+                table: "forest".into(),
+                direction: CopyDirection::FromFile,
+                path: "/tmp/forest.csv".into()
+            }
+        );
+        assert_eq!(
+            parse_statement("COPY myModel TO 'model.csv'").unwrap(),
+            Statement::Copy {
+                table: "myModel".into(),
+                direction: CopyDirection::ToFile,
+                path: "model.csv".into()
+            }
+        );
+        assert_eq!(
+            parse_statement("SHUFFLE TABLE forest SEED 42").unwrap(),
+            Statement::Shuffle { table: "forest".into(), seed: Some(42) }
+        );
+        assert_eq!(
+            parse_statement("SHUFFLE TABLE forest").unwrap(),
+            Statement::Shuffle { table: "forest".into(), seed: None }
+        );
+        assert_eq!(
+            parse_statement("CLUSTER TABLE forest BY label DESC").unwrap(),
+            Statement::Cluster { table: "forest".into(), column: "label".into(), ascending: false }
+        );
+        assert_eq!(
+            parse_statement("CLUSTER TABLE forest BY label").unwrap(),
+            Statement::Cluster { table: "forest".into(), column: "label".into(), ascending: true }
+        );
+    }
+
+    #[test]
+    fn create_table_as_select_parses() {
+        let stmt =
+            parse_statement("CREATE TABLE shuffled AS SELECT * FROM data ORDER BY RANDOM()")
+                .unwrap();
+        let Statement::CreateTableAs { name, query } = stmt else { panic!("expected CTAS") };
+        assert_eq!(name, "shuffled");
+        assert_eq!(query.from.as_deref(), Some("data"));
+        assert_eq!(query.order_by.len(), 1);
+    }
+
+    #[test]
+    fn show_tables_and_describe_parse() {
+        assert_eq!(parse_statement("SHOW TABLES").unwrap(), Statement::ShowTables);
+        assert_eq!(
+            parse_statement("DESCRIBE forest").unwrap(),
+            Statement::Describe { name: "forest".into() }
+        );
+        assert!(parse_statement("SHOW forest").is_err());
+        assert!(parse_statement("DESCRIBE").is_err());
+    }
+
+    #[test]
+    fn copy_without_direction_or_path_is_rejected() {
+        assert!(parse_statement("COPY forest").is_err());
+        assert!(parse_statement("COPY forest FROM 42").is_err());
+        assert!(parse_statement("SHUFFLE forest").is_err());
+        assert!(parse_statement("CLUSTER TABLE forest").is_err());
+    }
+
+    #[test]
+    fn negative_numbers_and_not_parse() {
+        let stmt = parse_statement("SELECT -3.5, NOT TRUE").unwrap();
+        let Statement::Select(select) = stmt else { panic!() };
+        assert!(matches!(
+            select.items[0],
+            SelectItem::Expr { expr: Expr::Unary { op: UnaryOp::Neg, .. }, .. }
+        ));
+        assert!(matches!(
+            select.items[1],
+            SelectItem::Expr { expr: Expr::Unary { op: UnaryOp::Not, .. }, .. }
+        ));
+    }
+}

@@ -1,0 +1,403 @@
+//! Tokenizer for the SQL dialect understood by the front-end.
+//!
+//! The dialect is deliberately small — it covers the statements the paper's
+//! user-facing examples need (Section 2.1): `CREATE TABLE`, `INSERT`,
+//! `SELECT` with `WHERE` / `GROUP BY` / `ORDER BY [RANDOM()]` / `LIMIT`,
+//! `DROP TABLE`, and scalar / aggregate / analytics function calls.
+//! Keywords are case-insensitive; identifiers preserve their case, matching
+//! how the storage catalog resolves names.
+
+use crate::error::{Result, SqlError};
+
+/// A single lexical token plus the byte offset where it starts (for error
+/// messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character in the original statement text.
+    pub offset: usize,
+}
+
+/// The kinds of token the parser consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A keyword such as `SELECT` (always stored upper-cased).
+    Keyword(String),
+    /// An identifier (table, column or function name), case preserved.
+    Identifier(String),
+    /// A single-quoted string literal with quotes stripped and `''` unescaped.
+    StringLiteral(String),
+    /// An integer literal.
+    Integer(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// `(`
+    LeftParen,
+    /// `)`
+    RightParen,
+    /// `[`
+    LeftBracket,
+    /// `]`
+    RightBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `:` (used in sparse-vector literals `{index: value, ...}`)
+    Colon,
+    /// `{`
+    LeftBrace,
+    /// `}`
+    RightBrace,
+}
+
+impl TokenKind {
+    /// A short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Keyword(k) => format!("keyword {k}"),
+            TokenKind::Identifier(id) => format!("identifier {id}"),
+            TokenKind::StringLiteral(_) => "string literal".to_string(),
+            TokenKind::Integer(v) => format!("integer {v}"),
+            TokenKind::Float(v) => format!("float {v}"),
+            TokenKind::LeftParen => "'('".to_string(),
+            TokenKind::RightParen => "')'".to_string(),
+            TokenKind::LeftBracket => "'['".to_string(),
+            TokenKind::RightBracket => "']'".to_string(),
+            TokenKind::Comma => "','".to_string(),
+            TokenKind::Semicolon => "';'".to_string(),
+            TokenKind::Star => "'*'".to_string(),
+            TokenKind::Plus => "'+'".to_string(),
+            TokenKind::Minus => "'-'".to_string(),
+            TokenKind::Slash => "'/'".to_string(),
+            TokenKind::Eq => "'='".to_string(),
+            TokenKind::NotEq => "'<>'".to_string(),
+            TokenKind::Lt => "'<'".to_string(),
+            TokenKind::LtEq => "'<='".to_string(),
+            TokenKind::Gt => "'>'".to_string(),
+            TokenKind::GtEq => "'>='".to_string(),
+            TokenKind::Colon => "':'".to_string(),
+            TokenKind::LeftBrace => "'{'".to_string(),
+            TokenKind::RightBrace => "'}'".to_string(),
+        }
+    }
+}
+
+/// The reserved words of the dialect. Anything else that looks like a word is
+/// an identifier (so function names such as `SVMTrain` stay identifiers and
+/// resolve through the function registry).
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "LIMIT", "AS", "CREATE", "TABLE", "DROP",
+    "INSERT", "INTO", "VALUES", "AND", "OR", "NOT", "NULL", "ASC", "DESC", "TRUE", "FALSE",
+    "ARRAY", "DISTINCT", "IS", "COPY", "TO", "SHUFFLE", "CLUSTER", "SEED", "SHOW", "TABLES",
+    "DESCRIBE",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Tokenize a statement (or a script of `;`-separated statements).
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes: Vec<char> = input.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    // Track byte offsets for error messages; we advance by UTF-8 length.
+    let mut offset = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let start_offset = offset;
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+                offset += c.len_utf8();
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == '-' => {
+                // Line comment: skip to end of line.
+                while i < bytes.len() && bytes[i] != '\n' {
+                    offset += bytes[i].len_utf8();
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let (literal, consumed) = lex_string(&bytes[i..], start_offset)?;
+                tokens.push(Token {
+                    kind: TokenKind::StringLiteral(literal),
+                    offset: start_offset,
+                });
+                for c in &bytes[i..i + consumed] {
+                    offset += c.len_utf8();
+                }
+                i += consumed;
+            }
+            c if c.is_ascii_digit() => {
+                let (kind, consumed) = lex_number(&bytes[i..], start_offset)?;
+                tokens.push(Token { kind, offset: start_offset });
+                offset += consumed;
+                i += consumed;
+            }
+            c if is_ident_start(c) => {
+                let mut end = i;
+                while end < bytes.len() && is_ident_continue(bytes[end]) {
+                    end += 1;
+                }
+                let word: String = bytes[i..end].iter().collect();
+                let upper = word.to_ascii_uppercase();
+                let kind = if KEYWORDS.contains(&upper.as_str()) {
+                    TokenKind::Keyword(upper)
+                } else {
+                    TokenKind::Identifier(word)
+                };
+                tokens.push(Token { kind, offset: start_offset });
+                offset += end - i;
+                i = end;
+            }
+            _ => {
+                let (kind, consumed) = lex_symbol(&bytes[i..], start_offset)?;
+                tokens.push(Token { kind, offset: start_offset });
+                offset += consumed;
+                i += consumed;
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn lex_string(rest: &[char], offset: usize) -> Result<(String, usize)> {
+    debug_assert_eq!(rest[0], '\'');
+    let mut literal = String::new();
+    let mut i = 1usize;
+    while i < rest.len() {
+        if rest[i] == '\'' {
+            // '' is an escaped quote inside the literal.
+            if i + 1 < rest.len() && rest[i + 1] == '\'' {
+                literal.push('\'');
+                i += 2;
+                continue;
+            }
+            return Ok((literal, i + 1));
+        }
+        literal.push(rest[i]);
+        i += 1;
+    }
+    Err(SqlError::Lex { position: offset, message: "unterminated string literal".into() })
+}
+
+fn lex_number(rest: &[char], offset: usize) -> Result<(TokenKind, usize)> {
+    let mut i = 0usize;
+    while i < rest.len() && rest[i].is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_float = false;
+    if i < rest.len() && rest[i] == '.' && i + 1 < rest.len() && rest[i + 1].is_ascii_digit() {
+        is_float = true;
+        i += 1;
+        while i < rest.len() && rest[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i < rest.len() && (rest[i] == 'e' || rest[i] == 'E') {
+        let mut j = i + 1;
+        if j < rest.len() && (rest[j] == '+' || rest[j] == '-') {
+            j += 1;
+        }
+        if j < rest.len() && rest[j].is_ascii_digit() {
+            is_float = true;
+            i = j;
+            while i < rest.len() && rest[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    let text: String = rest[..i].iter().collect();
+    if is_float {
+        text.parse::<f64>()
+            .map(|v| (TokenKind::Float(v), i))
+            .map_err(|e| SqlError::Lex { position: offset, message: format!("bad float: {e}") })
+    } else {
+        text.parse::<i64>()
+            .map(|v| (TokenKind::Integer(v), i))
+            .map_err(|e| SqlError::Lex { position: offset, message: format!("bad integer: {e}") })
+    }
+}
+
+fn lex_symbol(rest: &[char], offset: usize) -> Result<(TokenKind, usize)> {
+    let two: String = rest.iter().take(2).collect();
+    match two.as_str() {
+        "<>" => return Ok((TokenKind::NotEq, 2)),
+        "!=" => return Ok((TokenKind::NotEq, 2)),
+        "<=" => return Ok((TokenKind::LtEq, 2)),
+        ">=" => return Ok((TokenKind::GtEq, 2)),
+        _ => {}
+    }
+    let kind = match rest[0] {
+        '(' => TokenKind::LeftParen,
+        ')' => TokenKind::RightParen,
+        '[' => TokenKind::LeftBracket,
+        ']' => TokenKind::RightBracket,
+        '{' => TokenKind::LeftBrace,
+        '}' => TokenKind::RightBrace,
+        ',' => TokenKind::Comma,
+        ';' => TokenKind::Semicolon,
+        '*' => TokenKind::Star,
+        '+' => TokenKind::Plus,
+        '-' => TokenKind::Minus,
+        '/' => TokenKind::Slash,
+        '=' => TokenKind::Eq,
+        '<' => TokenKind::Lt,
+        '>' => TokenKind::Gt,
+        ':' => TokenKind::Colon,
+        other => {
+            return Err(SqlError::Lex {
+                position: offset,
+                message: format!("unexpected character '{other}'"),
+            })
+        }
+    };
+    Ok((kind, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_and_uppercased() {
+        let toks = kinds("select From wHeRe");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Keyword("FROM".into()),
+                TokenKind::Keyword("WHERE".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_keep_case_and_are_not_keywords() {
+        let toks = kinds("SVMTrain LabeledPapers vec_2");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Identifier("SVMTrain".into()),
+                TokenKind::Identifier("LabeledPapers".into()),
+                TokenKind::Identifier("vec_2".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals_strip_quotes_and_unescape() {
+        let toks = kinds("'myModel' 'it''s'");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::StringLiteral("myModel".into()),
+                TokenKind::StringLiteral("it's".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_a_lex_error() {
+        let err = tokenize("SELECT 'oops").unwrap_err();
+        assert!(matches!(err, SqlError::Lex { .. }));
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn numbers_split_into_integer_and_float() {
+        let toks = kinds("42 3.5 1e-3 7.25e2 10");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Integer(42),
+                TokenKind::Float(3.5),
+                TokenKind::Float(1e-3),
+                TokenKind::Float(7.25e2),
+                TokenKind::Integer(10),
+            ]
+        );
+    }
+
+    #[test]
+    fn symbols_and_two_char_operators() {
+        let toks = kinds("( ) [ ] { } , ; * + - / = <> != < <= > >= :");
+        assert_eq!(toks.len(), 20);
+        assert_eq!(toks[13], TokenKind::NotEq);
+        assert_eq!(toks[14], TokenKind::NotEq);
+        assert_eq!(toks[16], TokenKind::LtEq);
+        assert_eq!(toks[18], TokenKind::GtEq);
+    }
+
+    #[test]
+    fn line_comments_are_skipped() {
+        let toks = kinds("SELECT 1 -- the answer\n, 2");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Integer(1),
+                TokenKind::Comma,
+                TokenKind::Integer(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn offsets_point_at_token_starts() {
+        let toks = tokenize("SELECT  foo").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 8);
+    }
+
+    #[test]
+    fn unexpected_character_reports_position() {
+        let err = tokenize("SELECT @").unwrap_err();
+        match err {
+            SqlError::Lex { position, .. } => assert_eq!(position, 7),
+            other => panic!("expected lex error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_training_query_tokenizes() {
+        let toks = kinds("SELECT SVMTrain('myModel', 'LabeledPapers', 'vec', 'label');");
+        assert_eq!(toks[0], TokenKind::Keyword("SELECT".into()));
+        assert_eq!(toks[1], TokenKind::Identifier("SVMTrain".into()));
+        assert_eq!(toks[2], TokenKind::LeftParen);
+        assert_eq!(toks[3], TokenKind::StringLiteral("myModel".into()));
+        assert_eq!(*toks.last().unwrap(), TokenKind::Semicolon);
+    }
+}

@@ -1,0 +1,137 @@
+//! The database catalog: a named collection of tables.
+
+use std::collections::BTreeMap;
+
+use crate::error::StorageError;
+use crate::schema::Schema;
+use crate::table::Table;
+
+/// An in-process database: a catalog of heap tables.
+///
+/// This is the object the Bismarck front-ends (`LogisticRegressionTrain`,
+/// `SvmTrain`, ...) operate on: they read a training table from the catalog
+/// and persist the learned model back into it as a new table, mirroring the
+/// paper's `SELECT SVMTrain('myModel', 'LabeledPapers', 'vec', 'label')`.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Create a table with the given schema; fails if the name is taken.
+    pub fn create_table(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+    ) -> Result<&mut Table, StorageError> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(StorageError::TableExists(name));
+        }
+        let table = Table::new(name.clone(), schema);
+        Ok(self.tables.entry(name).or_insert(table))
+    }
+
+    /// Register an already-built table (e.g. from a dataset generator);
+    /// replaces any table of the same name, mirroring `CREATE OR REPLACE`.
+    pub fn register_table(&mut self, table: Table) {
+        self.tables.insert(table.name().to_string(), table);
+    }
+
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> Result<&Table, StorageError> {
+        self.tables.get(name).ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable lookup by name.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StorageError> {
+        self.tables.get_mut(name).ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Remove a table; returns it if present.
+    pub fn drop_table(&mut self, name: &str) -> Result<Table, StorageError> {
+        self.tables.remove(name).ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Whether a table exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType};
+    use crate::value::Value;
+
+    fn schema() -> Schema {
+        Schema::new(vec![Column::new("id", DataType::Int)]).unwrap()
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let mut db = Database::new();
+        db.create_table("t", schema()).unwrap();
+        assert!(db.contains("t"));
+        assert_eq!(db.table("t").unwrap().len(), 0);
+        assert!(db.table("missing").is_err());
+        assert_eq!(db.len(), 1);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn create_duplicate_fails() {
+        let mut db = Database::new();
+        db.create_table("t", schema()).unwrap();
+        assert!(matches!(db.create_table("t", schema()), Err(StorageError::TableExists(_))));
+    }
+
+    #[test]
+    fn register_replaces() {
+        let mut db = Database::new();
+        db.create_table("t", schema()).unwrap();
+        db.table_mut("t").unwrap().insert(vec![Value::Int(1)]).unwrap();
+        let replacement = Table::new("t", schema());
+        db.register_table(replacement);
+        assert_eq!(db.table("t").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn drop_table_removes() {
+        let mut db = Database::new();
+        db.create_table("t", schema()).unwrap();
+        let t = db.drop_table("t").unwrap();
+        assert_eq!(t.name(), "t");
+        assert!(!db.contains("t"));
+        assert!(db.drop_table("t").is_err());
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let mut db = Database::new();
+        db.create_table("b", schema()).unwrap();
+        db.create_table("a", schema()).unwrap();
+        assert_eq!(db.table_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

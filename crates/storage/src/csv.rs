@@ -1,0 +1,194 @@
+//! Plain-text import/export for tables.
+//!
+//! The paper loads public datasets (Forest, DBLife, MovieLens, CoNLL) into
+//! database tables before training. We support a simple delimited text
+//! format so the examples can load data from disk and so generated datasets
+//! can be inspected:
+//!
+//! * `INT`, `DOUBLE`, `TEXT` columns hold their literal value;
+//! * `DENSE_VEC` columns hold semicolon-separated floats (`1.0;0.5;2.0`);
+//! * `SPARSE_VEC` columns hold semicolon-separated `index:value` pairs.
+//!
+//! Fields are separated by commas; `SEQUENCE` columns are not supported in
+//! the text format (CRF data is generated programmatically).
+
+use bismarck_linalg::{DenseVector, SparseVector};
+
+use crate::error::StorageError;
+use crate::schema::{DataType, Schema};
+use crate::table::Table;
+use crate::value::Value;
+
+/// Parse one field according to its declared type.
+fn parse_field(field: &str, dtype: DataType) -> Result<Value, StorageError> {
+    let field = field.trim();
+    if field.is_empty() || field.eq_ignore_ascii_case("null") {
+        return Ok(Value::Null);
+    }
+    match dtype {
+        DataType::Int => field
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| StorageError::Parse(format!("bad int '{field}': {e}"))),
+        DataType::Double => field
+            .parse::<f64>()
+            .map(Value::Double)
+            .map_err(|e| StorageError::Parse(format!("bad double '{field}': {e}"))),
+        DataType::Text => Ok(Value::Text(field.to_string())),
+        DataType::DenseVec => {
+            let mut values = Vec::new();
+            for part in field.split(';').filter(|p| !p.trim().is_empty()) {
+                let v: f64 = part
+                    .trim()
+                    .parse()
+                    .map_err(|e| StorageError::Parse(format!("bad dense entry '{part}': {e}")))?;
+                values.push(v);
+            }
+            Ok(Value::DenseVec(DenseVector::from(values)))
+        }
+        DataType::SparseVec => {
+            let mut pairs = Vec::new();
+            for part in field.split(';').filter(|p| !p.trim().is_empty()) {
+                let (idx, val) = part.split_once(':').ok_or_else(|| {
+                    StorageError::Parse(format!("sparse entry '{part}' is not index:value"))
+                })?;
+                let idx: usize = idx
+                    .trim()
+                    .parse()
+                    .map_err(|e| StorageError::Parse(format!("bad sparse index '{idx}': {e}")))?;
+                let val: f64 = val
+                    .trim()
+                    .parse()
+                    .map_err(|e| StorageError::Parse(format!("bad sparse value '{val}': {e}")))?;
+                pairs.push((idx, val));
+            }
+            Ok(Value::SparseVec(SparseVector::from_pairs(pairs)))
+        }
+        DataType::Sequence => Err(StorageError::Parse(
+            "SEQUENCE columns are not supported by the text format".to_string(),
+        )),
+    }
+}
+
+/// Render one value in the text format.
+fn render_field(value: &Value) -> String {
+    match value {
+        Value::Null => String::new(),
+        Value::Int(v) => v.to_string(),
+        Value::Double(v) => format!("{v}"),
+        Value::Text(s) => s.clone(),
+        Value::DenseVec(v) => v
+            .as_slice()
+            .iter()
+            .map(|x| format!("{x}"))
+            .collect::<Vec<_>>()
+            .join(";"),
+        Value::SparseVec(v) => v
+            .iter()
+            .map(|(i, x)| format!("{i}:{x}"))
+            .collect::<Vec<_>>()
+            .join(";"),
+        Value::Sequence(_) => "<sequence>".to_string(),
+    }
+}
+
+/// Parse delimited text into a new table with the given name and schema.
+pub fn table_from_str(
+    name: &str,
+    schema: Schema,
+    text: &str,
+) -> Result<Table, StorageError> {
+    let mut table = Table::new(name, schema);
+    for (line_no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != table.schema().arity() {
+            return Err(StorageError::Parse(format!(
+                "line {}: expected {} fields, got {}",
+                line_no + 1,
+                table.schema().arity(),
+                fields.len()
+            )));
+        }
+        let mut row = Vec::with_capacity(fields.len());
+        for (field, col) in fields.iter().zip(table.schema().columns().iter().cloned()) {
+            row.push(parse_field(field, col.dtype)?);
+        }
+        table.insert(row)?;
+    }
+    Ok(table)
+}
+
+/// Render a table to the delimited text format (no header).
+pub fn table_to_string(table: &Table) -> String {
+    let mut out = String::new();
+    for tuple in table.scan() {
+        let line: Vec<String> = tuple.values().iter().map(render_field).collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("vec", DataType::DenseVec),
+            Column::new("svec", DataType::SparseVec),
+            Column::nullable("label", DataType::Double),
+            Column::new("name", DataType::Text),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = "1,1.0;2.0,0:1.5;3:2.0,-1,alice\n2,0.5;0.5,1:1.0,,bob\n";
+        let t = table_from_str("t", schema(), text).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(0).unwrap().get_int(0), Some(1));
+        assert_eq!(t.get(0).unwrap().get_feature_vector(1).unwrap().dimension(), 2);
+        assert_eq!(t.get(0).unwrap().get_feature_vector(2).unwrap().nnz(), 2);
+        assert!(t.get(1).unwrap().get(3).unwrap().is_null());
+        assert_eq!(t.get(1).unwrap().get_text(4), Some("bob"));
+
+        let rendered = table_to_string(&t);
+        let t2 = table_from_str("t2", schema(), &rendered).unwrap();
+        assert_eq!(t2.len(), 2);
+        assert_eq!(
+            t2.get(0).unwrap().get_feature_vector(2).unwrap().dot(&[1.0, 0.0, 0.0, 1.0]),
+            1.5 + 2.0
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# header\n\n1,1.0,0:1.0,0.0,x\n";
+        let t = table_from_str("t", schema(), text).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_reports_line() {
+        let err = table_from_str("t", schema(), "1,2.0\n").unwrap_err();
+        assert!(matches!(err, StorageError::Parse(msg) if msg.contains("line 1")));
+    }
+
+    #[test]
+    fn bad_numbers_rejected() {
+        let text = "x,1.0,0:1.0,0.0,n\n";
+        assert!(table_from_str("t", schema(), text).is_err());
+        let text2 = "1,abc,0:1.0,0.0,n\n";
+        assert!(table_from_str("t", schema(), text2).is_err());
+        let text3 = "1,1.0,zz,0.0,n\n";
+        assert!(table_from_str("t", schema(), text3).is_err());
+    }
+}

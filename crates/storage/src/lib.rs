@@ -1,0 +1,47 @@
+//! A minimal in-process RDBMS substrate for the Bismarck reproduction.
+//!
+//! The paper implements Bismarck on top of PostgreSQL and two commercial
+//! engines, relying on only three engine facilities:
+//!
+//! 1. **tuple-at-a-time scans** of a stored table, in whatever order the data
+//!    happens to be clustered on disk (plus `ORDER BY RANDOM()` to shuffle);
+//! 2. **user-defined aggregates** — `initialize` / `transition` / `terminate`
+//!    and, for shared-nothing parallelism, `merge`;
+//! 3. optional **shared memory** managed in user space so a model can be
+//!    updated concurrently by several workers.
+//!
+//! This crate provides exactly those facilities as a library: a catalog of
+//! paged row-store tables, scan iterators honouring storage order or a random
+//! permutation, table segmentation for shared-nothing execution, reservoir
+//! sampling, a strawman NULL aggregate used to measure framework overhead,
+//! and an atomically-updatable shared model region.
+//!
+//! It is intentionally *not* a SQL engine: Bismarck's contribution is the
+//! analytics architecture above these facilities, so we keep the substrate
+//! small, deterministic and easy to test.
+
+pub mod catalog;
+pub mod csv;
+pub mod error;
+pub mod null_agg;
+pub mod reservoir;
+pub mod scan;
+pub mod schema;
+pub mod shared;
+pub mod table;
+pub mod tuple;
+pub mod value;
+
+pub use catalog::Database;
+pub use error::StorageError;
+pub use null_agg::NullAggregate;
+pub use reservoir::ReservoirSampler;
+pub use scan::{segment_ranges, ScanOrder};
+pub use schema::{Column, DataType, Schema};
+pub use shared::SharedModel;
+pub use table::Table;
+pub use tuple::Tuple;
+pub use value::Value;
+
+/// Convenience result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;

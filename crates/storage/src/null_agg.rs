@@ -1,0 +1,128 @@
+//! The strawman "NULL aggregate" of Section 4.1.
+//!
+//! To measure the runtime overhead that Bismarck's gradient computation adds
+//! on top of the engine's own scan + aggregation machinery, the paper
+//! compares every task against an aggregate that "sees the same data, but
+//! computes no values". Tables 2 and 3 report task runtime relative to this
+//! NULL aggregate. We reproduce it as an aggregate that touches each tuple
+//! (forcing the scan and accessor work) but performs no model arithmetic.
+
+use crate::table::Table;
+use crate::tuple::Tuple;
+
+/// A no-op aggregate used as the overhead baseline.
+#[derive(Debug, Default, Clone)]
+pub struct NullAggregate {
+    tuples_seen: usize,
+    bytes_seen: usize,
+}
+
+impl NullAggregate {
+    /// Fresh aggregate state.
+    pub fn new() -> Self {
+        NullAggregate::default()
+    }
+
+    /// Transition: observe one tuple without computing anything.
+    ///
+    /// "Sees the same data" means the engine still pays the per-tuple cost of
+    /// materializing the aggregate's arguments (tuple deforming, datum
+    /// copies) even though the aggregate ignores them. We model that by
+    /// materializing every column value — cloning array payloads exactly as
+    /// the typed accessors used by the real tasks do — and only then
+    /// discarding the result. Without this, the baseline would measure a
+    /// bare pointer walk and wildly overstate the relative cost of the
+    /// gradient arithmetic.
+    #[inline]
+    pub fn transition(&mut self, tuple: &Tuple) {
+        self.tuples_seen += 1;
+        let mut bytes = 0usize;
+        for value in tuple.values() {
+            if let Some(fv) = value.as_feature_vector() {
+                bytes += fv.nnz() * 8;
+            } else {
+                bytes += value.approx_bytes();
+            }
+        }
+        self.bytes_seen += bytes;
+    }
+
+    /// Terminate: report how many tuples were seen.
+    pub fn terminate(&self) -> usize {
+        self.tuples_seen
+    }
+
+    /// Merge two independently computed NULL aggregates (the UDA `merge`).
+    pub fn merge(&mut self, other: &NullAggregate) {
+        self.tuples_seen += other.tuples_seen;
+        self.bytes_seen += other.bytes_seen;
+    }
+
+    /// Run one full pass over a table and return the tuple count. This is
+    /// the "single-iteration runtime of the NULL aggregate" measured in
+    /// Tables 2 and 3.
+    pub fn run_epoch(table: &Table) -> usize {
+        let mut agg = NullAggregate::new();
+        for tuple in table.scan() {
+            agg.transition(tuple);
+        }
+        agg.terminate()
+    }
+
+    /// Run one pass following an explicit row permutation.
+    pub fn run_epoch_permuted(table: &Table, order: &[usize]) -> usize {
+        let mut agg = NullAggregate::new();
+        for tuple in table.scan_permuted(order) {
+            agg.transition(tuple);
+        }
+        agg.terminate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType, Schema};
+    use crate::value::Value;
+
+    fn table(n: usize) -> Table {
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("label", DataType::Double),
+        ])
+        .unwrap();
+        let mut t = Table::new("t", schema);
+        for i in 0..n {
+            t.insert(vec![Value::Int(i as i64), Value::Double(1.0)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn counts_all_tuples() {
+        let t = table(300);
+        assert_eq!(NullAggregate::run_epoch(&t), 300);
+    }
+
+    #[test]
+    fn permuted_epoch_sees_whole_permutation() {
+        let t = table(10);
+        let order: Vec<usize> = (0..10).rev().collect();
+        assert_eq!(NullAggregate::run_epoch_permuted(&t, &order), 10);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let t = table(5);
+        let mut a = NullAggregate::new();
+        let mut b = NullAggregate::new();
+        for tuple in t.scan().take(2) {
+            a.transition(tuple);
+        }
+        for tuple in t.scan().skip(2) {
+            b.transition(tuple);
+        }
+        a.merge(&b);
+        assert_eq!(a.terminate(), 5);
+    }
+}

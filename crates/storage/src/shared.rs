@@ -1,0 +1,181 @@
+//! User-space shared memory for concurrently-updated models.
+//!
+//! Section 3.3: "Shared-memory management is provided by most RDBMSes, and it
+//! enables us to implement the IGD aggregate completely in the user space".
+//! We model that facility as a [`SharedModel`] — a fixed-size array of `f64`
+//! components stored in `AtomicU64` cells so that several worker threads can
+//! update the model concurrently with three different disciplines:
+//!
+//! * **NoLock** (Hogwild!): plain racy read/add/store of each component;
+//! * **AIG** (atomic incremental gradient): per-component compare-and-swap
+//!   loops, i.e. each coordinate update is atomic but the model as a whole is
+//!   not locked;
+//! * **Lock**: callers serialize whole-model updates through an external
+//!   mutex (provided by the parallel executor, not this type).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared, atomically accessible vector of `f64` model components.
+#[derive(Debug, Clone)]
+pub struct SharedModel {
+    cells: Arc<Vec<AtomicU64>>,
+}
+
+impl SharedModel {
+    /// Create a shared model initialized from `values`.
+    pub fn from_slice(values: &[f64]) -> Self {
+        let cells = values.iter().map(|v| AtomicU64::new(v.to_bits())).collect();
+        SharedModel { cells: Arc::new(cells) }
+    }
+
+    /// Create a zero-initialized shared model of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        SharedModel::from_slice(&vec![0.0; n])
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the model has no components.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Read component `i` (relaxed ordering — the Hogwild!/AIG analyses
+    /// tolerate stale reads).
+    #[inline]
+    pub fn load(&self, i: usize) -> f64 {
+        f64::from_bits(self.cells[i].load(Ordering::Relaxed))
+    }
+
+    /// Racy store of component `i` (the NoLock discipline).
+    #[inline]
+    pub fn store(&self, i: usize, value: f64) {
+        self.cells[i].store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Racy read-add-store of component `i` (NoLock): other writers landing
+    /// between the read and the store can be lost, which the Hogwild! result
+    /// shows is tolerable for sparse updates.
+    #[inline]
+    pub fn add_racy(&self, i: usize, delta: f64) {
+        let current = self.load(i);
+        self.store(i, current + delta);
+    }
+
+    /// Atomic add of `delta` to component `i` using a compare-and-exchange
+    /// loop; this is the AIG discipline's per-component "lock".
+    #[inline]
+    pub fn add_atomic(&self, i: usize, delta: f64) {
+        let cell = &self.cells[i];
+        let mut current = cell.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(current) + delta).to_bits();
+            match cell.compare_exchange_weak(current, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Snapshot the whole model into a `Vec<f64>`.
+    pub fn snapshot(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.load(i)).collect()
+    }
+
+    /// Overwrite the whole model from a slice (shorter slices leave the tail
+    /// untouched; longer slices are truncated).
+    pub fn overwrite(&self, values: &[f64]) {
+        for (i, &v) in values.iter().enumerate().take(self.len()) {
+            self.store(i, v);
+        }
+    }
+
+    /// Number of `Arc` handles to the underlying cells (diagnostics only).
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn roundtrip_load_store() {
+        let m = SharedModel::zeros(3);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        m.store(1, 2.5);
+        assert_eq!(m.load(1), 2.5);
+        assert_eq!(m.snapshot(), vec![0.0, 2.5, 0.0]);
+    }
+
+    #[test]
+    fn from_slice_preserves_values() {
+        let m = SharedModel::from_slice(&[1.0, -2.0]);
+        assert_eq!(m.snapshot(), vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn overwrite_partial_and_truncated() {
+        let m = SharedModel::zeros(3);
+        m.overwrite(&[1.0]);
+        assert_eq!(m.snapshot(), vec![1.0, 0.0, 0.0]);
+        m.overwrite(&[9.0, 9.0, 9.0, 9.0]);
+        assert_eq!(m.snapshot(), vec![9.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn add_atomic_is_exact_under_contention() {
+        let m = SharedModel::zeros(1);
+        let threads = 4;
+        let per_thread = 10_000;
+        thread::scope(|s| {
+            for _ in 0..threads {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        m.add_atomic(0, 1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.load(0), (threads * per_thread) as f64);
+    }
+
+    #[test]
+    fn add_racy_still_makes_progress() {
+        // Racy adds may lose updates but must end up positive and bounded by
+        // the exact count.
+        let m = SharedModel::zeros(1);
+        let threads = 4;
+        let per_thread = 10_000;
+        thread::scope(|s| {
+            for _ in 0..threads {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        m.add_racy(0, 1.0);
+                    }
+                });
+            }
+        });
+        let v = m.load(0);
+        assert!(v > 0.0);
+        assert!(v <= (threads * per_thread) as f64);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let m = SharedModel::zeros(2);
+        let m2 = m.clone();
+        m2.store(0, 7.0);
+        assert_eq!(m.load(0), 7.0);
+        assert!(m.handle_count() >= 2);
+    }
+}

@@ -1,0 +1,168 @@
+//! The developer-facing aggregate abstraction (Figure 3).
+
+use bismarck_storage::Tuple;
+
+/// A user-defined aggregate in the standard three-phase form, plus `merge`
+/// for shared-nothing parallelism.
+///
+/// PostgreSQL calls these `initcond` / `sfunc` / `finalfunc`; DB2 and the
+/// commercial engines in the paper use analogous names. Implementations hold
+/// the per-task configuration (step size, regularization, column positions)
+/// in `&self`; everything that changes during aggregation lives in `State`.
+pub trait Aggregate {
+    /// The aggregation context (for IGD: the model plus step counters).
+    type State;
+    /// What `terminate` produces (usually the trained model).
+    type Output;
+
+    /// Create the initial aggregation state (e.g. a zero model or a model
+    /// carried over from the previous epoch).
+    fn initialize(&self) -> Self::State;
+
+    /// Fold one tuple into the state. For IGD this computes the gradient of
+    /// the objective on this example and takes one step (Equation 2).
+    fn transition(&self, state: &mut Self::State, tuple: &Tuple);
+
+    /// Combine two states that were aggregated independently over disjoint
+    /// parts of the data. The default panics, so purely sequential
+    /// aggregates don't have to provide one.
+    fn merge(&self, _left: &mut Self::State, _right: Self::State) {
+        unimplemented!("this aggregate does not support shared-nothing merging")
+    }
+
+    /// Finish the aggregation and produce the output.
+    fn terminate(&self, state: Self::State) -> Self::Output;
+}
+
+/// A simple counting aggregate used in tests and as documentation of the
+/// trait's contract: `COUNT(*)` as a UDA.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountAggregate;
+
+impl Aggregate for CountAggregate {
+    type State = u64;
+    type Output = u64;
+
+    fn initialize(&self) -> u64 {
+        0
+    }
+
+    fn transition(&self, state: &mut u64, _tuple: &Tuple) {
+        *state += 1;
+    }
+
+    fn merge(&self, left: &mut u64, right: u64) {
+        *left += right;
+    }
+
+    fn terminate(&self, state: u64) -> u64 {
+        state
+    }
+}
+
+/// An `AVG(column)` aggregate over a double column; exercises a stateful
+/// merge (sum and count are the "sufficient statistics" mentioned in
+/// Section 3.3).
+#[derive(Debug, Clone, Copy)]
+pub struct AvgAggregate {
+    /// Ordinal position of the column to average.
+    pub column: usize,
+}
+
+/// Running sum and count for [`AvgAggregate`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AvgState {
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Number of non-NULL observed values.
+    pub count: u64,
+}
+
+impl Aggregate for AvgAggregate {
+    type State = AvgState;
+    type Output = Option<f64>;
+
+    fn initialize(&self) -> AvgState {
+        AvgState::default()
+    }
+
+    fn transition(&self, state: &mut AvgState, tuple: &Tuple) {
+        if let Some(v) = tuple.get_double(self.column) {
+            state.sum += v;
+            state.count += 1;
+        }
+    }
+
+    fn merge(&self, left: &mut AvgState, right: AvgState) {
+        left.sum += right.sum;
+        left.count += right.count;
+    }
+
+    fn terminate(&self, state: AvgState) -> Option<f64> {
+        if state.count == 0 {
+            None
+        } else {
+            Some(state.sum / state.count as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bismarck_storage::{Column, DataType, Schema, Table, Value};
+
+    fn table(values: &[f64]) -> Table {
+        let schema = Schema::new(vec![Column::nullable("x", DataType::Double)]).unwrap();
+        let mut t = Table::new("t", schema);
+        for &v in values {
+            t.insert(vec![Value::Double(v)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn count_aggregate_counts() {
+        let t = table(&[1.0, 2.0, 3.0]);
+        let agg = CountAggregate;
+        let mut state = agg.initialize();
+        for tup in t.scan() {
+            agg.transition(&mut state, tup);
+        }
+        assert_eq!(agg.terminate(state), 3);
+    }
+
+    #[test]
+    fn count_merge_adds() {
+        let agg = CountAggregate;
+        let mut a = 2u64;
+        agg.merge(&mut a, 5);
+        assert_eq!(a, 7);
+    }
+
+    #[test]
+    fn avg_aggregate_computes_mean() {
+        let t = table(&[1.0, 2.0, 6.0]);
+        let agg = AvgAggregate { column: 0 };
+        let mut state = agg.initialize();
+        for tup in t.scan() {
+            agg.transition(&mut state, tup);
+        }
+        assert_eq!(agg.terminate(state), Some(3.0));
+    }
+
+    #[test]
+    fn avg_of_empty_is_none() {
+        let agg = AvgAggregate { column: 0 };
+        assert_eq!(agg.terminate(agg.initialize()), None);
+    }
+
+    #[test]
+    fn avg_merge_combines_sufficient_statistics() {
+        let agg = AvgAggregate { column: 0 };
+        let mut left = AvgState { sum: 3.0, count: 2 };
+        let right = AvgState { sum: 9.0, count: 1 };
+        agg.merge(&mut left, right);
+        assert_eq!(agg.terminate(left), Some(4.0));
+    }
+}

@@ -1,0 +1,164 @@
+//! Stopping conditions for the epoch loop.
+//!
+//! Section 3.1 ("Key Differences: Epochs and Convergence") and Appendix B:
+//! Bismarck supports "an arbitrary Boolean function" as the convergence test.
+//! The common cases are a fixed number of epochs, a relative drop in the loss
+//! value between epochs, and a gradient-norm threshold. The evaluation uses
+//! "0.1% tolerance in the objective function value" for completion times.
+
+/// A stopping condition evaluated after every epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConvergenceTest {
+    /// Stop after exactly this many epochs.
+    FixedEpochs(usize),
+    /// Stop when the relative decrease in loss between consecutive epochs
+    /// falls below `tolerance`, or after `max_epochs`, whichever is first.
+    RelativeLossDecrease {
+        /// Relative tolerance, e.g. `1e-3` for the paper's 0.1%.
+        tolerance: f64,
+        /// Upper bound on epochs so training always terminates.
+        max_epochs: usize,
+    },
+    /// Stop when the loss falls at or below an absolute target value, or
+    /// after `max_epochs`. Used by experiments that measure "time to reach
+    /// X times the optimal objective value" (Figure 10(B)).
+    LossBelow {
+        /// Absolute loss target.
+        target: f64,
+        /// Upper bound on epochs.
+        max_epochs: usize,
+    },
+    /// Stop when the gradient norm reported by the task falls below
+    /// `tolerance`, or after `max_epochs`.
+    GradientNormBelow {
+        /// Gradient-norm threshold.
+        tolerance: f64,
+        /// Upper bound on epochs.
+        max_epochs: usize,
+    },
+}
+
+impl ConvergenceTest {
+    /// The paper's default completion criterion: 0.1% relative tolerance with
+    /// a generous epoch cap.
+    pub fn paper_default(max_epochs: usize) -> Self {
+        ConvergenceTest::RelativeLossDecrease { tolerance: 1e-3, max_epochs }
+    }
+
+    /// Decide whether to stop after `epoch` (0-based) given the loss history
+    /// so far (`losses[e]` is the loss measured after epoch `e`) and the
+    /// latest gradient norm if the task tracks one.
+    pub fn should_stop(&self, epoch: usize, losses: &[f64], gradient_norm: Option<f64>) -> bool {
+        match *self {
+            ConvergenceTest::FixedEpochs(n) => epoch + 1 >= n,
+            ConvergenceTest::RelativeLossDecrease { tolerance, max_epochs } => {
+                if epoch + 1 >= max_epochs {
+                    return true;
+                }
+                if losses.len() < 2 {
+                    return false;
+                }
+                let prev = losses[losses.len() - 2];
+                let curr = losses[losses.len() - 1];
+                if !prev.is_finite() || !curr.is_finite() {
+                    return false;
+                }
+                let denom = prev.abs().max(1e-12);
+                let rel = (prev - curr) / denom;
+                // Stop only when progress is non-negative and tiny; a loss
+                // increase (rel < 0) keeps training, mirroring the common
+                // "relative drop" heuristic.
+                (0.0..tolerance).contains(&rel)
+            }
+            ConvergenceTest::LossBelow { target, max_epochs } => {
+                if epoch + 1 >= max_epochs {
+                    return true;
+                }
+                losses.last().is_some_and(|&l| l <= target)
+            }
+            ConvergenceTest::GradientNormBelow { tolerance, max_epochs } => {
+                if epoch + 1 >= max_epochs {
+                    return true;
+                }
+                gradient_norm.is_some_and(|g| g <= tolerance)
+            }
+        }
+    }
+
+    /// The maximum number of epochs this test will ever allow.
+    pub fn epoch_cap(&self) -> usize {
+        match *self {
+            ConvergenceTest::FixedEpochs(n) => n,
+            ConvergenceTest::RelativeLossDecrease { max_epochs, .. }
+            | ConvergenceTest::LossBelow { max_epochs, .. }
+            | ConvergenceTest::GradientNormBelow { max_epochs, .. } => max_epochs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_epochs_counts() {
+        let t = ConvergenceTest::FixedEpochs(3);
+        assert!(!t.should_stop(0, &[1.0], None));
+        assert!(!t.should_stop(1, &[1.0, 0.9], None));
+        assert!(t.should_stop(2, &[1.0, 0.9, 0.8], None));
+        assert_eq!(t.epoch_cap(), 3);
+    }
+
+    #[test]
+    fn relative_drop_stops_on_small_improvement() {
+        let t = ConvergenceTest::RelativeLossDecrease { tolerance: 1e-3, max_epochs: 100 };
+        assert!(!t.should_stop(0, &[10.0], None));
+        // 10 -> 5: big improvement, keep going
+        assert!(!t.should_stop(1, &[10.0, 5.0], None));
+        // 5 -> 4.9999: tiny improvement, stop
+        assert!(t.should_stop(2, &[10.0, 5.0, 4.9999], None));
+        // loss increased: keep going
+        assert!(!t.should_stop(3, &[10.0, 5.0, 4.9999, 5.5], None));
+    }
+
+    #[test]
+    fn relative_drop_respects_epoch_cap() {
+        let t = ConvergenceTest::RelativeLossDecrease { tolerance: 1e-9, max_epochs: 2 };
+        assert!(t.should_stop(1, &[10.0, 1.0], None));
+    }
+
+    #[test]
+    fn relative_drop_ignores_non_finite() {
+        let t = ConvergenceTest::RelativeLossDecrease { tolerance: 1e-3, max_epochs: 10 };
+        assert!(!t.should_stop(1, &[f64::INFINITY, 5.0], None));
+        assert!(!t.should_stop(1, &[f64::NAN, 5.0], None));
+    }
+
+    #[test]
+    fn loss_below_target() {
+        let t = ConvergenceTest::LossBelow { target: 1.0, max_epochs: 50 };
+        assert!(!t.should_stop(0, &[2.0], None));
+        assert!(t.should_stop(1, &[2.0, 0.9], None));
+        assert!(t.should_stop(49, &[2.0; 50], None));
+    }
+
+    #[test]
+    fn gradient_norm_threshold() {
+        let t = ConvergenceTest::GradientNormBelow { tolerance: 1e-2, max_epochs: 10 };
+        assert!(!t.should_stop(0, &[1.0], Some(0.5)));
+        assert!(t.should_stop(1, &[1.0, 1.0], Some(1e-3)));
+        assert!(!t.should_stop(1, &[1.0, 1.0], None));
+        assert!(t.should_stop(9, &[1.0; 10], None));
+    }
+
+    #[test]
+    fn paper_default_is_point_one_percent() {
+        match ConvergenceTest::paper_default(20) {
+            ConvergenceTest::RelativeLossDecrease { tolerance, max_epochs } => {
+                assert!((tolerance - 1e-3).abs() < 1e-15);
+                assert_eq!(max_epochs, 20);
+            }
+            other => panic!("unexpected default {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Execution strategies for aggregates over stored tables.
+//!
+//! * [`run_sequential`] — the ordinary single-threaded aggregation path every
+//!   RDBMS provides, optionally following an explicit row permutation (the
+//!   substrate's `ORDER BY RANDOM()`).
+//! * [`run_segmented`] — shared-nothing execution: the table is split into
+//!   contiguous segments, each segment is aggregated independently starting
+//!   from its own `initialize()`, and the partial states are combined with
+//!   `merge`. This is how the paper's "pure UDA" parallelism works on the
+//!   parallel DBMS B (8 segments).
+//! * [`run_segmented_parallel`] — the same plan executed on worker threads.
+
+use bismarck_storage::{segment_ranges, Table};
+
+use crate::aggregate::Aggregate;
+
+/// Run an aggregate over the whole table in one pass.
+///
+/// If `order` is `Some`, tuples are visited following that row permutation;
+/// otherwise they are visited in storage (clustered) order.
+pub fn run_sequential<A: Aggregate>(agg: &A, table: &Table, order: Option<&[usize]>) -> A::Output {
+    let mut state = agg.initialize();
+    match order {
+        Some(order) => {
+            for tuple in table.scan_permuted(order) {
+                agg.transition(&mut state, tuple);
+            }
+        }
+        None => {
+            for tuple in table.scan() {
+                agg.transition(&mut state, tuple);
+            }
+        }
+    }
+    agg.terminate(state)
+}
+
+/// Shared-nothing execution plan: aggregate each of `segments` contiguous
+/// ranges independently and merge the partial states left to right.
+///
+/// Deterministic and single-threaded — useful for testing merge correctness
+/// in isolation from scheduling effects.
+pub fn run_segmented<A: Aggregate>(agg: &A, table: &Table, segments: usize) -> A::Output {
+    let ranges = segment_ranges(table.len(), segments.max(1));
+    let mut partials = ranges.into_iter().map(|(start, end)| {
+        let mut state = agg.initialize();
+        for tuple in table.scan_range(start, end) {
+            agg.transition(&mut state, tuple);
+        }
+        state
+    });
+    let mut merged = partials.next().unwrap_or_else(|| agg.initialize());
+    for partial in partials {
+        agg.merge(&mut merged, partial);
+    }
+    agg.terminate(merged)
+}
+
+/// The same shared-nothing plan as [`run_segmented`], but each segment is
+/// aggregated on its own worker thread. Partial states are merged in segment
+/// order so the result is identical to the sequential segmented plan whenever
+/// `merge` is deterministic.
+pub fn run_segmented_parallel<A>(agg: &A, table: &Table, segments: usize) -> A::Output
+where
+    A: Aggregate + Sync,
+    A::State: Send,
+{
+    let ranges = segment_ranges(table.len(), segments.max(1));
+    let mut partials: Vec<Option<A::State>> = Vec::with_capacity(ranges.len());
+    partials.resize_with(ranges.len(), || None);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranges.len());
+        for &(start, end) in &ranges {
+            handles.push(scope.spawn(move || {
+                let mut state = agg.initialize();
+                for tuple in table.scan_range(start, end) {
+                    agg.transition(&mut state, tuple);
+                }
+                state
+            }));
+        }
+        for (slot, handle) in partials.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("segment worker panicked"));
+        }
+    });
+
+    let mut iter = partials.into_iter().flatten();
+    let mut merged = iter.next().unwrap_or_else(|| agg.initialize());
+    for partial in iter {
+        agg.merge(&mut merged, partial);
+    }
+    agg.terminate(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{AvgAggregate, CountAggregate};
+    use bismarck_storage::{Column, DataType, Schema, ScanOrder, Table, Value};
+
+    fn table(n: usize) -> Table {
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("x", DataType::Double),
+        ])
+        .unwrap();
+        let mut t = Table::new("t", schema);
+        for i in 0..n {
+            t.insert(vec![Value::Int(i as i64), Value::Double(i as f64)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn sequential_clustered_and_permuted_agree_for_commutative_aggs() {
+        let t = table(100);
+        let agg = AvgAggregate { column: 1 };
+        let clustered = run_sequential(&agg, &t, None).unwrap();
+        let order = ScanOrder::ShuffleOnce { seed: 1 }.permutation(t.len(), 0).unwrap();
+        let shuffled = run_sequential(&agg, &t, Some(&order)).unwrap();
+        assert!((clustered - shuffled).abs() < 1e-9);
+        assert!((clustered - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segmented_matches_sequential_for_algebraic_aggs() {
+        let t = table(57);
+        let agg = AvgAggregate { column: 1 };
+        let seq = run_sequential(&agg, &t, None).unwrap();
+        for segments in [1, 2, 3, 8, 100] {
+            let seg = run_segmented(&agg, &t, segments).unwrap();
+            assert!((seq - seg).abs() < 1e-9, "segments={segments}");
+        }
+    }
+
+    #[test]
+    fn segmented_parallel_matches_sequential() {
+        let t = table(203);
+        let count = run_segmented_parallel(&CountAggregate, &t, 4);
+        assert_eq!(count, 203);
+        let avg = run_segmented_parallel(&AvgAggregate { column: 1 }, &t, 4).unwrap();
+        assert!((avg - 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_segments_treated_as_one() {
+        let t = table(10);
+        assert_eq!(run_segmented(&CountAggregate, &t, 0), 10);
+    }
+
+    #[test]
+    fn empty_table_produces_initialized_state() {
+        let t = table(0);
+        assert_eq!(run_sequential(&CountAggregate, &t, None), 0);
+        assert_eq!(run_segmented(&CountAggregate, &t, 4), 0);
+        assert_eq!(run_segmented_parallel(&CountAggregate, &t, 4), 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Loss evaluation as an aggregate.
+//!
+//! "A second difference is that we may need to compute the actual value of
+//! the objective function (also known as the loss) using the model after
+//! each epoch" (Section 3.1). The loss is itself a sum over tuples, so it is
+//! naturally another UDA; we expose it as a helper that folds a per-tuple
+//! function over a table.
+
+use bismarck_storage::Table;
+use bismarck_storage::Tuple;
+
+/// Sum `f(tuple)` over the whole table (storage order). The per-tuple
+/// function typically closes over the current model.
+pub fn sum_over_table<F>(table: &Table, mut f: F) -> f64
+where
+    F: FnMut(&Tuple) -> f64,
+{
+    let mut total = 0.0;
+    for tuple in table.scan() {
+        total += f(tuple);
+    }
+    total
+}
+
+/// Sum `f(tuple)` over a contiguous range of rows; used by segment-parallel
+/// loss evaluation.
+pub fn sum_over_range<F>(table: &Table, start: usize, end: usize, mut f: F) -> f64
+where
+    F: FnMut(&Tuple) -> f64,
+{
+    let mut total = 0.0;
+    for tuple in table.scan_range(start, end) {
+        total += f(tuple);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bismarck_storage::{Column, DataType, Schema, Table, Value};
+
+    fn table(n: usize) -> Table {
+        let schema = Schema::new(vec![Column::new("x", DataType::Double)]).unwrap();
+        let mut t = Table::new("t", schema);
+        for i in 0..n {
+            t.insert(vec![Value::Double(i as f64)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn sums_over_all_tuples() {
+        let t = table(10);
+        let total = sum_over_table(&t, |tup| tup.get_double(0).unwrap());
+        assert!((total - 45.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_sums_partition_the_total() {
+        let t = table(10);
+        let full = sum_over_table(&t, |tup| tup.get_double(0).unwrap());
+        let a = sum_over_range(&t, 0, 4, |tup| tup.get_double(0).unwrap());
+        let b = sum_over_range(&t, 4, 10, |tup| tup.get_double(0).unwrap());
+        assert!((full - (a + b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_table_sums_to_zero() {
+        let t = table(0);
+        assert_eq!(sum_over_table(&t, |_| 1.0), 0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Kalman-filter style smoothing of a noisy sensor stream (Figure 1(B)).
+//!
+//! The model is the whole latent trajectory `w_1..w_T`; each observation's
+//! incremental gradient pulls its own state toward the measurement while the
+//! smoothness term keeps neighbouring states close. Varying the smoothness
+//! weight trades fidelity against noise suppression.
+//!
+//! Run with `cargo run --release --example kalman_smoothing`.
+
+use bismarck_core::tasks::KalmanTask;
+use bismarck_core::{StepSizeSchedule, Trainer, TrainerConfig};
+use bismarck_datagen::{timeseries_table, TimeSeriesConfig};
+use bismarck_storage::ScanOrder;
+use bismarck_uda::ConvergenceTest;
+
+fn main() {
+    let config = TimeSeriesConfig { horizon: 300, state_dim: 2, noise: 0.4, ..Default::default() };
+    let observations = timeseries_table("sensor_stream", config);
+    println!("{} noisy observations of a {}-dimensional signal", observations.len(), 2);
+
+    for &smoothness in &[0.0, 2.0, 20.0] {
+        let task = KalmanTask::new(0, 1, config.horizon, config.state_dim, smoothness);
+        // The smoothness term raises the curvature of each per-example loss,
+        // so the stable step size shrinks roughly like 1 / (1 + 2λ).
+        let step = 0.5 / (1.0 + 2.0 * smoothness);
+        let trainer = Trainer::new(
+            &task,
+            TrainerConfig::default()
+                .with_scan_order(ScanOrder::ShuffleOnce { seed: 5 })
+                .with_step_size(StepSizeSchedule::Diminishing { initial: step })
+                .with_convergence(ConvergenceTest::FixedEpochs(60)),
+        );
+        let trained = trainer.train(&observations);
+
+        // Measure how rough the fitted trajectory is: the average squared
+        // jump between consecutive states. Higher smoothness should shrink it.
+        let mut roughness = 0.0;
+        for t in 1..config.horizon {
+            let prev = task.state(&trained.model, t - 1);
+            let curr = task.state(&trained.model, t);
+            roughness += prev
+                .iter()
+                .zip(&curr)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>();
+        }
+        roughness /= (config.horizon - 1) as f64;
+
+        println!(
+            "smoothness λ = {smoothness:>5.1}: objective = {:.2}, mean squared state jump = {:.5}",
+            trained.final_loss().unwrap_or(f64::NAN),
+            roughness
+        );
+    }
+
+    println!(
+        "\nLarger λ yields a visibly smoother trajectory at the cost of a slightly \
+         higher data-fit term — the trade-off the Kalman objective encodes."
+    );
+}

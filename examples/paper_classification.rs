@@ -1,0 +1,62 @@
+//! Classifying papers by research area — the sparse-text scenario that
+//! motivates the paper's DBLife experiments. Demonstrates:
+//!
+//! * sparse feature vectors stored in an ordinary table column,
+//! * L1-regularized logistic regression through the unified IGD architecture,
+//! * why the *storage order* of the data matters (Section 3.2): the same
+//!   model trained on clustered data vs shuffle-once data after the same
+//!   number of epochs.
+//!
+//! Run with `cargo run --release --example paper_classification`.
+
+use bismarck_core::tasks::LogisticRegressionTask;
+use bismarck_core::{StepSizeSchedule, Trainer, TrainerConfig};
+use bismarck_datagen::{sparse_classification, SparseClassificationConfig};
+use bismarck_storage::ScanOrder;
+use bismarck_uda::ConvergenceTest;
+
+fn main() {
+    // Sparse "papers": ~8k vocabulary, ~40 words per paper, labels are the
+    // research area (±1), and — crucially — the table is stored clustered by
+    // label, as it might be if it were loaded from an area-partitioned
+    // archive.
+    let table = sparse_classification(
+        "papers",
+        SparseClassificationConfig {
+            examples: 4_000,
+            vocabulary: 8_000,
+            avg_nnz: 40,
+            informative: 400,
+            clustered_by_label: true,
+            seed: 42,
+        },
+    );
+    let dim = bismarck_core::frontend::infer_dimension(&table, 1);
+    let task = LogisticRegressionTask::new(1, 2, dim).with_l1(0.001);
+
+    let epochs = 10;
+    let base = TrainerConfig::default()
+        .with_step_size(StepSizeSchedule::Constant(0.2))
+        .with_convergence(ConvergenceTest::FixedEpochs(epochs));
+
+    println!("training L1-regularized LR on {} sparse papers (dim {dim})", table.len());
+    for (label, order) in [
+        ("Clustered   ", ScanOrder::Clustered),
+        ("ShuffleOnce ", ScanOrder::ShuffleOnce { seed: 9 }),
+        ("ShuffleAlways", ScanOrder::ShuffleAlways { seed: 9 }),
+    ] {
+        let trained = Trainer::new(&task, base.with_scan_order(order)).train(&table);
+        let nonzero = trained.model.iter().filter(|w| w.abs() > 1e-9).count();
+        println!(
+            "  {label}  epochs={:2}  objective={:8.2}  wall-clock={:6.3}s  shuffle={:6.3}s  nonzero weights={}",
+            trained.epochs(),
+            trained.final_loss().unwrap_or(f64::NAN),
+            trained.history.total_duration().as_secs_f64(),
+            trained.history.total_shuffle_duration().as_secs_f64(),
+            nonzero,
+        );
+    }
+    println!();
+    println!("Note how the clustered order lags the shuffled orders at equal epochs,");
+    println!("and how ShuffleOnce avoids ShuffleAlways's per-epoch reordering cost.");
+}

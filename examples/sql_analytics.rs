@@ -1,0 +1,87 @@
+//! End-to-end in-RDBMS analytics through SQL, exactly the user experience
+//! Section 2.1 of the paper describes: load a labeled table, issue
+//! `SELECT SVMTrain('myModel', 'LabeledPapers', 'vec', 'label')`, inspect the
+//! persisted model with ordinary SQL, and apply it to new data with
+//! `SVMPredict`.
+//!
+//! Run with `cargo run --release --example sql_analytics`.
+
+use bismarck_datagen::{dense_classification, DenseClassificationConfig};
+use bismarck_sql::SqlSession;
+
+fn main() {
+    let mut session = SqlSession::with_seed(2012);
+
+    // 1. Load a Forest-like labeled table generated in Rust. SQL INSERT with
+    //    vector literals works too, shown here on a small scratch table.
+    session.register_table(dense_classification(
+        "LabeledPapers",
+        DenseClassificationConfig { examples: 2_000, dimension: 8, ..Default::default() },
+    ));
+    session
+        .execute_script(
+            "CREATE TABLE Scratch (id INT, vec DENSE_VEC, tag SPARSE_VEC);
+             INSERT INTO Scratch VALUES
+               (1, ARRAY[0.9, 0.8, 0.7], {0: 1.0, 40000: 2.5}),
+               (2, ARRAY[-0.9, -0.8, -0.7], {7: 1.0});",
+        )
+        .expect("loading hand-written rows");
+    let scratch = session
+        .execute("SELECT id, DIM(vec) AS dense_dim, NNZ(tag) AS sparse_nnz FROM Scratch")
+        .expect("scratch query");
+    println!("hand-inserted rows (dense + sparse vector literals):\n{scratch}");
+
+    // 2. Ordinary SQL over the training data: class balance and feature scale.
+    let stats = session
+        .execute(
+            "SELECT label, COUNT(*) AS n, AVG(DOT(vec, vec)) AS mean_sq_norm \
+             FROM LabeledPapers GROUP BY label ORDER BY label",
+        )
+        .expect("class statistics");
+    println!("class statistics:\n{stats}");
+
+    // 3. Train. The optional trailing arguments override the step size and
+    //    the number of epochs, mirroring MADlib-style parameters.
+    let summary = session
+        .execute("SELECT SVMTrain('myModel', 'LabeledPapers', 'vec', 'label', 0.1, 15)")
+        .expect("SVM training");
+    println!("training summary:\n{summary}");
+
+    // 4. The model is an ordinary table in the same catalog.
+    let coefficients = session
+        .execute("SELECT idx, weight FROM myModel ORDER BY ABS(weight) DESC LIMIT 5")
+        .expect("model inspection");
+    println!("largest coefficients:\n{coefficients}");
+
+    // 5. Apply the persisted model with SVMPredict and measure how often the
+    //    predictions agree with the stored labels.
+    let predictions = session
+        .execute("SELECT SVMPredict('myModel', 'LabeledPapers', 'vec')")
+        .expect("prediction");
+    let predicted: Vec<f64> = predictions
+        .column_values("prediction")
+        .expect("prediction column")
+        .iter()
+        .map(|v| v.as_double().unwrap_or(0.0))
+        .collect();
+    let labels: Vec<f64> = session
+        .database()
+        .table("LabeledPapers")
+        .expect("table exists")
+        .scan()
+        .map(|t| t.get_double(2).unwrap_or(0.0))
+        .collect();
+    let agree = predicted.iter().zip(&labels).filter(|(p, y)| (*p - *y).abs() < 0.5).count();
+    println!(
+        "training accuracy via SVMPredict: {:.1}% ({agree}/{} rows)\n",
+        100.0 * agree as f64 / labels.len() as f64,
+        labels.len()
+    );
+
+    // 6. ORDER BY RANDOM() gives the without-replacement samples Section 3
+    //    leans on; here it just picks a few rows to eyeball.
+    let sample = session
+        .execute("SELECT id, label FROM LabeledPapers ORDER BY RANDOM() LIMIT 5")
+        .expect("random sample");
+    println!("a random sample of training rows (ORDER BY RANDOM()):\n{sample}");
+}

@@ -1,0 +1,98 @@
+//! Integration test: the SQL-style front-end round trip — train via
+//! `*_train`, persist the model as a table, reload it, predict, and verify
+//! quality — across the storage, UDA, core and datagen crates.
+
+use bismarck_core::frontend::{
+    infer_dimension, linear_predict, load_model, logistic_predict, logistic_regression_train,
+    persist_model, svm_predict, svm_train,
+};
+use bismarck_core::metrics::{classification_accuracy, rmse};
+use bismarck_core::{StepSizeSchedule, TrainerConfig};
+use bismarck_datagen::{dense_classification, sparse_classification, DenseClassificationConfig, SparseClassificationConfig};
+use bismarck_storage::{Database, ScanOrder};
+use bismarck_uda::ConvergenceTest;
+
+fn fast_config() -> TrainerConfig {
+    TrainerConfig::default()
+        .with_scan_order(ScanOrder::ShuffleOnce { seed: 3 })
+        .with_step_size(StepSizeSchedule::Constant(0.3))
+        .with_convergence(ConvergenceTest::FixedEpochs(12))
+}
+
+fn dense_db(n: usize) -> Database {
+    let mut db = Database::new();
+    db.register_table(dense_classification(
+        "train",
+        DenseClassificationConfig { examples: n, dimension: 12, separation: 2.0, ..Default::default() },
+    ));
+    db
+}
+
+#[test]
+fn svm_round_trip_reaches_high_accuracy() {
+    let mut db = dense_db(1_500);
+    let summary = svm_train(&mut db, "svm_model", "train", "vec", "label", fast_config()).unwrap();
+    assert_eq!(summary.dimension, 12);
+    assert!(db.contains("svm_model"));
+    assert_eq!(db.table("svm_model").unwrap().len(), 12);
+
+    let preds = svm_predict(&db, "svm_model", "train", "vec").unwrap();
+    let labels: Vec<f64> =
+        db.table("train").unwrap().scan().map(|t| t.get_double(2).unwrap()).collect();
+    assert!(classification_accuracy(&preds, &labels) > 0.9);
+}
+
+#[test]
+fn logistic_round_trip_on_sparse_data() {
+    let mut db = Database::new();
+    db.register_table(sparse_classification(
+        "papers",
+        SparseClassificationConfig { examples: 1_200, vocabulary: 4_000, ..Default::default() },
+    ));
+    let summary =
+        logistic_regression_train(&mut db, "lr_model", "papers", "vec", "label", fast_config())
+            .unwrap();
+    assert!(summary.final_loss.is_finite());
+    assert_eq!(summary.dimension, infer_dimension(db.table("papers").unwrap(), 1));
+
+    let probs = logistic_predict(&db, "lr_model", "papers", "vec").unwrap();
+    assert_eq!(probs.len(), 1_200);
+    assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+    let labels: Vec<f64> =
+        db.table("papers").unwrap().scan().map(|t| t.get_double(2).unwrap()).collect();
+    let hard: Vec<f64> = probs.iter().map(|&p| if p > 0.5 { 1.0 } else { -1.0 }).collect();
+    assert!(classification_accuracy(&hard, &labels) > 0.85);
+}
+
+#[test]
+fn persisted_model_reload_is_exact() {
+    let mut db = dense_db(200);
+    svm_train(&mut db, "m", "train", "vec", "label", fast_config()).unwrap();
+    let loaded = load_model(&db, "m").unwrap();
+    // Re-persist under a new name and reload — must be identical.
+    persist_model(&mut db, "m2", &loaded).unwrap();
+    let reloaded = load_model(&db, "m2").unwrap();
+    assert_eq!(loaded, reloaded);
+    assert!(rmse(&loaded, &reloaded) < 1e-15);
+}
+
+#[test]
+fn linear_predict_matches_manual_dot_products() {
+    let mut db = dense_db(100);
+    svm_train(&mut db, "m", "train", "vec", "label", fast_config()).unwrap();
+    let model = load_model(&db, "m").unwrap();
+    let preds = linear_predict(&db, "m", "train", "vec").unwrap();
+    for (tuple, pred) in db.table("train").unwrap().scan().zip(preds.iter()) {
+        let manual = tuple.get_feature_vector(1).unwrap().dot(&model);
+        assert!((manual - pred).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn training_on_same_data_twice_is_deterministic() {
+    let mut db1 = dense_db(400);
+    let mut db2 = dense_db(400);
+    svm_train(&mut db1, "m", "train", "vec", "label", fast_config()).unwrap();
+    svm_train(&mut db2, "m", "train", "vec", "label", fast_config()).unwrap();
+    assert_eq!(load_model(&db1, "m").unwrap(), load_model(&db2, "m").unwrap());
+}

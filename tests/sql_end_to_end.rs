@@ -1,0 +1,186 @@
+//! Integration tests for the SQL front-end working against generated
+//! workloads: the paper's Section 2.1 user experience (train via
+//! `SELECT SVMTrain(...)`, model persisted as a table, predict via
+//! `SVMPredict(...)`) exercised across the datagen, storage, core and sql
+//! crates together.
+
+use bismarck_core::metrics::classification_accuracy;
+use bismarck_core::{StepSizeSchedule, TrainerConfig};
+use bismarck_datagen::{
+    dense_classification, labeled_sequences, ratings_table, sparse_classification,
+    DenseClassificationConfig, RatingsConfig, SequenceConfig, SparseClassificationConfig,
+};
+use bismarck_sql::{SqlSession, SqlError};
+use bismarck_storage::Value;
+use bismarck_uda::ConvergenceTest;
+
+fn fast_config() -> TrainerConfig {
+    TrainerConfig::default()
+        .with_step_size(StepSizeSchedule::Constant(0.2))
+        .with_convergence(ConvergenceTest::FixedEpochs(8))
+}
+
+#[test]
+fn svm_on_generated_dense_data_reaches_high_accuracy_via_sql() {
+    let mut session = SqlSession::with_seed(1).with_trainer_config(fast_config());
+    session.register_table(dense_classification(
+        "forest",
+        DenseClassificationConfig { examples: 2_000, dimension: 20, ..Default::default() },
+    ));
+
+    let summary = session
+        .execute("SELECT SVMTrain('svm_model', 'forest', 'vec', 'label')")
+        .expect("training");
+    assert_eq!(summary.len(), 1);
+    let converged_idx = summary.column_index("converged").unwrap();
+    assert!(matches!(summary.rows[0][converged_idx], Value::Int(0) | Value::Int(1)));
+
+    // The persisted model is queryable and has one row per dimension.
+    let n = session.execute("SELECT COUNT(*) FROM svm_model").unwrap();
+    assert_eq!(n.single_value(), Some(&Value::Int(20)));
+
+    // Predictions line up with labels on the training data.
+    let predictions = session
+        .execute("SELECT SVMPredict('svm_model', 'forest', 'vec')")
+        .expect("prediction");
+    let predicted: Vec<f64> = predictions
+        .column_values("prediction")
+        .unwrap()
+        .iter()
+        .map(|v| v.as_double().unwrap())
+        .collect();
+    let labels: Vec<f64> = session
+        .database()
+        .table("forest")
+        .unwrap()
+        .scan()
+        .map(|t| t.get_double(2).unwrap())
+        .collect();
+    assert!(classification_accuracy(&predicted, &labels) > 0.9);
+}
+
+#[test]
+fn logistic_regression_on_sparse_data_via_sql() {
+    let mut session = SqlSession::with_seed(2).with_trainer_config(fast_config());
+    session.register_table(sparse_classification(
+        "dblife",
+        SparseClassificationConfig { examples: 800, vocabulary: 2_000, ..Default::default() },
+    ));
+    let summary = session
+        .execute("SELECT LogisticRegressionTrain('lr_model', 'dblife', 'vec', 'label', 0.2, 10)")
+        .expect("training");
+    let loss_idx = summary.column_index("final_loss").unwrap();
+    let final_loss = summary.rows[0][loss_idx].as_double().unwrap();
+    assert!(final_loss.is_finite() && final_loss >= 0.0);
+
+    let probabilities = session
+        .execute("SELECT LRPredict('lr_model', 'dblife', 'vec')")
+        .expect("prediction");
+    assert_eq!(probabilities.len(), 800);
+    assert!(probabilities
+        .column_values("probability")
+        .unwrap()
+        .iter()
+        .all(|v| (0.0..=1.0).contains(&v.as_double().unwrap())));
+}
+
+#[test]
+fn lmf_training_via_sql_persists_stacked_factors() {
+    let mut session = SqlSession::with_seed(3).with_trainer_config(
+        fast_config().with_step_size(StepSizeSchedule::Constant(0.05)),
+    );
+    let config =
+        RatingsConfig { rows: 30, cols: 20, ratings: 600, true_rank: 3, ..Default::default() };
+    session.register_table(ratings_table("movielens", config));
+
+    let summary = session
+        .execute("SELECT LMFTrain('factors', 'movielens', 'row', 'col', 'rating', 30, 20, 4)")
+        .expect("training");
+    let dim_idx = summary.column_index("dimension").unwrap();
+    assert_eq!(summary.rows[0][dim_idx], Value::Int((30 + 20) * 4));
+    let rows = session.execute("SELECT COUNT(*) FROM factors").unwrap();
+    assert_eq!(rows.single_value(), Some(&Value::Int((30 + 20) * 4)));
+}
+
+#[test]
+fn crf_training_and_viterbi_prediction_via_sql() {
+    let mut session = SqlSession::with_seed(4).with_trainer_config(
+        fast_config().with_step_size(StepSizeSchedule::Constant(0.3)),
+    );
+    session.register_table(labeled_sequences(
+        "conll",
+        SequenceConfig { sentences: 60, ..Default::default() },
+    ));
+    let summary = session
+        .execute("SELECT CRFTrain('crf_model', 'conll', 'sentence')")
+        .expect("training");
+    assert_eq!(summary.len(), 1);
+
+    let labelings = session
+        .execute("SELECT CRFPredict('crf_model', 'conll', 'sentence')")
+        .expect("prediction");
+    assert_eq!(labelings.len(), 60);
+    // Every labeling is a space-separated list of label ids.
+    assert!(labelings.column_values("labels").unwrap().iter().all(|v| {
+        v.as_text()
+            .map(|s| s.split_whitespace().all(|tok| tok.parse::<usize>().is_ok()))
+            .unwrap_or(false)
+    }));
+}
+
+#[test]
+fn relational_queries_over_generated_tables() {
+    let mut session = SqlSession::with_seed(5);
+    session.register_table(dense_classification(
+        "forest",
+        DenseClassificationConfig { examples: 500, dimension: 10, ..Default::default() },
+    ));
+
+    // Class balance through GROUP BY.
+    let by_label = session
+        .execute("SELECT label, COUNT(*) AS n FROM forest GROUP BY label ORDER BY label")
+        .unwrap();
+    assert_eq!(by_label.len(), 2);
+    let total: i64 = by_label
+        .column_values("n")
+        .unwrap()
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .sum();
+    assert_eq!(total, 500);
+
+    // ORDER BY RANDOM() LIMIT produces a sample of the requested size with
+    // valid ids.
+    let sample = session
+        .execute("SELECT id FROM forest ORDER BY RANDOM() LIMIT 25")
+        .unwrap();
+    assert_eq!(sample.len(), 25);
+    assert!(sample
+        .column_values("id")
+        .unwrap()
+        .iter()
+        .all(|v| (0..500).contains(&v.as_int().unwrap())));
+
+    // The vector helper functions work on stored feature vectors.
+    let dims = session
+        .execute("SELECT MIN(DIM(vec)) AS lo, MAX(DIM(vec)) AS hi FROM forest")
+        .unwrap();
+    assert_eq!(dims.rows[0][0], Value::Int(10));
+    assert_eq!(dims.rows[0][1], Value::Int(10));
+}
+
+#[test]
+fn errors_from_each_layer_are_distinguishable() {
+    let mut session = SqlSession::new();
+    assert!(matches!(session.execute("SELEC 1").unwrap_err(), SqlError::Parse { .. }));
+    assert!(matches!(session.execute("SELECT 'oops").unwrap_err(), SqlError::Lex { .. }));
+    assert!(matches!(
+        session.execute("SELECT * FROM nowhere").unwrap_err(),
+        SqlError::Storage(_)
+    ));
+    assert!(matches!(
+        session.execute("SELECT SVMTrain('m', 'nowhere', 'vec', 'label')").unwrap_err(),
+        SqlError::Analytics(_)
+    ));
+    assert!(matches!(session.execute("SELECT 1/0").unwrap_err(), SqlError::Evaluation(_)));
+}
