@@ -67,7 +67,9 @@ impl AlsModel {
     /// Predicted value for cell `(i, j)`.
     pub fn predict(&self, i: usize, j: usize) -> f64 {
         let r = self.rank;
-        (0..r).map(|k| self.row_factors[i * r + k] * self.col_factors[j * r + k]).sum()
+        (0..r)
+            .map(|k| self.row_factors[i * r + k] * self.col_factors[j * r + k])
+            .sum()
     }
 }
 
@@ -150,20 +152,40 @@ pub fn als_train(table: &Table, config: AlsConfig) -> AlsModel {
 
     let mut losses = Vec::with_capacity(config.sweeps);
     for _ in 0..config.sweeps {
-        solve_side(config.rows, rank, config.lambda, &by_row, &col_factors, &mut row_factors);
-        solve_side(config.cols, rank, config.lambda, &by_col, &row_factors, &mut col_factors);
+        solve_side(
+            config.rows,
+            rank,
+            config.lambda,
+            &by_row,
+            &col_factors,
+            &mut row_factors,
+        );
+        solve_side(
+            config.cols,
+            rank,
+            config.lambda,
+            &by_col,
+            &row_factors,
+            &mut col_factors,
+        );
         let loss: f64 = obs
             .iter()
             .map(|&(i, j, v)| {
-                let pred: f64 =
-                    (0..rank).map(|k| row_factors[i * rank + k] * col_factors[j * rank + k]).sum();
+                let pred: f64 = (0..rank)
+                    .map(|k| row_factors[i * rank + k] * col_factors[j * rank + k])
+                    .sum();
                 (pred - v) * (pred - v)
             })
             .sum();
         losses.push(loss);
     }
 
-    AlsModel { row_factors, col_factors, losses, rank }
+    AlsModel {
+        row_factors,
+        col_factors,
+        losses,
+        rank,
+    }
 }
 
 #[cfg(test)]
@@ -181,8 +203,12 @@ mod tests {
         let mut t = Table::new("ratings", schema);
         for i in 0..rows {
             for j in 0..cols {
-                t.insert(vec![Value::Int(i as i64), Value::Int(j as i64), Value::Double(f(i, j))])
-                    .unwrap();
+                t.insert(vec![
+                    Value::Int(i as i64),
+                    Value::Int(j as i64),
+                    Value::Double(f(i, j)),
+                ])
+                .unwrap();
             }
         }
         t
@@ -193,7 +219,13 @@ mod tests {
         let a = [1.0, 2.0, 0.5, 1.5, 3.0];
         let b = [1.0, -1.0, 2.0, 0.5];
         let t = rating_table(5, 4, |i, j| a[i] * b[j]);
-        let model = als_train(&t, AlsConfig { sweeps: 15, ..AlsConfig::new(5, 4, 2) });
+        let model = als_train(
+            &t,
+            AlsConfig {
+                sweeps: 15,
+                ..AlsConfig::new(5, 4, 2)
+            },
+        );
         let final_loss = *model.losses.last().unwrap();
         assert!(final_loss < 1e-3, "loss {final_loss}");
         assert!((model.predict(2, 2) - 1.0).abs() < 0.05);
@@ -205,7 +237,13 @@ mod tests {
         // plateaus at a non-zero value; check that the sweeps make clear
         // progress from the first measurement and then stay near the best.
         let t = rating_table(6, 6, |i, j| (i as f64 * 0.3 - j as f64 * 0.2).sin());
-        let model = als_train(&t, AlsConfig { sweeps: 8, ..AlsConfig::new(6, 6, 3) });
+        let model = als_train(
+            &t,
+            AlsConfig {
+                sweeps: 8,
+                ..AlsConfig::new(6, 6, 3)
+            },
+        );
         assert_eq!(model.losses.len(), 8);
         let best = model.losses.iter().cloned().fold(f64::INFINITY, f64::min);
         let last = *model.losses.last().unwrap();
@@ -223,8 +261,15 @@ mod tests {
         ])
         .unwrap();
         let mut t = Table::new("one", schema);
-        t.insert(vec![Value::Int(0), Value::Int(0), Value::Double(2.0)]).unwrap();
-        let model = als_train(&t, AlsConfig { sweeps: 3, ..AlsConfig::new(3, 3, 2) });
+        t.insert(vec![Value::Int(0), Value::Int(0), Value::Double(2.0)])
+            .unwrap();
+        let model = als_train(
+            &t,
+            AlsConfig {
+                sweeps: 3,
+                ..AlsConfig::new(3, 3, 2)
+            },
+        );
         // Prediction for the observed cell is close to the rating.
         assert!((model.predict(0, 0) - 2.0).abs() < 0.2);
         // Factors of an unobserved row remain at their small initial values.
@@ -240,7 +285,8 @@ mod tests {
         ])
         .unwrap();
         let mut t = Table::new("bad", schema);
-        t.insert(vec![Value::Int(99), Value::Int(0), Value::Double(2.0)]).unwrap();
+        t.insert(vec![Value::Int(99), Value::Int(0), Value::Double(2.0)])
+            .unwrap();
         let model = als_train(&t, AlsConfig::new(2, 2, 2));
         assert_eq!(model.losses.last().copied().unwrap_or(0.0), 0.0);
     }

@@ -66,7 +66,12 @@ where
     loss
 }
 
-fn run<G, L>(table: &Table, config: BatchGradientConfig, grad_coeff: G, loss_fn: L) -> BatchGradientResult
+fn run<G, L>(
+    table: &Table,
+    config: BatchGradientConfig,
+    grad_coeff: G,
+    loss_fn: L,
+) -> BatchGradientResult
 where
     G: Fn(f64, f64) -> f64,
     L: Fn(f64, f64) -> f64,
@@ -151,7 +156,11 @@ mod tests {
     #[test]
     fn batch_lr_reduces_loss_monotonically_with_small_steps() {
         let t = table(200, 1);
-        let config = BatchGradientConfig { iterations: 50, step_size: 0.5, ..BatchGradientConfig::new(0, 1, 2) };
+        let config = BatchGradientConfig {
+            iterations: 50,
+            step_size: 0.5,
+            ..BatchGradientConfig::new(0, 1, 2)
+        };
         let result = batch_lr_train(&t, config);
         assert_eq!(result.losses.len(), 50);
         for w in result.losses.windows(2) {
@@ -162,7 +171,11 @@ mod tests {
     #[test]
     fn batch_svm_learns_a_separator() {
         let t = table(200, 2);
-        let config = BatchGradientConfig { iterations: 200, step_size: 0.5, ..BatchGradientConfig::new(0, 1, 2) };
+        let config = BatchGradientConfig {
+            iterations: 200,
+            step_size: 0.5,
+            ..BatchGradientConfig::new(0, 1, 2)
+        };
         let result = batch_svm_train(&t, config);
         let mut correct = 0;
         for tuple in t.scan() {
@@ -178,7 +191,11 @@ mod tests {
     #[test]
     fn l2_keeps_model_smaller() {
         let t = table(200, 3);
-        let base = BatchGradientConfig { iterations: 100, step_size: 0.5, ..BatchGradientConfig::new(0, 1, 2) };
+        let base = BatchGradientConfig {
+            iterations: 100,
+            step_size: 0.5,
+            ..BatchGradientConfig::new(0, 1, 2)
+        };
         let plain = batch_lr_train(&t, base);
         let reg = batch_lr_train(&t, BatchGradientConfig { l2: 1.0, ..base });
         let norm = |w: &[f64]| w.iter().map(|v| v * v).sum::<f64>();

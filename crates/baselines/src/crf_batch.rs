@@ -81,8 +81,9 @@ pub fn crf_batch_train(table: &Table, config: CrfBatchConfig) -> CrfBatchResult 
             let mut scratch = DenseModelStore::new(model.clone());
             task.gradient_step(&mut scratch, tuple, config.step_size);
             let stepped = scratch.into_vec();
-            for (acc, (after, before)) in
-                total_update.iter_mut().zip(stepped.iter().zip(model.iter()))
+            for (acc, (after, before)) in total_update
+                .iter_mut()
+                .zip(stepped.iter().zip(model.iter()))
             {
                 *acc += after - before;
             }
@@ -94,7 +95,10 @@ pub fn crf_batch_train(table: &Table, config: CrfBatchConfig) -> CrfBatchResult 
             task.proximal_step(&mut model, config.step_size);
         }
 
-        let loss: f64 = table.scan().map(|t| task.example_loss(&model, t)).sum::<f64>()
+        let loss: f64 = table
+            .scan()
+            .map(|t| task.example_loss(&model, t))
+            .sum::<f64>()
             + task.regularizer(&model);
         losses.push(loss);
     }
@@ -131,7 +135,11 @@ mod tests {
             sentence(&[1, 0, 1, 0]),
             sentence(&[0, 0, 1, 1]),
         ]);
-        let config = CrfBatchConfig { iterations: 30, step_size: 0.3, ..CrfBatchConfig::new(0, 2, 2) };
+        let config = CrfBatchConfig {
+            iterations: 30,
+            step_size: 0.3,
+            ..CrfBatchConfig::new(0, 2, 2)
+        };
         let result = crf_batch_train(&data, config);
         assert_eq!(result.losses.len(), 30);
         assert!(result.losses.last().unwrap() < &(result.losses[0] * 0.6));
@@ -153,7 +161,11 @@ mod tests {
         let passes = 10;
         let batch = crf_batch_train(
             &data,
-            CrfBatchConfig { iterations: passes, step_size: 0.3, ..CrfBatchConfig::new(0, 2, 2) },
+            CrfBatchConfig {
+                iterations: passes,
+                step_size: 0.3,
+                ..CrfBatchConfig::new(0, 2, 2)
+            },
         );
 
         let task = CrfTask::new(0, 2, 2);
@@ -172,7 +184,10 @@ mod tests {
             .sum();
         assert!(igd_loss < initial_loss * 0.6, "IGD made real progress");
         assert!(batch_loss < initial_loss * 0.6, "batch made real progress");
-        assert!(igd_loss <= batch_loss * 1.5 + 1e-6, "igd {igd_loss} vs batch {batch_loss}");
+        assert!(
+            igd_loss <= batch_loss * 1.5 + 1e-6,
+            "igd {igd_loss} vs batch {batch_loss}"
+        );
     }
 
     #[test]
@@ -180,11 +195,18 @@ mod tests {
         let data = crf_table(&vec![sentence(&[0, 1]); 4]);
         let plain = crf_batch_train(
             &data,
-            CrfBatchConfig { iterations: 40, ..CrfBatchConfig::new(0, 2, 2) },
+            CrfBatchConfig {
+                iterations: 40,
+                ..CrfBatchConfig::new(0, 2, 2)
+            },
         );
         let reg = crf_batch_train(
             &data,
-            CrfBatchConfig { iterations: 40, l2: 1.0, ..CrfBatchConfig::new(0, 2, 2) },
+            CrfBatchConfig {
+                iterations: 40,
+                l2: 1.0,
+                ..CrfBatchConfig::new(0, 2, 2)
+            },
         );
         let norm = |w: &[f64]| w.iter().map(|v| v * v).sum::<f64>();
         assert!(norm(&reg.model) < norm(&plain.model));

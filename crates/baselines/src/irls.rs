@@ -130,7 +130,11 @@ pub fn irls_train(table: &Table, config: IrlsConfig) -> IrlsResult {
         }
     }
 
-    IrlsResult { model: w, losses, iterations }
+    IrlsResult {
+        model: w,
+        losses,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -208,7 +212,13 @@ mod tests {
     #[test]
     fn tolerance_stops_early() {
         let t = table(200, 3);
-        let tight = irls_train(&t, IrlsConfig { max_iterations: 50, ..IrlsConfig::new(0, 1, 3) });
+        let tight = irls_train(
+            &t,
+            IrlsConfig {
+                max_iterations: 50,
+                ..IrlsConfig::new(0, 1, 3)
+            },
+        );
         assert!(tight.iterations < 50, "should stop before the cap");
     }
 }

@@ -27,8 +27,8 @@ pub mod crf_batch;
 pub mod irls;
 pub mod solve;
 
-pub use als::{AlsConfig, AlsModel};
-pub use batch_gradient::{batch_lr_train, batch_svm_train, BatchGradientConfig};
-pub use crf_batch::{crf_batch_train, CrfBatchConfig};
-pub use irls::{irls_train, IrlsConfig};
-pub use solve::solve_dense;
+pub use crate::als::{AlsConfig, AlsModel};
+pub use crate::batch_gradient::{batch_lr_train, batch_svm_train, BatchGradientConfig};
+pub use crate::crf_batch::{crf_batch_train, CrfBatchConfig};
+pub use crate::irls::{irls_train, IrlsConfig};
+pub use crate::solve::solve_dense;

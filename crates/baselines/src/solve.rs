@@ -100,7 +100,11 @@ mod tests {
         let mut a = vec![0.0; n * n];
         for i in 0..n {
             for j in 0..n {
-                a[i * n + j] = if i == j { 10.0 } else { ((i * 7 + j * 3) % 5) as f64 * 0.3 };
+                a[i * n + j] = if i == j {
+                    10.0
+                } else {
+                    ((i * 7 + j * 3) % 5) as f64 * 0.3
+                };
             }
         }
         let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 2.5).collect();

@@ -19,7 +19,11 @@ use std::hint::black_box;
 fn sparse_table() -> Table {
     sparse_classification(
         "dblife",
-        SparseClassificationConfig { examples: 1_000, vocabulary: 4_000, ..Default::default() },
+        SparseClassificationConfig {
+            examples: 1_000,
+            vocabulary: 4_000,
+            ..Default::default()
+        },
     )
 }
 
@@ -57,16 +61,29 @@ fn bench_stepsize(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     for (label, schedule) in [
         ("constant", StepSizeSchedule::Constant(0.2)),
-        ("diminishing", StepSizeSchedule::Diminishing { initial: 0.5 }),
-        ("geometric", StepSizeSchedule::Geometric { initial: 0.5, decay: 0.8 }),
+        (
+            "diminishing",
+            StepSizeSchedule::Diminishing { initial: 0.5 },
+        ),
+        (
+            "geometric",
+            StepSizeSchedule::Geometric {
+                initial: 0.5,
+                decay: 0.8,
+            },
+        ),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &schedule, |b, &schedule| {
-            let config = TrainerConfig::default()
-                .with_scan_order(ScanOrder::ShuffleOnce { seed: 2 })
-                .with_step_size(schedule)
-                .with_convergence(ConvergenceTest::FixedEpochs(5));
-            b.iter(|| black_box(Trainer::new(&task, config).train(&table)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &schedule,
+            |b, &schedule| {
+                let config = TrainerConfig::default()
+                    .with_scan_order(ScanOrder::ShuffleOnce { seed: 2 })
+                    .with_step_size(schedule)
+                    .with_convergence(ConvergenceTest::FixedEpochs(5));
+                b.iter(|| black_box(Trainer::new(&task, config).train(&table)))
+            },
+        );
     }
     group.finish();
 }
@@ -107,13 +124,17 @@ fn bench_merge_strategy(c: &mut Criterion) {
         ("count_weighted", MergeStrategy::CountWeighted),
         ("unweighted", MergeStrategy::Unweighted),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &strategy, |b, &strategy| {
-            b.iter(|| {
-                let aggregate = IgdAggregate::new(&task, 0.1, task.initial_model())
-                    .with_merge_strategy(strategy);
-                black_box(run_segmented(&aggregate, &table, 8))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    let aggregate = IgdAggregate::new(&task, 0.1, task.initial_model())
+                        .with_merge_strategy(strategy);
+                    black_box(run_segmented(&aggregate, &table, 8))
+                })
+            },
+        );
     }
     group.finish();
 }

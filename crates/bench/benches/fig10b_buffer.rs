@@ -12,7 +12,11 @@ use std::hint::black_box;
 fn bench_fig10b(c: &mut Criterion) {
     let table = sparse_classification(
         "dblife",
-        SparseClassificationConfig { examples: 2_000, vocabulary: 8_000, ..Default::default() },
+        SparseClassificationConfig {
+            examples: 2_000,
+            vocabulary: 8_000,
+            ..Default::default()
+        },
     );
     let dim = bismarck_core::frontend::infer_dimension(&table, 1);
     let task = LogisticRegressionTask::new(1, 2, dim);
@@ -23,18 +27,22 @@ fn bench_fig10b(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(300));
     for buffer in [100usize, 200, 400] {
-        group.bench_with_input(BenchmarkId::new("subsampling", buffer), &buffer, |b, &buffer| {
-            b.iter(|| {
-                black_box(subsampling_train(
-                    &task,
-                    &table,
-                    buffer,
-                    StepSizeSchedule::Constant(0.1),
-                    ConvergenceTest::FixedEpochs(epochs),
-                    7,
-                ))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("subsampling", buffer),
+            &buffer,
+            |b, &buffer| {
+                b.iter(|| {
+                    black_box(subsampling_train(
+                        &task,
+                        &table,
+                        buffer,
+                        StepSizeSchedule::Constant(0.1),
+                        ConvergenceTest::FixedEpochs(epochs),
+                        7,
+                    ))
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("mrs", buffer), &buffer, |b, &buffer| {
             let config = MrsConfig {
                 buffer_size: buffer,

@@ -26,15 +26,28 @@ fn bismarck_config(epochs: usize) -> TrainerConfig {
 fn bench_fig7a(c: &mut Criterion) {
     let forest = dense_classification(
         "forest",
-        DenseClassificationConfig { examples: 2_000, dimension: 54, ..Default::default() },
+        DenseClassificationConfig {
+            examples: 2_000,
+            dimension: 54,
+            ..Default::default()
+        },
     );
     let dblife = sparse_classification(
         "dblife",
-        SparseClassificationConfig { examples: 1_000, vocabulary: 8_000, ..Default::default() },
+        SparseClassificationConfig {
+            examples: 1_000,
+            vocabulary: 8_000,
+            ..Default::default()
+        },
     );
     let movielens = ratings_table(
         "movielens",
-        RatingsConfig { rows: 150, cols: 100, ratings: 6_000, ..Default::default() },
+        RatingsConfig {
+            rows: 150,
+            cols: 100,
+            ratings: 6_000,
+            ..Default::default()
+        },
     );
     let forest_dim = bismarck_core::frontend::infer_dimension(&forest, 1);
     let dblife_dim = bismarck_core::frontend::infer_dimension(&dblife, 1);
@@ -59,7 +72,10 @@ fn bench_fig7a(c: &mut Criterion) {
         b.iter(|| {
             black_box(batch_svm_train(
                 &forest,
-                BatchGradientConfig { iterations: 40, ..BatchGradientConfig::new(1, 2, forest_dim) },
+                BatchGradientConfig {
+                    iterations: 40,
+                    ..BatchGradientConfig::new(1, 2, forest_dim)
+                },
             ))
         })
     });
@@ -71,7 +87,10 @@ fn bench_fig7a(c: &mut Criterion) {
         b.iter(|| {
             black_box(batch_svm_train(
                 &dblife,
-                BatchGradientConfig { iterations: 40, ..BatchGradientConfig::new(1, 2, dblife_dim) },
+                BatchGradientConfig {
+                    iterations: 40,
+                    ..BatchGradientConfig::new(1, 2, dblife_dim)
+                },
             ))
         })
     });
@@ -84,7 +103,10 @@ fn bench_fig7a(c: &mut Criterion) {
         b.iter(|| {
             black_box(als_train(
                 &movielens,
-                AlsConfig { sweeps: 8, ..AlsConfig::new(150, 100, 10) },
+                AlsConfig {
+                    sweeps: 8,
+                    ..AlsConfig::new(150, 100, 10)
+                },
             ))
         })
     });

@@ -12,7 +12,11 @@ use std::hint::black_box;
 fn bench_fig8(c: &mut Criterion) {
     let table = sparse_classification(
         "dblife",
-        SparseClassificationConfig { examples: 2_000, vocabulary: 8_000, ..Default::default() },
+        SparseClassificationConfig {
+            examples: 2_000,
+            vocabulary: 8_000,
+            ..Default::default()
+        },
     );
     let dim = bismarck_core::frontend::infer_dimension(&table, 1);
     let task = LogisticRegressionTask::new(1, 2, dim);

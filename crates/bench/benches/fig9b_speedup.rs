@@ -17,7 +17,12 @@ use std::hint::black_box;
 fn bench_fig9b(c: &mut Criterion) {
     let table = labeled_sequences(
         "conll",
-        SequenceConfig { sentences: 150, num_features: 1_000, num_labels: 5, ..Default::default() },
+        SequenceConfig {
+            sentences: 150,
+            num_features: 1_000,
+            num_labels: 5,
+            ..Default::default()
+        },
     );
     let task = CrfTask::new(0, 1_000, 5);
     let config = TrainerConfig::default()
@@ -34,22 +39,33 @@ fn bench_fig9b(c: &mut Criterion) {
             ("pure_uda", ParallelStrategy::PureUda { segments: workers }),
             (
                 "nolock",
-                ParallelStrategy::SharedMemory { workers, discipline: UpdateDiscipline::NoLock },
+                ParallelStrategy::SharedMemory {
+                    workers,
+                    discipline: UpdateDiscipline::NoLock,
+                },
             ),
             (
                 "aig",
-                ParallelStrategy::SharedMemory { workers, discipline: UpdateDiscipline::Aig },
+                ParallelStrategy::SharedMemory {
+                    workers,
+                    discipline: UpdateDiscipline::Aig,
+                },
             ),
             (
                 "lock",
-                ParallelStrategy::SharedMemory { workers, discipline: UpdateDiscipline::Lock },
+                ParallelStrategy::SharedMemory {
+                    workers,
+                    discipline: UpdateDiscipline::Lock,
+                },
             ),
         ] {
             group.bench_with_input(
                 BenchmarkId::new(label, workers),
                 &strategy,
                 |b, &strategy| {
-                    b.iter(|| black_box(ParallelTrainer::new(&task, config, strategy).train(&table)))
+                    b.iter(|| {
+                        black_box(ParallelTrainer::new(&task, config, strategy).train(&table))
+                    })
                 },
             );
         }

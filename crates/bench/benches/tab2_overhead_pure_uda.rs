@@ -16,21 +16,34 @@ use std::hint::black_box;
 fn forest_small() -> Table {
     dense_classification(
         "forest",
-        DenseClassificationConfig { examples: 2_000, dimension: 54, ..Default::default() },
+        DenseClassificationConfig {
+            examples: 2_000,
+            dimension: 54,
+            ..Default::default()
+        },
     )
 }
 
 fn dblife_small() -> Table {
     sparse_classification(
         "dblife",
-        SparseClassificationConfig { examples: 1_000, vocabulary: 8_000, ..Default::default() },
+        SparseClassificationConfig {
+            examples: 1_000,
+            vocabulary: 8_000,
+            ..Default::default()
+        },
     )
 }
 
 fn movielens_small() -> Table {
     ratings_table(
         "movielens",
-        RatingsConfig { rows: 200, cols: 150, ratings: 8_000, ..Default::default() },
+        RatingsConfig {
+            rows: 200,
+            cols: 150,
+            ratings: 8_000,
+            ..Default::default()
+        },
     )
 }
 

@@ -1,11 +1,11 @@
 //! Table 3 bench: single-iteration runtime of the shared-memory UDA variant
 //! (NoLock, 2 workers) against the NULL aggregate.
 
+use bismarck_core::task::IgdTask;
 use bismarck_core::tasks::{LmfTask, LogisticRegressionTask, SvmTask};
 use bismarck_core::{
     ParallelStrategy, ParallelTrainer, StepSizeSchedule, TrainerConfig, UpdateDiscipline,
 };
-use bismarck_core::task::IgdTask;
 use bismarck_datagen::{
     dense_classification, ratings_table, sparse_classification, DenseClassificationConfig,
     RatingsConfig, SparseClassificationConfig,
@@ -23,7 +23,10 @@ fn shared_epoch<T: IgdTask>(task: &T, table: &Table) {
     let trainer = ParallelTrainer::new(
         task,
         config,
-        ParallelStrategy::SharedMemory { workers: 2, discipline: UpdateDiscipline::NoLock },
+        ParallelStrategy::SharedMemory {
+            workers: 2,
+            discipline: UpdateDiscipline::NoLock,
+        },
     );
     black_box(trainer.train(table));
 }
@@ -31,15 +34,28 @@ fn shared_epoch<T: IgdTask>(task: &T, table: &Table) {
 fn bench_table3(c: &mut Criterion) {
     let forest = dense_classification(
         "forest",
-        DenseClassificationConfig { examples: 2_000, dimension: 54, ..Default::default() },
+        DenseClassificationConfig {
+            examples: 2_000,
+            dimension: 54,
+            ..Default::default()
+        },
     );
     let dblife = sparse_classification(
         "dblife",
-        SparseClassificationConfig { examples: 1_000, vocabulary: 8_000, ..Default::default() },
+        SparseClassificationConfig {
+            examples: 1_000,
+            vocabulary: 8_000,
+            ..Default::default()
+        },
     );
     let movielens = ratings_table(
         "movielens",
-        RatingsConfig { rows: 200, cols: 150, ratings: 8_000, ..Default::default() },
+        RatingsConfig {
+            rows: 200,
+            cols: 150,
+            ratings: 8_000,
+            ..Default::default()
+        },
     );
     let forest_dim = bismarck_core::frontend::infer_dimension(&forest, 1);
     let dblife_dim = bismarck_core::frontend::infer_dimension(&dblife, 1);

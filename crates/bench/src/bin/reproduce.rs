@@ -103,8 +103,9 @@ fn main() {
     );
     let ok = if experiment == "all" {
         // fig7a/fig7b and fig9a/fig9b share a run; execute each family once.
-        let unique =
-            ["table1", "table2", "table3", "table4", "fig5", "fig7a", "fig8", "fig9a", "fig10a"];
+        let unique = [
+            "table1", "table2", "table3", "table4", "fig5", "fig7a", "fig8", "fig9a", "fig10a",
+        ];
         unique.iter().all(|id| run_one(id, scale))
     } else {
         run_one(&experiment, scale)

@@ -56,7 +56,14 @@ pub fn movielens(scale: Scale) -> Table {
     let (rows, cols, ratings, _) = movielens_shape(scale);
     ratings_table(
         "movielens",
-        RatingsConfig { rows, cols, ratings, true_rank: 5, noise: 0.1, seed: 103 },
+        RatingsConfig {
+            rows,
+            cols,
+            ratings,
+            true_rank: 5,
+            noise: 0.1,
+            seed: 103,
+        },
     )
 }
 
@@ -110,7 +117,14 @@ pub fn matrix_large(scale: Scale) -> Table {
     let (rows, cols, ratings, _) = matrix_large_shape(scale);
     ratings_table(
         "matrix_large",
-        RatingsConfig { rows, cols, ratings, true_rank: 8, noise: 0.05, seed: 106 },
+        RatingsConfig {
+            rows,
+            cols,
+            ratings,
+            true_rank: 8,
+            noise: 0.05,
+            seed: 106,
+        },
     )
 }
 

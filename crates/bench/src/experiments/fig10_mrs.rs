@@ -38,7 +38,10 @@ impl MrsCurve {
 
     /// Wall-clock time to first reach `target`, if ever.
     pub fn time_to(&self, target: f64) -> Option<Duration> {
-        self.losses.iter().position(|&l| l <= target).map(|i| self.cumulative[i])
+        self.losses
+            .iter()
+            .position(|&l| l <= target)
+            .map(|i| self.cumulative[i])
     }
 }
 
@@ -82,7 +85,12 @@ fn clustered_curve(table: &Table, dim: usize, epochs: usize) -> MrsCurve {
     MrsCurve {
         label: "Clustered".into(),
         losses: trained.history.losses(),
-        cumulative: trained.history.records().iter().map(|r| r.cumulative).collect(),
+        cumulative: trained
+            .history
+            .records()
+            .iter()
+            .map(|r| r.cumulative)
+            .collect(),
     }
 }
 
@@ -99,7 +107,12 @@ fn subsampling_curve(table: &Table, dim: usize, buffer: usize, epochs: usize) ->
     MrsCurve {
         label: format!("Subsampling (B={buffer})"),
         losses: trained.history.losses(),
-        cumulative: trained.history.records().iter().map(|r| r.cumulative).collect(),
+        cumulative: trained
+            .history
+            .records()
+            .iter()
+            .map(|r| r.cumulative)
+            .collect(),
     }
 }
 
@@ -116,7 +129,12 @@ fn mrs_curve(table: &Table, dim: usize, buffer: usize, epochs: usize) -> MrsCurv
     MrsCurve {
         label: format!("MRS (B={buffer})"),
         losses: trained.history.losses(),
-        cumulative: trained.history.records().iter().map(|r| r.cumulative).collect(),
+        cumulative: trained
+            .history
+            .records()
+            .iter()
+            .map(|r| r.cumulative)
+            .collect(),
     }
 }
 
@@ -154,12 +172,19 @@ pub fn run(scale: Scale) -> Fig10Result {
         });
     }
 
-    Fig10Result { curves, target, sweep }
+    Fig10Result {
+        curves,
+        target,
+        sweep,
+    }
 }
 
 impl std::fmt::Display for Fig10Result {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Figure 10(A) — objective over epochs (sparse LR, buffer ~10%)")?;
+        writeln!(
+            f,
+            "Figure 10(A) — objective over epochs (sparse LR, buffer ~10%)"
+        )?;
         for c in &self.curves {
             let line: Vec<String> = c
                 .losses
@@ -183,10 +208,18 @@ impl std::fmt::Display for Fig10Result {
             .sweep
             .iter()
             .map(|r| {
-                vec![r.buffer.to_string(), fmt_cell(&r.subsampling), fmt_cell(&r.mrs)]
+                vec![
+                    r.buffer.to_string(),
+                    fmt_cell(&r.subsampling),
+                    fmt_cell(&r.mrs),
+                ]
             })
             .collect();
-        write!(f, "{}", render_table(&["Buffer", "Subsampling", "MRS"], &rows))
+        write!(
+            f,
+            "{}",
+            render_table(&["Buffer", "Subsampling", "MRS"], &rows)
+        )
     }
 }
 
@@ -208,7 +241,12 @@ mod tests {
         let sub = find("Subsampling");
         let clustered = find("Clustered");
         let last = |c: &MrsCurve| *c.losses.last().unwrap();
-        assert!(last(mrs) <= last(sub) * 1.05, "MRS {} vs Subsampling {}", last(mrs), last(sub));
+        assert!(
+            last(mrs) <= last(sub) * 1.05,
+            "MRS {} vs Subsampling {}",
+            last(mrs),
+            last(sub)
+        );
         // MRS should also do no worse than training on clustered data.
         assert!(last(mrs) <= last(clustered) * 1.05);
     }

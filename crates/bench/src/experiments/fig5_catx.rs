@@ -63,7 +63,7 @@ fn run_ordering(
         };
         for tuple in visit {
             task.gradient_step(&mut store, tuple, alpha);
-            if step % sample_every == 0 {
+            if step.is_multiple_of(sample_every) {
                 samples.push((step, store.read(0)));
             }
             step += 1;
@@ -79,7 +79,11 @@ fn run_ordering(
         }
     }
     samples.push((step, store.read(0)));
-    OrderingTrajectory { label, samples, epochs_to_converge }
+    OrderingTrajectory {
+        label,
+        samples,
+        epochs_to_converge,
+    }
 }
 
 /// Run the Figure 5 experiment.
@@ -97,7 +101,12 @@ pub fn run(scale: Scale) -> Fig5Result {
         w0,
     );
     let clustered = run_ordering(&table, ScanOrder::Clustered, "Clustered", max_epochs, w0);
-    Fig5Result { examples: table.len(), max_epochs, random, clustered }
+    Fig5Result {
+        examples: table.len(),
+        max_epochs,
+        random,
+        clustered,
+    }
 }
 
 impl std::fmt::Display for Fig5Result {
@@ -108,13 +117,24 @@ impl std::fmt::Display for Fig5Result {
             self.examples, self.max_epochs
         )?;
         let fmt_epochs = |e: &Option<usize>| {
-            e.map(|v| v.to_string()).unwrap_or_else(|| format!(">{}", self.max_epochs))
+            e.map(|v| v.to_string())
+                .unwrap_or_else(|| format!(">{}", self.max_epochs))
         };
         let rows = vec![
-            vec!["(1) Random".to_string(), fmt_epochs(&self.random.epochs_to_converge)],
-            vec!["(2) Clustered".to_string(), fmt_epochs(&self.clustered.epochs_to_converge)],
+            vec![
+                "(1) Random".to_string(),
+                fmt_epochs(&self.random.epochs_to_converge),
+            ],
+            vec![
+                "(2) Clustered".to_string(),
+                fmt_epochs(&self.clustered.epochs_to_converge),
+            ],
         ];
-        writeln!(f, "{}", render_table(&["ordering", "epochs to converge"], &rows))?;
+        writeln!(
+            f,
+            "{}",
+            render_table(&["ordering", "epochs to converge"], &rows)
+        )?;
         writeln!(f, "w trajectory samples (step, w):")?;
         for traj in [&self.random, &self.clustered] {
             let line: Vec<String> = traj
@@ -136,7 +156,10 @@ mod tests {
     #[test]
     fn random_converges_in_fewer_epochs_than_clustered() {
         let result = run(Scale::Small);
-        let random = result.random.epochs_to_converge.expect("random order converges");
+        let random = result
+            .random
+            .epochs_to_converge
+            .expect("random order converges");
         let clustered = result
             .clustered
             .epochs_to_converge

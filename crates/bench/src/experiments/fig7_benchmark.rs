@@ -14,8 +14,8 @@
 use std::time::{Duration, Instant};
 
 use bismarck_baselines::{
-    als::als_train, batch_svm_train, crf_batch_train, irls_train, AlsConfig,
-    BatchGradientConfig, CrfBatchConfig, IrlsConfig,
+    als::als_train, batch_svm_train, crf_batch_train, irls_train, AlsConfig, BatchGradientConfig,
+    CrfBatchConfig, IrlsConfig,
 };
 use bismarck_core::task::IgdTask;
 use bismarck_core::tasks::{CrfTask, LmfTask, LogisticRegressionTask, SvmTask};
@@ -83,11 +83,19 @@ fn bismarck_config(epochs: usize) -> TrainerConfig {
         .with_convergence(ConvergenceTest::paper_default(epochs))
 }
 
-fn train_bismarck<T: IgdTask>(task: &T, table: &Table, epochs: usize, workers: usize) -> (Duration, f64) {
+fn train_bismarck<T: IgdTask>(
+    task: &T,
+    table: &Table,
+    epochs: usize,
+    workers: usize,
+) -> (Duration, f64) {
     let trainer = ParallelTrainer::new(
         task,
         bismarck_config(epochs),
-        ParallelStrategy::SharedMemory { workers, discipline: UpdateDiscipline::NoLock },
+        ParallelStrategy::SharedMemory {
+            workers,
+            discipline: UpdateDiscipline::NoLock,
+        },
     );
     let start = Instant::now();
     let (trained, _) = trainer.train(table);
@@ -205,7 +213,10 @@ pub fn run(scale: Scale) -> Fig7Result {
         let trainer = ParallelTrainer::new(
             &task,
             config,
-            ParallelStrategy::SharedMemory { workers, discipline: UpdateDiscipline::NoLock },
+            ParallelStrategy::SharedMemory {
+                workers,
+                discipline: UpdateDiscipline::NoLock,
+            },
         );
         let start = Instant::now();
         let (trained, _) = trainer.train(&movielens);
@@ -213,7 +224,10 @@ pub fn run(scale: Scale) -> Fig7Result {
         let start = Instant::now();
         let als = als_train(
             &movielens,
-            AlsConfig { sweeps: scale.scaled(8, 15), ..AlsConfig::new(ml_rows, ml_cols, ml_rank) },
+            AlsConfig {
+                sweeps: scale.scaled(8, 15),
+                ..AlsConfig::new(ml_rows, ml_cols, ml_rank)
+            },
         );
         rows.push(BenchmarkRow {
             dataset: "movielens".into(),
@@ -241,7 +255,10 @@ pub fn run(scale: Scale) -> Fig7Result {
                 .with_scan_order(ScanOrder::ShuffleOnce { seed: 3 })
                 .with_step_size(StepSizeSchedule::Constant(0.1))
                 .with_convergence(ConvergenceTest::FixedEpochs(crf_epochs)),
-            ParallelStrategy::SharedMemory { workers, discipline: UpdateDiscipline::NoLock },
+            ParallelStrategy::SharedMemory {
+                workers,
+                discipline: UpdateDiscipline::NoLock,
+            },
         );
         let (trained, _) = trainer.train(&conll);
         for record in trained.history.records() {
@@ -267,16 +284,26 @@ pub fn run(scale: Scale) -> Fig7Result {
         let total = start.elapsed().as_secs_f64();
         let per_iter = total / crf_epochs.max(1) as f64;
         for (i, &loss) in result.losses.iter().enumerate() {
-            crf_batch.push(ConvergencePoint { seconds: per_iter * (i + 1) as f64, loss });
+            crf_batch.push(ConvergencePoint {
+                seconds: per_iter * (i + 1) as f64,
+                loss,
+            });
         }
     }
 
-    Fig7Result { rows, crf_bismarck, crf_batch }
+    Fig7Result {
+        rows,
+        crf_bismarck,
+        crf_batch,
+    }
 }
 
 impl std::fmt::Display for Fig7Result {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Figure 7(A) — runtime to convergence: Bismarck vs native-tool baselines")?;
+        writeln!(
+            f,
+            "Figure 7(A) — runtime to convergence: Bismarck vs native-tool baselines"
+        )?;
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
@@ -287,9 +314,15 @@ impl std::fmt::Display for Fig7Result {
                     super::secs(r.bismarck_time),
                     format!("{:.2}", r.bismarck_loss),
                     r.baseline.to_string(),
-                    r.baseline_time.map(super::secs).unwrap_or_else(|| "N/A".into()),
-                    r.baseline_loss.map(|l| format!("{l:.2}")).unwrap_or_else(|| "N/A".into()),
-                    r.speedup().map(|s| format!("{s:.1}x")).unwrap_or_else(|| "N/A".into()),
+                    r.baseline_time
+                        .map(super::secs)
+                        .unwrap_or_else(|| "N/A".into()),
+                    r.baseline_loss
+                        .map(|l| format!("{l:.2}"))
+                        .unwrap_or_else(|| "N/A".into()),
+                    r.speedup()
+                        .map(|s| format!("{s:.1}x"))
+                        .unwrap_or_else(|| "N/A".into()),
                 ]
             })
             .collect();
@@ -310,7 +343,10 @@ impl std::fmt::Display for Fig7Result {
                 &rows
             )
         )?;
-        writeln!(f, "Figure 7(B) — CRF objective over time (seconds, -log-likelihood)")?;
+        writeln!(
+            f,
+            "Figure 7(B) — CRF objective over time (seconds, -log-likelihood)"
+        )?;
         let series = |name: &str, pts: &[ConvergencePoint]| -> String {
             let line: Vec<String> = pts
                 .iter()
@@ -334,8 +370,11 @@ mod tests {
         let result = run(Scale::Small);
         assert_eq!(result.rows.len(), 5);
         // Sparse LR baseline is N/A, everything else has a measurement.
-        let na: Vec<&BenchmarkRow> =
-            result.rows.iter().filter(|r| r.baseline_time.is_none()).collect();
+        let na: Vec<&BenchmarkRow> = result
+            .rows
+            .iter()
+            .filter(|r| r.baseline_time.is_none())
+            .collect();
         assert_eq!(na.len(), 1);
         assert_eq!(na[0].dataset, "dblife");
         assert_eq!(na[0].task, "LR");

@@ -74,7 +74,12 @@ fn run_ordering(
     OrderingCurve {
         label,
         losses: trained.history.losses(),
-        cumulative: trained.history.records().iter().map(|r| r.cumulative).collect(),
+        cumulative: trained
+            .history
+            .records()
+            .iter()
+            .map(|r| r.cumulative)
+            .collect(),
         shuffle_time: trained.history.total_shuffle_duration(),
     }
 }
@@ -85,8 +90,20 @@ pub fn run(scale: Scale) -> Fig8Result {
     let dim = datasets::feature_dimension(&table);
     let epochs = scale.scaled(12, 40);
     let curves = vec![
-        run_ordering(&table, dim, ScanOrder::ShuffleAlways { seed: 8 }, "ShuffleAlways", epochs),
-        run_ordering(&table, dim, ScanOrder::ShuffleOnce { seed: 8 }, "ShuffleOnce", epochs),
+        run_ordering(
+            &table,
+            dim,
+            ScanOrder::ShuffleAlways { seed: 8 },
+            "ShuffleAlways",
+            epochs,
+        ),
+        run_ordering(
+            &table,
+            dim,
+            ScanOrder::ShuffleOnce { seed: 8 },
+            "ShuffleOnce",
+            epochs,
+        ),
         run_ordering(&table, dim, ScanOrder::Clustered, "Clustered", epochs),
     ];
     // Target: within 2% of the best loss any policy reached.
@@ -100,8 +117,15 @@ pub fn run(scale: Scale) -> Fig8Result {
 
 impl std::fmt::Display for Fig8Result {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Figure 8 — impact of data ordering (sparse LR on dblife)")?;
-        writeln!(f, "loss target = {:.2} (within 2% of best observed)", self.target)?;
+        writeln!(
+            f,
+            "Figure 8 — impact of data ordering (sparse LR on dblife)"
+        )?;
+        writeln!(
+            f,
+            "loss target = {:.2} (within 2% of best observed)",
+            self.target
+        )?;
         let rows: Vec<Vec<String>> = self
             .curves
             .iter()
@@ -123,7 +147,13 @@ impl std::fmt::Display for Fig8Result {
             f,
             "{}",
             render_table(
-                &["Ordering", "Epochs to target", "Time to target", "Shuffle time", "Final loss"],
+                &[
+                    "Ordering",
+                    "Epochs to target",
+                    "Time to target",
+                    "Shuffle time",
+                    "Final loss"
+                ],
                 &rows
             )
         )?;
@@ -171,7 +201,12 @@ mod tests {
     fn shuffle_always_pays_more_shuffle_time_than_shuffle_once() {
         let result = run(Scale::Small);
         let time = |label: &str| {
-            result.curves.iter().find(|c| c.label == label).unwrap().shuffle_time
+            result
+                .curves
+                .iter()
+                .find(|c| c.label == label)
+                .unwrap()
+                .shuffle_time
         };
         assert!(time("ShuffleAlways") >= time("ShuffleOnce"));
         assert_eq!(time("Clustered"), Duration::ZERO);

@@ -58,11 +58,26 @@ pub struct Fig9Result {
 fn strategies(workers: usize) -> Vec<(&'static str, ParallelStrategy)> {
     vec![
         ("PureUDA", ParallelStrategy::PureUda { segments: workers }),
-        ("Lock", ParallelStrategy::SharedMemory { workers, discipline: UpdateDiscipline::Lock }),
-        ("AIG", ParallelStrategy::SharedMemory { workers, discipline: UpdateDiscipline::Aig }),
+        (
+            "Lock",
+            ParallelStrategy::SharedMemory {
+                workers,
+                discipline: UpdateDiscipline::Lock,
+            },
+        ),
+        (
+            "AIG",
+            ParallelStrategy::SharedMemory {
+                workers,
+                discipline: UpdateDiscipline::Aig,
+            },
+        ),
         (
             "NoLock",
-            ParallelStrategy::SharedMemory { workers, discipline: UpdateDiscipline::NoLock },
+            ParallelStrategy::SharedMemory {
+                workers,
+                discipline: UpdateDiscipline::NoLock,
+            },
         ),
     ]
 }
@@ -109,11 +124,19 @@ pub fn run(scale: Scale) -> Fig9Result {
         for (label, strategy) in strategies(workers) {
             let (_, times) = run_scheme(&task, &table, strategy, 1);
             let gradient_time = times.first().copied().unwrap_or(Duration::ZERO);
-            speedups.push(SpeedupPoint { label, workers, gradient_time });
+            speedups.push(SpeedupPoint {
+                label,
+                workers,
+                gradient_time,
+            });
         }
     }
 
-    Fig9Result { curves, speedups, convergence_workers }
+    Fig9Result {
+        curves,
+        speedups,
+        convergence_workers,
+    }
 }
 
 impl Fig9Result {
@@ -153,12 +176,17 @@ impl std::fmt::Display for Fig9Result {
             })
             .collect();
         let mut header: Vec<String> = vec!["Scheme".to_string()];
-        header.extend((1..=self.curves.first().map(|c| c.losses.len()).unwrap_or(0))
-            .map(|e| format!("ep{e}")));
+        header.extend(
+            (1..=self.curves.first().map(|c| c.losses.len()).unwrap_or(0))
+                .map(|e| format!("ep{e}")),
+        );
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
         writeln!(f, "{}", render_table(&header_refs, &rows))?;
 
-        writeln!(f, "Figure 9(B) — per-epoch gradient time and speed-up vs 1 worker")?;
+        writeln!(
+            f,
+            "Figure 9(B) — per-epoch gradient time and speed-up vs 1 worker"
+        )?;
         let mut rows = Vec::new();
         for p in &self.speedups {
             rows.push(vec![
@@ -170,7 +198,11 @@ impl std::fmt::Display for Fig9Result {
                     .unwrap_or_else(|| "-".into()),
             ]);
         }
-        write!(f, "{}", render_table(&["Scheme", "Workers", "Gradient time", "Speed-up"], &rows))
+        write!(
+            f,
+            "{}",
+            render_table(&["Scheme", "Workers", "Gradient time", "Speed-up"], &rows)
+        )
     }
 }
 
@@ -183,7 +215,11 @@ mod tests {
         let result = run(Scale::Small);
         assert_eq!(result.curves.len(), 4);
         let by_label = |label: &str| {
-            result.curves.iter().find(|c| c.label == label).expect("curve present")
+            result
+                .curves
+                .iter()
+                .find(|c| c.label == label)
+                .expect("curve present")
         };
         for curve in &result.curves {
             assert!(curve.losses.last().unwrap() < curve.losses.first().unwrap());

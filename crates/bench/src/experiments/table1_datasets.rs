@@ -32,7 +32,10 @@ pub fn run(scale: Scale) -> Table1Result {
         dataset_stats(&dblife, datasets::feature_dimension(&dblife).to_string()),
         dataset_stats(&movielens, format!("{ml_rows} x {ml_cols}")),
         dataset_stats(&conll, conll_features.to_string()),
-        dataset_stats(&classify, datasets::feature_dimension(&classify).to_string()),
+        dataset_stats(
+            &classify,
+            datasets::feature_dimension(&classify).to_string(),
+        ),
         dataset_stats(&matrix, format!("{mx_rows} x {mx_cols}")),
         dataset_stats(&dblp, conll_features.to_string()),
     ];
@@ -54,7 +57,11 @@ impl std::fmt::Display for Table1Result {
                 ]
             })
             .collect();
-        write!(f, "{}", render_table(&["Dataset", "Dimension", "# Examples", "Size"], &rows))
+        write!(
+            f,
+            "{}",
+            render_table(&["Dataset", "Dimension", "# Examples", "Size"], &rows)
+        )
     }
 }
 
@@ -69,7 +76,15 @@ mod tests {
         let names: Vec<&str> = result.rows.iter().map(|r| r.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["forest", "dblife", "movielens", "conll", "classify_large", "matrix_large", "dblp"]
+            vec![
+                "forest",
+                "dblife",
+                "movielens",
+                "conll",
+                "classify_large",
+                "matrix_large",
+                "dblp"
+            ]
         );
         assert!(result.rows.iter().all(|r| r.examples > 0 && r.bytes > 0));
     }

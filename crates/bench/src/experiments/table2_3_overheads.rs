@@ -11,8 +11,8 @@ use std::time::{Duration, Instant};
 use bismarck_core::igd::IgdAggregate;
 use bismarck_core::task::IgdTask;
 use bismarck_core::tasks::{LmfTask, LogisticRegressionTask, SvmTask};
-use bismarck_core::{ParallelStrategy, ParallelTrainer, TrainerConfig, UpdateDiscipline};
 use bismarck_core::StepSizeSchedule;
+use bismarck_core::{ParallelStrategy, ParallelTrainer, TrainerConfig, UpdateDiscipline};
 use bismarck_storage::{NullAggregate, ScanOrder, Table};
 use bismarck_uda::{run_sequential, ConvergenceTest};
 
@@ -84,10 +84,16 @@ fn time_shared_memory_epoch<T: IgdTask>(task: &T, table: &Table, workers: usize)
     let trainer = ParallelTrainer::new(
         task,
         config,
-        ParallelStrategy::SharedMemory { workers, discipline: UpdateDiscipline::NoLock },
+        ParallelStrategy::SharedMemory {
+            workers,
+            discipline: UpdateDiscipline::NoLock,
+        },
     );
     let (_, stats) = trainer.train(table);
-    stats.first().map(|s| s.gradient_duration).unwrap_or(Duration::ZERO)
+    stats
+        .first()
+        .map(|s| s.gradient_duration)
+        .unwrap_or(Duration::ZERO)
 }
 
 /// Run the overhead measurement for the chosen UDA variant.
@@ -130,7 +136,12 @@ pub fn run(scale: Scale, variant: UdaVariant) -> OverheadResult {
             UdaVariant::Pure => time_pure_uda_epoch(task, table),
             UdaVariant::SharedMemory => time_shared_memory_epoch(task, table, workers),
         };
-        OverheadRow { dataset: dataset.to_string(), task: task_name, null_time, task_time }
+        OverheadRow {
+            dataset: dataset.to_string(),
+            task: task_name,
+            null_time,
+            task_time,
+        }
     }
 
     let rows = vec![
@@ -169,7 +180,10 @@ impl std::fmt::Display for OverheadResult {
         write!(
             f,
             "{}",
-            render_table(&["Dataset", "Task", "NULL time", "Runtime", "Overhead"], &rows)
+            render_table(
+                &["Dataset", "Task", "NULL time", "Runtime", "Overhead"],
+                &rows
+            )
         )
     }
 }

@@ -12,7 +12,9 @@
 use std::time::{Duration, Instant};
 
 use bismarck_baselines::als::als_train;
-use bismarck_baselines::{batch_lr_train, crf_batch_train, AlsConfig, BatchGradientConfig, CrfBatchConfig};
+use bismarck_baselines::{
+    batch_lr_train, crf_batch_train, AlsConfig, BatchGradientConfig, CrfBatchConfig,
+};
 use bismarck_core::igd::IgdAggregate;
 use bismarck_core::task::IgdTask;
 use bismarck_core::tasks::{CrfTask, LmfTask, LogisticRegressionTask, SvmTask};
@@ -67,9 +69,19 @@ fn time_igd_epoch<T: IgdTask>(task: &T, table: &Table) -> Duration {
     start.elapsed()
 }
 
-fn cell(method: &'static str, per_pass: Duration, passes: usize, budget: Duration) -> ScalabilityCell {
+fn cell(
+    method: &'static str,
+    per_pass: Duration,
+    passes: usize,
+    budget: Duration,
+) -> ScalabilityCell {
     let projected_total = per_pass * passes as u32;
-    ScalabilityCell { method, per_pass, projected_total, completes: projected_total <= budget }
+    ScalabilityCell {
+        method,
+        per_pass,
+        projected_total,
+        completes: projected_total <= budget,
+    }
 }
 
 /// Run the Table 4 experiment.
@@ -96,27 +108,53 @@ pub fn run(scale: Scale) -> Table4Result {
     // LR on the Classify300M stand-in: Bismarck vs batch LR.
     {
         let task = LogisticRegressionTask::new(fcol, lcol, classify_dim);
-        let bismarck = cell("Bismarck IGD", time_igd_epoch(&task, &classify), passes, budget);
+        let bismarck = cell(
+            "Bismarck IGD",
+            time_igd_epoch(&task, &classify),
+            passes,
+            budget,
+        );
         let start = Instant::now();
         let _ = batch_lr_train(
             &classify,
-            BatchGradientConfig { iterations: 1, ..BatchGradientConfig::new(fcol, lcol, classify_dim) },
+            BatchGradientConfig {
+                iterations: 1,
+                ..BatchGradientConfig::new(fcol, lcol, classify_dim)
+            },
         );
         let baseline = cell("Batch LR", start.elapsed(), passes, budget);
-        rows.push(ScalabilityRow { task: "LR", dataset: "classify_large".into(), bismarck, baseline });
+        rows.push(ScalabilityRow {
+            task: "LR",
+            dataset: "classify_large".into(),
+            bismarck,
+            baseline,
+        });
     }
 
     // SVM on the same dataset: Bismarck vs batch subgradient.
     {
         let task = SvmTask::new(fcol, lcol, classify_dim);
-        let bismarck = cell("Bismarck IGD", time_igd_epoch(&task, &classify), passes, budget);
+        let bismarck = cell(
+            "Bismarck IGD",
+            time_igd_epoch(&task, &classify),
+            passes,
+            budget,
+        );
         let start = Instant::now();
         let _ = bismarck_baselines::batch_svm_train(
             &classify,
-            BatchGradientConfig { iterations: 1, ..BatchGradientConfig::new(fcol, lcol, classify_dim) },
+            BatchGradientConfig {
+                iterations: 1,
+                ..BatchGradientConfig::new(fcol, lcol, classify_dim)
+            },
         );
         let baseline = cell("Batch SVM", start.elapsed(), passes, budget);
-        rows.push(ScalabilityRow { task: "SVM", dataset: "classify_large".into(), bismarck, baseline });
+        rows.push(ScalabilityRow {
+            task: "SVM",
+            dataset: "classify_large".into(),
+            bismarck,
+            baseline,
+        });
     }
 
     // LMF on the Matrix5B stand-in: Bismarck vs ALS.
@@ -129,11 +167,27 @@ pub fn run(scale: Scale) -> Table4Result {
             mx_cols,
             mx_rank,
         );
-        let bismarck = cell("Bismarck IGD", time_igd_epoch(&task, &matrix), passes, budget);
+        let bismarck = cell(
+            "Bismarck IGD",
+            time_igd_epoch(&task, &matrix),
+            passes,
+            budget,
+        );
         let start = Instant::now();
-        let _ = als_train(&matrix, AlsConfig { sweeps: 1, ..AlsConfig::new(mx_rows, mx_cols, mx_rank) });
+        let _ = als_train(
+            &matrix,
+            AlsConfig {
+                sweeps: 1,
+                ..AlsConfig::new(mx_rows, mx_cols, mx_rank)
+            },
+        );
         let baseline = cell("ALS", start.elapsed(), passes, budget);
-        rows.push(ScalabilityRow { task: "LMF", dataset: "matrix_large".into(), bismarck, baseline });
+        rows.push(ScalabilityRow {
+            task: "LMF",
+            dataset: "matrix_large".into(),
+            bismarck,
+            baseline,
+        });
     }
 
     // CRF on the DBLP stand-in: Bismarck vs batch CRF.
@@ -149,10 +203,19 @@ pub fn run(scale: Scale) -> Table4Result {
             },
         );
         let baseline = cell("Batch CRF", start.elapsed(), passes, budget);
-        rows.push(ScalabilityRow { task: "CRF", dataset: "dblp".into(), bismarck, baseline });
+        rows.push(ScalabilityRow {
+            task: "CRF",
+            dataset: "dblp".into(),
+            bismarck,
+            baseline,
+        });
     }
 
-    Table4Result { budget, passes, rows }
+    Table4Result {
+        budget,
+        passes,
+        rows,
+    }
 }
 
 impl std::fmt::Display for Table4Result {
@@ -171,8 +234,16 @@ impl std::fmt::Display for Table4Result {
                 vec![
                     r.task.to_string(),
                     r.dataset.clone(),
-                    format!("{} ({}/pass)", mark(&r.bismarck), super::secs(r.bismarck.per_pass)),
-                    format!("{} ({}/pass)", mark(&r.baseline), super::secs(r.baseline.per_pass)),
+                    format!(
+                        "{} ({}/pass)",
+                        mark(&r.bismarck),
+                        super::secs(r.bismarck.per_pass)
+                    ),
+                    format!(
+                        "{} ({}/pass)",
+                        mark(&r.baseline),
+                        super::secs(r.baseline.per_pass)
+                    ),
                     r.baseline.method.to_string(),
                 ]
             })
@@ -180,7 +251,10 @@ impl std::fmt::Display for Table4Result {
         write!(
             f,
             "{}",
-            render_table(&["Task", "Dataset", "Bismarck", "Baseline", "Baseline method"], &rows)
+            render_table(
+                &["Task", "Dataset", "Bismarck", "Baseline", "Baseline method"],
+                &rows
+            )
         )
     }
 }
@@ -198,8 +272,14 @@ mod tests {
         // Bismarck's per-epoch cost is linear in the data, so at every scale
         // its projected total fits the (scaled) budget.
         assert!(result.rows.iter().all(|r| r.bismarck.completes));
-        assert!(result.rows.iter().all(|r| r.bismarck.per_pass > Duration::ZERO));
-        assert!(result.rows.iter().all(|r| r.baseline.per_pass > Duration::ZERO));
+        assert!(result
+            .rows
+            .iter()
+            .all(|r| r.bismarck.per_pass > Duration::ZERO));
+        assert!(result
+            .rows
+            .iter()
+            .all(|r| r.baseline.per_pass > Duration::ZERO));
     }
 
     #[test]

@@ -15,4 +15,4 @@
 
 pub mod experiments;
 
-pub use experiments::scale::Scale;
+pub use crate::experiments::scale::Scale;

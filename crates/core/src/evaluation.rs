@@ -25,13 +25,19 @@ pub struct TrainTestSplit {
 /// held-out fraction, after a seeded shuffle so clustered storage order does
 /// not leak into the split.
 pub fn train_test_split(table: &Table, test_fraction: f64, seed: u64) -> TrainTestSplit {
-    assert!((0.0..1.0).contains(&test_fraction), "test fraction must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&test_fraction),
+        "test fraction must be in [0, 1)"
+    );
     let order = ScanOrder::ShuffleOnce { seed }
         .permutation(table.len(), 0)
         .unwrap_or_default();
     let test_len = (table.len() as f64 * test_fraction).round() as usize;
     let (test_rows, train_rows) = order.split_at(test_len.min(order.len()));
-    TrainTestSplit { train_rows: train_rows.to_vec(), test_rows: test_rows.to_vec() }
+    TrainTestSplit {
+        train_rows: train_rows.to_vec(),
+        test_rows: test_rows.to_vec(),
+    }
 }
 
 /// Materialize a subset of a table's rows into a new table with the same
@@ -40,7 +46,8 @@ pub fn materialize_rows(table: &Table, rows: &[usize], name: &str) -> Table {
     let mut out = Table::new(name, table.schema().clone());
     for &row in rows {
         if let Ok(tuple) = table.get(row) {
-            out.insert(tuple.clone().into_values()).expect("same schema accepts its own rows");
+            out.insert(tuple.clone().into_values())
+                .expect("same schema accepts its own rows");
         }
     }
     out
@@ -78,9 +85,10 @@ pub fn holdout_evaluate<T: IgdTask>(
         let mut labels = Vec::with_capacity(rows.len());
         for &row in rows {
             let Ok(tuple) = table.get(row) else { continue };
-            let (Some(x), Some(y)) =
-                (tuple.get_feature_vector(features_col), tuple.get_double(label_col))
-            else {
+            let (Some(x), Some(y)) = (
+                tuple.get_feature_vector(features_col),
+                tuple.get_double(label_col),
+            ) else {
                 continue;
             };
             predictions.push(x.dot(&trained.model));
@@ -137,8 +145,11 @@ pub fn cross_validate<T: IgdTask>(
             continue;
         }
         let test_rows: Vec<usize> = order[start..end].to_vec();
-        let train_rows: Vec<usize> =
-            order[..start].iter().chain(order[end..].iter()).copied().collect();
+        let train_rows: Vec<usize> = order[..start]
+            .iter()
+            .chain(order[end..].iter())
+            .copied()
+            .collect();
         let train_table = materialize_rows(table, &train_rows, "cv_train");
         let trained = Trainer::new(task, config).train(&train_table);
 
@@ -146,9 +157,10 @@ pub fn cross_validate<T: IgdTask>(
         let mut labels = Vec::new();
         for &row in &test_rows {
             let Ok(tuple) = table.get(row) else { continue };
-            let (Some(x), Some(y)) =
-                (tuple.get_feature_vector(features_col), tuple.get_double(label_col))
-            else {
+            let (Some(x), Some(y)) = (
+                tuple.get_feature_vector(features_col),
+                tuple.get_double(label_col),
+            ) else {
                 continue;
             };
             predictions.push(x.dot(&trained.model));
@@ -181,7 +193,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for i in 0..n {
             let y = if i % 2 == 0 { 1.0 } else { -1.0 };
-            let x = vec![y * 1.5 + rng.gen_range(-0.5..0.5), -y + rng.gen_range(-0.5..0.5)];
+            let x = vec![
+                y * 1.5 + rng.gen_range(-0.5..0.5),
+                -y + rng.gen_range(-0.5..0.5),
+            ];
             t.insert(vec![Value::from(x), Value::Double(y)]).unwrap();
         }
         t
@@ -199,8 +214,12 @@ mod tests {
         let split = train_test_split(&t, 0.25, 7);
         assert_eq!(split.test_rows.len(), 25);
         assert_eq!(split.train_rows.len(), 75);
-        let mut all: Vec<usize> =
-            split.train_rows.iter().chain(split.test_rows.iter()).copied().collect();
+        let mut all: Vec<usize> = split
+            .train_rows
+            .iter()
+            .chain(split.test_rows.iter())
+            .copied()
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..100).collect::<Vec<_>>());
     }
@@ -243,7 +262,10 @@ mod tests {
         let report = cross_validate(&task, &t, 0, 1, config(), 5, 3);
         assert_eq!(report.fold_accuracies.len(), 5);
         assert!(report.mean_accuracy() > 0.85, "{:?}", report);
-        assert!(report.fold_accuracies.iter().all(|a| (0.0..=1.0).contains(a)));
+        assert!(report
+            .fold_accuracies
+            .iter()
+            .all(|a| (0.0..=1.0).contains(a)));
     }
 
     #[test]
@@ -256,7 +278,9 @@ mod tests {
 
     #[test]
     fn empty_report_mean_is_zero() {
-        let report = CrossValidationReport { fold_accuracies: vec![] };
+        let report = CrossValidationReport {
+            fold_accuracies: vec![],
+        };
         assert_eq!(report.mean_accuracy(), 0.0);
     }
 }

@@ -74,7 +74,11 @@ pub fn infer_dimension(table: &Table, features_col: usize) -> usize {
 
 /// Persist a flat model as a `(idx INT, weight DOUBLE)` table named
 /// `model_name`, replacing any existing table of that name.
-pub fn persist_model(db: &mut Database, model_name: &str, model: &[f64]) -> Result<(), FrontendError> {
+pub fn persist_model(
+    db: &mut Database,
+    model_name: &str,
+    model: &[f64],
+) -> Result<(), FrontendError> {
     let schema = Schema::new(vec![
         Column::new("idx", DataType::Int),
         Column::new("weight", DataType::Double),
@@ -282,7 +286,9 @@ pub fn infer_sequence_shape(table: &Table, sequence_col: usize) -> (usize, usize
     let mut num_features = 0usize;
     let mut num_labels = 0usize;
     for tuple in table.scan() {
-        let Some(sequence) = tuple.get_sequence(sequence_col) else { continue };
+        let Some(sequence) = tuple.get_sequence(sequence_col) else {
+            continue;
+        };
         for (features, label) in sequence {
             num_features = num_features.max(features.dimension());
             num_labels = num_labels.max(*label as usize + 1);
@@ -445,7 +451,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(17);
         for i in 0..n {
             let y = if i % 2 == 0 { 1.0 } else { -1.0 };
-            let x = vec![y + rng.gen_range(-0.3..0.3), -y * 0.5 + rng.gen_range(-0.3..0.3)];
+            let x = vec![
+                y + rng.gen_range(-0.3..0.3),
+                -y * 0.5 + rng.gen_range(-0.3..0.3),
+            ];
             table
                 .insert(vec![Value::Int(i as i64), Value::from(x), Value::Double(y)])
                 .unwrap();
@@ -463,8 +472,15 @@ mod tests {
     #[test]
     fn svm_train_and_predict_roundtrip() {
         let mut db = setup_db(200);
-        let summary =
-            svm_train(&mut db, "myModel", "LabeledPapers", "vec", "label", fast_config()).unwrap();
+        let summary = svm_train(
+            &mut db,
+            "myModel",
+            "LabeledPapers",
+            "vec",
+            "label",
+            fast_config(),
+        )
+        .unwrap();
         assert_eq!(summary.task, "SVM");
         assert_eq!(summary.dimension, 2);
         assert_eq!(summary.epochs, 10);
@@ -545,9 +561,24 @@ mod tests {
     #[test]
     fn loss_frontends_match_a_direct_objective_computation() {
         let mut db = setup_db(150);
-        svm_train(&mut db, "svmM", "LabeledPapers", "vec", "label", fast_config()).unwrap();
-        logistic_regression_train(&mut db, "lrM", "LabeledPapers", "vec", "label", fast_config())
-            .unwrap();
+        svm_train(
+            &mut db,
+            "svmM",
+            "LabeledPapers",
+            "vec",
+            "label",
+            fast_config(),
+        )
+        .unwrap();
+        logistic_regression_train(
+            &mut db,
+            "lrM",
+            "LabeledPapers",
+            "vec",
+            "label",
+            fast_config(),
+        )
+        .unwrap();
 
         let svm_value = svm_loss(&db, "svmM", "LabeledPapers", "vec", "label").unwrap();
         let lr_value =
@@ -591,7 +622,9 @@ mod tests {
                     (SparseVector::from_pairs(vec![(label as usize, 1.0)]), label)
                 })
                 .collect();
-            table.insert(vec![Value::Int(i), Value::Sequence(seq)]).unwrap();
+            table
+                .insert(vec![Value::Int(i), Value::Sequence(seq)])
+                .unwrap();
         }
         db.register_table(table);
 
@@ -622,7 +655,10 @@ mod tests {
                 }
             }
         }
-        assert!(correct as f64 / total as f64 > 0.95, "accuracy {correct}/{total}");
+        assert!(
+            correct as f64 / total as f64 > 0.95,
+            "accuracy {correct}/{total}"
+        );
     }
 
     #[test]
@@ -638,7 +674,10 @@ mod tests {
             .unwrap();
         assert_eq!(infer_sequence_shape(&table, 0), (8, 3));
         // Empty table yields zero shape and trains are rejected.
-        let empty = Table::new("E", Schema::new(vec![Column::new("seq", DataType::Sequence)]).unwrap());
+        let empty = Table::new(
+            "E",
+            Schema::new(vec![Column::new("seq", DataType::Sequence)]).unwrap(),
+        );
         assert_eq!(infer_sequence_shape(&empty, 0), (0, 0));
     }
 
@@ -676,7 +715,14 @@ mod tests {
             Err(FrontendError::Storage(StorageError::UnknownTable(_)))
         ));
         assert!(matches!(
-            svm_train(&mut db, "m", "LabeledPapers", "nope", "label", fast_config()),
+            svm_train(
+                &mut db,
+                "m",
+                "LabeledPapers",
+                "nope",
+                "label",
+                fast_config()
+            ),
             Err(FrontendError::Storage(StorageError::UnknownColumn(_)))
         ));
         assert!(load_model(&db, "missingModel").is_err());
@@ -691,8 +737,7 @@ mod tests {
         ])
         .unwrap();
         db.register_table(Table::new("Empty", schema));
-        let err =
-            svm_train(&mut db, "m", "Empty", "vec", "label", fast_config()).unwrap_err();
+        let err = svm_train(&mut db, "m", "Empty", "vec", "label", fast_config()).unwrap_err();
         assert!(matches!(err, FrontendError::InvalidInput(_)));
         assert!(err.to_string().contains("empty"));
     }

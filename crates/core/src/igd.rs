@@ -26,7 +26,10 @@ pub struct IgdState {
 impl IgdState {
     /// Wrap an existing model with a zero step count.
     pub fn from_model(model: Vec<f64>) -> Self {
-        IgdState { model: DenseModelStore::new(model), steps: 0 }
+        IgdState {
+            model: DenseModelStore::new(model),
+            steps: 0,
+        }
     }
 }
 
@@ -57,7 +60,12 @@ pub struct IgdAggregate<'a, T: IgdTask> {
 impl<'a, T: IgdTask> IgdAggregate<'a, T> {
     /// Create an aggregate for one epoch.
     pub fn new(task: &'a T, alpha: f64, starting_model: Vec<f64>) -> Self {
-        IgdAggregate { task, alpha, starting_model, merge_strategy: MergeStrategy::default() }
+        IgdAggregate {
+            task,
+            alpha,
+            starting_model,
+            merge_strategy: MergeStrategy::default(),
+        }
     }
 
     /// Override the merge strategy (used by the merge-strategy ablation).
@@ -84,7 +92,8 @@ impl<T: IgdTask> Aggregate for IgdAggregate<'_, T> {
         self.task.gradient_step(&mut state.model, tuple, self.alpha);
         state.steps += 1;
         if self.task.proximal_policy() == ProximalPolicy::PerStep {
-            self.task.proximal_step(state.model.as_mut_slice(), self.alpha);
+            self.task
+                .proximal_step(state.model.as_mut_slice(), self.alpha);
         }
     }
 
@@ -110,7 +119,8 @@ impl<T: IgdTask> Aggregate for IgdAggregate<'_, T> {
 
     fn terminate(&self, mut state: IgdState) -> IgdState {
         if self.task.proximal_policy() == ProximalPolicy::PerEpoch {
-            self.task.proximal_step(state.model.as_mut_slice(), self.alpha);
+            self.task
+                .proximal_step(state.model.as_mut_slice(), self.alpha);
         }
         state
     }
@@ -167,7 +177,9 @@ mod tests {
     #[test]
     fn one_epoch_moves_model_and_counts_steps() {
         let t = table(&[1.0; 50]);
-        let task = MeanTask { prox: ProximalPolicy::None };
+        let task = MeanTask {
+            prox: ProximalPolicy::None,
+        };
         let agg = IgdAggregate::new(&task, 0.1, vec![0.0]);
         let out = run_sequential(&agg, &t, None);
         assert_eq!(out.steps, 50);
@@ -178,7 +190,9 @@ mod tests {
     #[test]
     fn per_step_proximal_is_applied() {
         let t = table(&[100.0; 5]);
-        let task = MeanTask { prox: ProximalPolicy::PerStep };
+        let task = MeanTask {
+            prox: ProximalPolicy::PerStep,
+        };
         let agg = IgdAggregate::new(&task, 1.0, vec![0.0]);
         let out = run_sequential(&agg, &t, None);
         // Each step would jump to 100 without the projection; the per-step
@@ -189,7 +203,9 @@ mod tests {
     #[test]
     fn per_epoch_proximal_applied_only_at_terminate() {
         let t = table(&[100.0; 5]);
-        let task = MeanTask { prox: ProximalPolicy::PerEpoch };
+        let task = MeanTask {
+            prox: ProximalPolicy::PerEpoch,
+        };
         let agg = IgdAggregate::new(&task, 1.0, vec![0.0]);
         let out = run_sequential(&agg, &t, None);
         assert!(out.model.read(0) <= 1.0 + 1e-12);
@@ -197,10 +213,18 @@ mod tests {
 
     #[test]
     fn merge_is_count_weighted_average() {
-        let task = MeanTask { prox: ProximalPolicy::None };
+        let task = MeanTask {
+            prox: ProximalPolicy::None,
+        };
         let agg = IgdAggregate::new(&task, 0.1, vec![0.0]);
-        let mut left = IgdState { model: DenseModelStore::new(vec![1.0]), steps: 3 };
-        let right = IgdState { model: DenseModelStore::new(vec![5.0]), steps: 1 };
+        let mut left = IgdState {
+            model: DenseModelStore::new(vec![1.0]),
+            steps: 3,
+        };
+        let right = IgdState {
+            model: DenseModelStore::new(vec![5.0]),
+            steps: 1,
+        };
         agg.merge(&mut left, right);
         assert!((left.model.read(0) - 2.0).abs() < 1e-12);
         assert_eq!(left.steps, 4);
@@ -208,21 +232,37 @@ mod tests {
 
     #[test]
     fn unweighted_merge_is_midpoint() {
-        let task = MeanTask { prox: ProximalPolicy::None };
-        let agg = IgdAggregate::new(&task, 0.1, vec![0.0])
-            .with_merge_strategy(MergeStrategy::Unweighted);
-        let mut left = IgdState { model: DenseModelStore::new(vec![1.0]), steps: 3 };
-        let right = IgdState { model: DenseModelStore::new(vec![5.0]), steps: 1 };
+        let task = MeanTask {
+            prox: ProximalPolicy::None,
+        };
+        let agg =
+            IgdAggregate::new(&task, 0.1, vec![0.0]).with_merge_strategy(MergeStrategy::Unweighted);
+        let mut left = IgdState {
+            model: DenseModelStore::new(vec![1.0]),
+            steps: 3,
+        };
+        let right = IgdState {
+            model: DenseModelStore::new(vec![5.0]),
+            steps: 1,
+        };
         agg.merge(&mut left, right);
         assert!((left.model.read(0) - 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn merge_with_zero_steps_keeps_left() {
-        let task = MeanTask { prox: ProximalPolicy::None };
+        let task = MeanTask {
+            prox: ProximalPolicy::None,
+        };
         let agg = IgdAggregate::new(&task, 0.1, vec![0.0]);
-        let mut left = IgdState { model: DenseModelStore::new(vec![2.0]), steps: 0 };
-        let right = IgdState { model: DenseModelStore::new(vec![4.0]), steps: 0 };
+        let mut left = IgdState {
+            model: DenseModelStore::new(vec![2.0]),
+            steps: 0,
+        };
+        let right = IgdState {
+            model: DenseModelStore::new(vec![4.0]),
+            steps: 0,
+        };
         agg.merge(&mut left, right);
         assert_eq!(left.model.read(0), 2.0);
         assert_eq!(left.steps, 0);
@@ -232,9 +272,13 @@ mod tests {
     fn segmented_execution_approximates_sequential() {
         // On a quadratic objective the count-weighted model average after one
         // epoch lands close to the sequential result.
-        let values: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let values: Vec<f64> = (0..200)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let t = table(&values);
-        let task = MeanTask { prox: ProximalPolicy::None };
+        let task = MeanTask {
+            prox: ProximalPolicy::None,
+        };
         let agg = IgdAggregate::new(&task, 0.05, vec![0.5]);
         let seq = run_sequential(&agg, &t, None);
         let seg = run_segmented(&agg, &t, 4);

@@ -40,10 +40,10 @@ pub mod task;
 pub mod tasks;
 pub mod trainer;
 
-pub use igd::{IgdAggregate, IgdState};
-pub use model::{AigStore, DenseModelStore, ModelStore, NoLockStore};
-pub use mrs::{MrsConfig, MrsTrainer};
-pub use parallel::{ParallelStrategy, ParallelTrainer, UpdateDiscipline};
-pub use stepsize::StepSizeSchedule;
-pub use task::{IgdTask, ProximalPolicy};
-pub use trainer::{TrainedModel, Trainer, TrainerConfig};
+pub use crate::igd::{IgdAggregate, IgdState};
+pub use crate::model::{AigStore, DenseModelStore, ModelStore, NoLockStore};
+pub use crate::mrs::{MrsConfig, MrsTrainer};
+pub use crate::parallel::{ParallelStrategy, ParallelTrainer, UpdateDiscipline};
+pub use crate::stepsize::StepSizeSchedule;
+pub use crate::task::{IgdTask, ProximalPolicy};
+pub use crate::trainer::{TrainedModel, Trainer, TrainerConfig};

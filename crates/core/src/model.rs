@@ -58,7 +58,9 @@ impl DenseModelStore {
 
     /// A zero model of dimension `n`.
     pub fn zeros(n: usize) -> Self {
-        DenseModelStore { values: vec![0.0; n] }
+        DenseModelStore {
+            values: vec![0.0; n],
+        }
     }
 
     /// Borrow the underlying components.

@@ -100,7 +100,10 @@ impl<'a, T: IgdTask> MrsTrainer<'a, T> {
 
         // Double buffer: the Memory Worker iterates one buffer while the I/O
         // Worker's reservoir fills the other.
-        let buffers = [RwLock::new(Vec::<Tuple>::new()), RwLock::new(Vec::<Tuple>::new())];
+        let buffers = [
+            RwLock::new(Vec::<Tuple>::new()),
+            RwLock::new(Vec::<Tuple>::new()),
+        ];
         let signal = AtomicI64::new(SIGNAL_IDLE);
         let memory_steps = AtomicUsize::new(0);
 
@@ -159,7 +162,8 @@ impl<'a, T: IgdTask> MrsTrainer<'a, T> {
                 for tuple in table.scan() {
                     match reservoir.offer(tuple.clone()) {
                         ReservoirOutcome::StoredInEmptySlot => {}
-                        ReservoirOutcome::Replaced(dropped) | ReservoirOutcome::Rejected(dropped) => {
+                        ReservoirOutcome::Replaced(dropped)
+                        | ReservoirOutcome::Rejected(dropped) => {
                             task.gradient_step(&mut store, &dropped, alpha);
                             io_steps += 1;
                         }
@@ -190,7 +194,11 @@ impl<'a, T: IgdTask> MrsTrainer<'a, T> {
                 for tuple in table.scan() {
                     loss += task.example_loss(&model, tuple);
                 }
-                EpochOutcome { loss, gradient_norm: None, shuffle_duration: Duration::ZERO }
+                EpochOutcome {
+                    loss,
+                    gradient_norm: None,
+                    shuffle_duration: Duration::ZERO,
+                }
             });
 
             // Graceful shutdown: give the Memory Worker a brief, bounded
@@ -216,7 +224,11 @@ impl<'a, T: IgdTask> MrsTrainer<'a, T> {
             buffer_swaps,
         };
         (
-            TrainedModel { task_name: task.name(), model, history },
+            TrainedModel {
+                task_name: task.name(),
+                model,
+                history,
+            },
             stats,
         )
     }
@@ -263,10 +275,18 @@ pub fn subsampling_train<T: IgdTask>(
         for tuple in table.scan() {
             loss += task.example_loss(&model, tuple);
         }
-        EpochOutcome { loss, gradient_norm: None, shuffle_duration: Duration::ZERO }
+        EpochOutcome {
+            loss,
+            gradient_norm: None,
+            shuffle_duration: Duration::ZERO,
+        }
     });
 
-    TrainedModel { task_name: task.name(), model, history }
+    TrainedModel {
+        task_name: task.name(),
+        model,
+        history,
+    }
 }
 
 #[cfg(test)]

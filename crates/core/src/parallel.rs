@@ -99,7 +99,11 @@ pub struct ParallelTrainer<'a, T: IgdTask> {
 impl<'a, T: IgdTask> ParallelTrainer<'a, T> {
     /// Create a parallel trainer.
     pub fn new(task: &'a T, config: TrainerConfig, strategy: ParallelStrategy) -> Self {
-        ParallelTrainer { task, config, strategy }
+        ParallelTrainer {
+            task,
+            config,
+            strategy,
+        }
     }
 
     /// The strategy in use.
@@ -155,17 +159,18 @@ impl<'a, T: IgdTask> ParallelTrainer<'a, T> {
                 ParallelStrategy::PureUda { segments } => {
                     run_pure_uda_epoch(task, table, current, alpha, segments)
                 }
-                ParallelStrategy::SharedMemory { workers, discipline } => {
-                    run_shared_memory_epoch(
-                        task,
-                        table,
-                        permutation,
-                        current,
-                        alpha,
-                        workers,
-                        discipline,
-                    )
-                }
+                ParallelStrategy::SharedMemory {
+                    workers,
+                    discipline,
+                } => run_shared_memory_epoch(
+                    task,
+                    table,
+                    permutation,
+                    current,
+                    alpha,
+                    workers,
+                    discipline,
+                ),
             };
             let gradient_duration = gradient_start.elapsed();
             stats.push(ParallelEpochStats { gradient_duration });
@@ -174,11 +179,19 @@ impl<'a, T: IgdTask> ParallelTrainer<'a, T> {
             for tuple in table.scan() {
                 loss += task.example_loss(&model, tuple);
             }
-            EpochOutcome { loss, gradient_norm: None, shuffle_duration }
+            EpochOutcome {
+                loss,
+                gradient_norm: None,
+                shuffle_duration,
+            }
         });
 
         (
-            TrainedModel { task_name: self.task.name(), model, history },
+            TrainedModel {
+                task_name: self.task.name(),
+                model,
+                history,
+            },
             stats,
         )
     }
@@ -249,22 +262,20 @@ fn run_shared_memory_epoch<T: IgdTask>(
             std::thread::scope(|scope| {
                 for rows in &worker_rows {
                     let shared = shared.clone();
-                    scope.spawn(move || {
-                        match discipline {
-                            UpdateDiscipline::Aig => {
-                                let mut store = AigStore::new(shared);
-                                for &row in rows {
-                                    if let Ok(tuple) = table.get(row) {
-                                        task.gradient_step(&mut store, tuple, alpha);
-                                    }
+                    scope.spawn(move || match discipline {
+                        UpdateDiscipline::Aig => {
+                            let mut store = AigStore::new(shared);
+                            for &row in rows {
+                                if let Ok(tuple) = table.get(row) {
+                                    task.gradient_step(&mut store, tuple, alpha);
                                 }
                             }
-                            _ => {
-                                let mut store = NoLockStore::new(shared);
-                                for &row in rows {
-                                    if let Ok(tuple) = table.get(row) {
-                                        task.gradient_step(&mut store, tuple, alpha);
-                                    }
+                        }
+                        _ => {
+                            let mut store = NoLockStore::new(shared);
+                            for &row in rows {
+                                if let Ok(tuple) = table.get(row) {
+                                    task.gradient_step(&mut store, tuple, alpha);
                                 }
                             }
                         }
@@ -294,9 +305,9 @@ mod tests {
     use super::*;
     use crate::stepsize::StepSizeSchedule;
     use crate::tasks::{LogisticRegressionTask, PortfolioTask, SvmTask};
-    use bismarck_uda::ConvergenceTest;
     use crate::trainer::Trainer;
     use bismarck_storage::{Column, DataType, Schema, Value};
+    use bismarck_uda::ConvergenceTest;
     use rand::rngs::StdRng;
     use rand::Rng;
     use rand::SeedableRng;
@@ -349,11 +360,18 @@ mod tests {
             let zero = task.initial_model();
             table.scan().map(|tup| task.example_loss(&zero, tup)).sum()
         };
-        for discipline in [UpdateDiscipline::Lock, UpdateDiscipline::Aig, UpdateDiscipline::NoLock] {
+        for discipline in [
+            UpdateDiscipline::Lock,
+            UpdateDiscipline::Aig,
+            UpdateDiscipline::NoLock,
+        ] {
             let trainer = ParallelTrainer::new(
                 &task,
                 config(8),
-                ParallelStrategy::SharedMemory { workers: 4, discipline },
+                ParallelStrategy::SharedMemory {
+                    workers: 4,
+                    discipline,
+                },
             );
             let (trained, _) = trainer.train(&table);
             assert!(
@@ -372,7 +390,10 @@ mod tests {
         let trainer = ParallelTrainer::new(
             &task,
             cfg,
-            ParallelStrategy::SharedMemory { workers: 2, discipline: UpdateDiscipline::NoLock },
+            ParallelStrategy::SharedMemory {
+                workers: 2,
+                discipline: UpdateDiscipline::NoLock,
+            },
         );
         let (trained, _) = trainer.train(&table);
         assert_eq!(trained.epochs(), 3);
@@ -387,7 +408,10 @@ mod tests {
         let (par, _) = ParallelTrainer::new(
             &task,
             cfg,
-            ParallelStrategy::SharedMemory { workers: 1, discipline: UpdateDiscipline::Lock },
+            ParallelStrategy::SharedMemory {
+                workers: 1,
+                discipline: UpdateDiscipline::Lock,
+            },
         )
         .train(&table);
         let seq = Trainer::new(&task, cfg).train(&table);
@@ -397,7 +421,10 @@ mod tests {
             .zip(seq.model.iter())
             .map(|(a, b)| (a - b).abs())
             .sum();
-        assert!(diff < 1e-9, "single-worker Lock should match sequential exactly, diff={diff}");
+        assert!(
+            diff < 1e-9,
+            "single-worker Lock should match sequential exactly, diff={diff}"
+        );
     }
 
     #[test]
@@ -417,11 +444,16 @@ mod tests {
         let task = PortfolioTask::new(0, expected.clone(), expected, 1.0, 60);
         for strategy in [
             ParallelStrategy::PureUda { segments: 3 },
-            ParallelStrategy::SharedMemory { workers: 3, discipline: UpdateDiscipline::NoLock },
-            ParallelStrategy::SharedMemory { workers: 3, discipline: UpdateDiscipline::Lock },
+            ParallelStrategy::SharedMemory {
+                workers: 3,
+                discipline: UpdateDiscipline::NoLock,
+            },
+            ParallelStrategy::SharedMemory {
+                workers: 3,
+                discipline: UpdateDiscipline::Lock,
+            },
         ] {
-            let (trained, _) =
-                ParallelTrainer::new(&task, config(5), strategy).train(&table);
+            let (trained, _) = ParallelTrainer::new(&task, config(5), strategy).train(&table);
             let sum: f64 = trained.model.iter().sum();
             assert!((sum - 1.0).abs() < 1e-6, "{}: sum {sum}", strategy.label());
             assert!(trained.model.iter().all(|&v| v >= -1e-9));
@@ -432,7 +464,10 @@ mod tests {
     fn strategy_labels_and_workers() {
         assert_eq!(ParallelStrategy::PureUda { segments: 8 }.label(), "PureUDA");
         assert_eq!(ParallelStrategy::PureUda { segments: 8 }.workers(), 8);
-        let sm = ParallelStrategy::SharedMemory { workers: 4, discipline: UpdateDiscipline::Aig };
+        let sm = ParallelStrategy::SharedMemory {
+            workers: 4,
+            discipline: UpdateDiscipline::Aig,
+        };
         assert_eq!(sm.label(), "AIG");
         assert_eq!(sm.workers(), 4);
         assert_eq!(UpdateDiscipline::NoLock.label(), "NoLock");

@@ -45,19 +45,25 @@ impl StepSizeSchedule {
                 if alpha > 0.0 && alpha.is_finite() {
                     Ok(())
                 } else {
-                    Err(format!("constant step size must be positive and finite, got {alpha}"))
+                    Err(format!(
+                        "constant step size must be positive and finite, got {alpha}"
+                    ))
                 }
             }
             StepSizeSchedule::Diminishing { initial } => {
                 if initial > 0.0 && initial.is_finite() {
                     Ok(())
                 } else {
-                    Err(format!("diminishing step size must start positive, got {initial}"))
+                    Err(format!(
+                        "diminishing step size must start positive, got {initial}"
+                    ))
                 }
             }
             StepSizeSchedule::Geometric { initial, decay } => {
                 if !(initial > 0.0 && initial.is_finite()) {
-                    Err(format!("geometric step size must start positive, got {initial}"))
+                    Err(format!(
+                        "geometric step size must start positive, got {initial}"
+                    ))
                 } else if !(0.0 < decay && decay < 1.0) {
                     Err(format!("geometric decay must lie in (0, 1), got {decay}"))
                 } else {
@@ -109,7 +115,10 @@ mod tests {
 
     #[test]
     fn geometric_decays_exponentially() {
-        let s = StepSizeSchedule::Geometric { initial: 1.0, decay: 0.5 };
+        let s = StepSizeSchedule::Geometric {
+            initial: 1.0,
+            decay: 0.5,
+        };
         assert_eq!(s.at(0), 1.0);
         assert_eq!(s.at(3), 0.125);
         assert_eq!(s.label(), "geometric");
@@ -120,9 +129,21 @@ mod tests {
         assert!(StepSizeSchedule::Constant(0.1).validate().is_ok());
         assert!(StepSizeSchedule::Constant(0.0).validate().is_err());
         assert!(StepSizeSchedule::Constant(f64::NAN).validate().is_err());
-        assert!(StepSizeSchedule::Diminishing { initial: -1.0 }.validate().is_err());
-        assert!(StepSizeSchedule::Geometric { initial: 1.0, decay: 1.5 }.validate().is_err());
-        assert!(StepSizeSchedule::Geometric { initial: 1.0, decay: 0.9 }.validate().is_ok());
+        assert!(StepSizeSchedule::Diminishing { initial: -1.0 }
+            .validate()
+            .is_err());
+        assert!(StepSizeSchedule::Geometric {
+            initial: 1.0,
+            decay: 1.5
+        }
+        .validate()
+        .is_err());
+        assert!(StepSizeSchedule::Geometric {
+            initial: 1.0,
+            decay: 0.9
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]

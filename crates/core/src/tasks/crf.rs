@@ -39,7 +39,12 @@ impl CrfTask {
     /// * `num_labels` — number of labels.
     pub fn new(sequence_col: usize, num_features: usize, num_labels: usize) -> Self {
         assert!(num_labels > 0, "need at least one label");
-        CrfTask { sequence_col, num_features, num_labels, l2: 0.0 }
+        CrfTask {
+            sequence_col,
+            num_features,
+            num_labels,
+            l2: 0.0,
+        }
     }
 
     /// Add a Gaussian prior `(λ/2)‖w‖²` applied via per-epoch shrinkage.
@@ -93,7 +98,11 @@ impl CrfTask {
     /// Transition matrix read from a dense model slice.
     fn transitions(&self, model: &[f64]) -> Vec<Vec<f64>> {
         (0..self.num_labels)
-            .map(|a| (0..self.num_labels).map(|b| model[self.trans_index(a, b)]).collect())
+            .map(|a| {
+                (0..self.num_labels)
+                    .map(|b| model[self.trans_index(a, b)])
+                    .collect()
+            })
             .collect()
     }
 
@@ -206,7 +215,9 @@ impl IgdTask for CrfTask {
     }
 
     fn gradient_step(&self, model: &mut dyn ModelStore, tuple: &Tuple, alpha: f64) {
-        let Some(seq) = tuple.get_sequence(self.sequence_col) else { return };
+        let Some(seq) = tuple.get_sequence(self.sequence_col) else {
+            return;
+        };
         if seq.is_empty() {
             return;
         }
@@ -246,7 +257,11 @@ impl IgdTask for CrfTask {
                     let log_edge =
                         alpha_msgs[t - 1][a] + trans[a][b] + node[t][b] + beta_msgs[t][b] - log_z;
                     let marginal = log_edge.exp();
-                    let empirical = if a == gold_prev && b == gold_next { 1.0 } else { 0.0 };
+                    let empirical = if a == gold_prev && b == gold_next {
+                        1.0
+                    } else {
+                        0.0
+                    };
                     let coeff = empirical - marginal;
                     if coeff != 0.0 {
                         model.update(self.trans_index(a, b), alpha * coeff);
@@ -340,7 +355,10 @@ mod tests {
             sentence(&[1, 1, 0, 0]),
         ]);
         let mut store = DenseModelStore::zeros(t.dimension());
-        let initial: f64 = data.scan().map(|tup| t.example_loss(store.as_slice(), tup)).sum();
+        let initial: f64 = data
+            .scan()
+            .map(|tup| t.example_loss(store.as_slice(), tup))
+            .sum();
         for _ in 0..60 {
             for tuple in data.scan() {
                 t.gradient_step(&mut store, tuple, 0.2);
@@ -348,10 +366,16 @@ mod tests {
         }
         let model = store.into_vec();
         let trained: f64 = data.scan().map(|tup| t.example_loss(&model, tup)).sum();
-        assert!(trained < initial * 0.5, "trained {trained} vs initial {initial}");
+        assert!(
+            trained < initial * 0.5,
+            "trained {trained} vs initial {initial}"
+        );
 
         // Viterbi recovers labels on data where features identify labels.
-        let feats: Vec<SparseVector> = sentence(&[0, 1, 1, 0]).into_iter().map(|(f, _)| f).collect();
+        let feats: Vec<SparseVector> = sentence(&[0, 1, 1, 0])
+            .into_iter()
+            .map(|(f, _)| f)
+            .collect();
         assert_eq!(t.viterbi(&model, &feats), vec![0, 1, 1, 0]);
     }
 
@@ -367,7 +391,11 @@ mod tests {
         let mut store = DenseModelStore::new(model.clone());
         t.gradient_step(&mut store, data.get(0).unwrap(), 1.0);
         let after = store.into_vec();
-        let delta: f64 = after.iter().zip(model.iter()).map(|(a, b)| (a - b).abs()).sum();
+        let delta: f64 = after
+            .iter()
+            .zip(model.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
         assert!(delta < 1e-6, "delta {delta}");
     }
 
@@ -394,7 +422,7 @@ mod tests {
         let mut w = vec![1.0; t.dimension()];
         t.proximal_step(&mut w, 1.0);
         assert!(w.iter().all(|&v| (v - 0.5).abs() < 1e-12));
-        assert!(t.regularizer(&vec![1.0; 8]) > 0.0);
+        assert!(t.regularizer(&[1.0; 8]) > 0.0);
     }
 
     #[test]

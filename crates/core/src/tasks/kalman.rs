@@ -43,9 +43,18 @@ impl KalmanTask {
         state_dim: usize,
         smoothness: f64,
     ) -> Self {
-        assert!(horizon > 0 && state_dim > 0, "horizon and state_dim must be positive");
+        assert!(
+            horizon > 0 && state_dim > 0,
+            "horizon and state_dim must be positive"
+        );
         assert!(smoothness >= 0.0, "smoothness must be non-negative");
-        KalmanTask { time_col, obs_col, horizon, state_dim, smoothness }
+        KalmanTask {
+            time_col,
+            obs_col,
+            horizon,
+            state_dim,
+            smoothness,
+        }
     }
 
     /// Number of timesteps.
@@ -75,7 +84,9 @@ impl KalmanTask {
 
     /// Extract the smoothed state at timestep `t` from a flat model.
     pub fn state(&self, model: &[f64], t: usize) -> Vec<f64> {
-        (0..self.state_dim).map(|k| model[self.offset(t, k)]).collect()
+        (0..self.state_dim)
+            .map(|k| model[self.offset(t, k)])
+            .collect()
     }
 }
 
@@ -89,7 +100,9 @@ impl IgdTask for KalmanTask {
     }
 
     fn gradient_step(&self, model: &mut dyn ModelStore, tuple: &Tuple, alpha: f64) {
-        let Some((t, obs)) = self.example(tuple) else { return };
+        let Some((t, obs)) = self.example(tuple) else {
+            return;
+        };
         let obs = obs.to_dense(self.state_dim);
         for k in 0..self.state_dim {
             let wt = model.read(self.offset(t, k));
@@ -144,7 +157,9 @@ mod tests {
         .unwrap();
         let mut table = Table::new("ts", schema);
         for (t, obs) in observations.iter().enumerate() {
-            table.insert(vec![Value::Int(t as i64), Value::from(obs.clone())]).unwrap();
+            table
+                .insert(vec![Value::Int(t as i64), Value::from(obs.clone())])
+                .unwrap();
         }
         table
     }
@@ -178,7 +193,10 @@ mod tests {
         let smooth = train(&KalmanTask::new(0, 1, 2, 1, 5.0), &table, 400, 0.05);
         let gap_rough = (rough[1] - rough[0]).abs();
         let gap_smooth = (smooth[1] - smooth[0]).abs();
-        assert!(gap_smooth < gap_rough, "smooth {gap_smooth} vs rough {gap_rough}");
+        assert!(
+            gap_smooth < gap_rough,
+            "smooth {gap_smooth} vs rough {gap_rough}"
+        );
     }
 
     #[test]
@@ -201,12 +219,17 @@ mod tests {
         ])
         .unwrap();
         let mut table = Table::new("ts", schema);
-        table.insert(vec![Value::Int(99), Value::from(vec![1.0])]).unwrap();
+        table
+            .insert(vec![Value::Int(99), Value::from(vec![1.0])])
+            .unwrap();
         let task = KalmanTask::new(0, 1, 3, 1, 0.0);
         let mut store = DenseModelStore::zeros(task.dimension());
         task.gradient_step(&mut store, table.get(0).unwrap(), 0.1);
         assert!(store.as_slice().iter().all(|&v| v == 0.0));
-        assert_eq!(task.example_loss(store.as_slice(), table.get(0).unwrap()), 0.0);
+        assert_eq!(
+            task.example_loss(store.as_slice(), table.get(0).unwrap()),
+            0.0
+        );
     }
 
     #[test]

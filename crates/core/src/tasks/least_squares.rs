@@ -26,7 +26,12 @@ impl LeastSquaresTask {
     /// Create a task reading features from column `features_col` and the
     /// target from `label_col`, with a model of `dimension` coefficients.
     pub fn new(features_col: usize, label_col: usize, dimension: usize) -> Self {
-        LeastSquaresTask { features_col, label_col, dimension, l2: 0.0 }
+        LeastSquaresTask {
+            features_col,
+            label_col,
+            dimension,
+            l2: 0.0,
+        }
     }
 
     /// Add a ridge penalty `(λ/2)‖w‖²`.
@@ -58,7 +63,9 @@ impl IgdTask for LeastSquaresTask {
     }
 
     fn gradient_step(&self, model: &mut dyn ModelStore, tuple: &Tuple, alpha: f64) {
-        let Some((x, y)) = self.example(tuple) else { return };
+        let Some((x, y)) = self.example(tuple) else {
+            return;
+        };
         let mut wx = 0.0;
         for (i, v) in x.iter_entries() {
             if i < model.len() {
@@ -121,13 +128,18 @@ mod tests {
         let mut t = Table::new("catx", schema);
         for i in 0..2 * n {
             let y = if clustered {
-                if i < n { 1.0 } else { -1.0 }
+                if i < n {
+                    1.0
+                } else {
+                    -1.0
+                }
             } else if i % 2 == 0 {
                 1.0
             } else {
                 -1.0
             };
-            t.insert(vec![Value::from(vec![1.0]), Value::Double(y)]).unwrap();
+            t.insert(vec![Value::from(vec![1.0]), Value::Double(y)])
+                .unwrap();
         }
         t
     }
@@ -201,7 +213,8 @@ mod tests {
         let xs = [[1.0, 0.0], [0.0, 1.0], [1.0, 1.0], [2.0, 1.0], [0.5, 2.0]];
         for x in xs {
             let y = 2.0 * x[0] - x[1];
-            t.insert(vec![Value::from(x.to_vec()), Value::Double(y)]).unwrap();
+            t.insert(vec![Value::from(x.to_vec()), Value::Double(y)])
+                .unwrap();
         }
         let task = LeastSquaresTask::new(0, 1, 2);
         let mut store = DenseModelStore::zeros(2);

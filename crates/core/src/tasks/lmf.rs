@@ -46,7 +46,16 @@ impl LmfTask {
         rank: usize,
     ) -> Self {
         assert!(rank > 0, "rank must be positive");
-        LmfTask { row_col, col_col, rating_col, rows, cols, rank, mu: 0.0, init_scale: 0.1 }
+        LmfTask {
+            row_col,
+            col_col,
+            rating_col,
+            rows,
+            cols,
+            rank,
+            mu: 0.0,
+            init_scale: 0.1,
+        }
     }
 
     /// Add Frobenius-norm regularization `µ‖L,R‖²_F`.
@@ -137,7 +146,9 @@ impl IgdTask for LmfTask {
     }
 
     fn gradient_step(&self, model: &mut dyn ModelStore, tuple: &Tuple, alpha: f64) {
-        let Some((i, j, m)) = self.example(tuple) else { return };
+        let Some((i, j, m)) = self.example(tuple) else {
+            return;
+        };
         // error = L_i . R_j - M_ij
         let mut pred = 0.0;
         let mut li = Vec::with_capacity(self.rank);
@@ -260,8 +271,10 @@ mod tests {
         ])
         .unwrap();
         let mut t = Table::new("bad", schema);
-        t.insert(vec![Value::Int(5), Value::Int(0), Value::Double(1.0)]).unwrap();
-        t.insert(vec![Value::Int(-1), Value::Int(0), Value::Double(1.0)]).unwrap();
+        t.insert(vec![Value::Int(5), Value::Int(0), Value::Double(1.0)])
+            .unwrap();
+        t.insert(vec![Value::Int(-1), Value::Int(0), Value::Double(1.0)])
+            .unwrap();
         let init = task.initial_model();
         let mut store = DenseModelStore::new(init.clone());
         for tuple in t.scan() {
@@ -287,7 +300,10 @@ mod tests {
             .map(|(i, _)| i)
             .collect();
         // Only L_0 (indices 0..2) and R_0 (indices 6..8) may change.
-        assert!(changed.iter().all(|&i| i < 2 || (6..8).contains(&i)), "changed: {changed:?}");
+        assert!(
+            changed.iter().all(|&i| i < 2 || (6..8).contains(&i)),
+            "changed: {changed:?}"
+        );
         assert!(!changed.is_empty());
     }
 }

@@ -34,7 +34,13 @@ impl LogisticRegressionTask {
     /// Create a task reading features from column `features_col` and the ±1
     /// label from `label_col`, with a model of `dimension` coefficients.
     pub fn new(features_col: usize, label_col: usize, dimension: usize) -> Self {
-        LogisticRegressionTask { features_col, label_col, dimension, l1: 0.0, l2: 0.0 }
+        LogisticRegressionTask {
+            features_col,
+            label_col,
+            dimension,
+            l1: 0.0,
+            l2: 0.0,
+        }
     }
 
     /// Add an L1 penalty `µ‖w‖₁` (applied via per-epoch soft thresholding).
@@ -84,7 +90,9 @@ impl IgdTask for LogisticRegressionTask {
     }
 
     fn gradient_step(&self, model: &mut dyn ModelStore, tuple: &Tuple, alpha: f64) {
-        let Some((x, y)) = self.example(tuple) else { return };
+        let Some((x, y)) = self.example(tuple) else {
+            return;
+        };
         let wx = self.margin_store(model, &x);
         let sig = sigmoid(-wx * y);
         let c = alpha * y * sig;
@@ -179,7 +187,10 @@ mod tests {
         let initial: f64 = t.scan().map(|tup| task.example_loss(&zero, tup)).sum();
         let model = train(&task, &t, 50, 0.5);
         let trained: f64 = t.scan().map(|tup| task.example_loss(&model, tup)).sum();
-        assert!(trained < initial * 0.5, "trained {trained} vs initial {initial}");
+        assert!(
+            trained < initial * 0.5,
+            "trained {trained} vs initial {initial}"
+        );
     }
 
     #[test]
@@ -241,7 +252,9 @@ mod tests {
 
     #[test]
     fn regularizer_combines_l1_and_l2() {
-        let task = LogisticRegressionTask::new(0, 1, 2).with_l1(2.0).with_l2(4.0);
+        let task = LogisticRegressionTask::new(0, 1, 2)
+            .with_l1(2.0)
+            .with_l2(4.0);
         let w = vec![1.0, -1.0];
         // l1: 2*(1+1)=4; l2: 0.5*4*(1+1)=4
         assert!((task.regularizer(&w) - 8.0).abs() < 1e-12);

@@ -23,10 +23,10 @@ pub mod logistic;
 pub mod portfolio;
 pub mod svm;
 
-pub use crf::CrfTask;
-pub use kalman::KalmanTask;
-pub use least_squares::LeastSquaresTask;
-pub use lmf::LmfTask;
-pub use logistic::LogisticRegressionTask;
-pub use portfolio::PortfolioTask;
-pub use svm::SvmTask;
+pub use self::crf::CrfTask;
+pub use self::kalman::KalmanTask;
+pub use self::least_squares::LeastSquaresTask;
+pub use self::lmf::LmfTask;
+pub use self::logistic::LogisticRegressionTask;
+pub use self::portfolio::PortfolioTask;
+pub use self::svm::SvmTask;

@@ -78,7 +78,11 @@ impl PortfolioTask {
 
     /// Expected portfolio return `pᵀw` for an allocation.
     pub fn expected_return(&self, w: &[f64]) -> f64 {
-        self.expected_returns.iter().zip(w.iter()).map(|(p, w)| p * w).sum()
+        self.expected_returns
+            .iter()
+            .zip(w.iter())
+            .map(|(p, w)| p * w)
+            .sum()
     }
 }
 
@@ -97,7 +101,9 @@ impl IgdTask for PortfolioTask {
     }
 
     fn gradient_step(&self, model: &mut dyn ModelStore, tuple: &Tuple, alpha: f64) {
-        let Some(returns) = self.example(tuple) else { return };
+        let Some(returns) = self.example(tuple) else {
+            return;
+        };
         // centred return c = r - mu; exposure = w . c
         let mut exposure = 0.0;
         for (i, r) in returns.iter_entries() {
@@ -213,8 +219,14 @@ mod tests {
         let task = task(4, 1.0);
         let all_in_risky = vec![1.0, 0.0, 0.0];
         let all_in_safe = vec![0.0, 1.0, 0.0];
-        let risky_loss: f64 = t.scan().map(|tup| task.example_loss(&all_in_risky, tup)).sum();
-        let safe_loss: f64 = t.scan().map(|tup| task.example_loss(&all_in_safe, tup)).sum();
+        let risky_loss: f64 = t
+            .scan()
+            .map(|tup| task.example_loss(&all_in_risky, tup))
+            .sum();
+        let safe_loss: f64 = t
+            .scan()
+            .map(|tup| task.example_loss(&all_in_safe, tup))
+            .sum();
         // The risky asset has much higher variance, so with γ = 1 its total
         // objective is worse despite the higher expected return.
         assert!(risky_loss > safe_loss);

@@ -34,7 +34,13 @@ impl SvmTask {
     /// Create a task reading features from column `features_col` and the ±1
     /// label from `label_col`, with a model of `dimension` coefficients.
     pub fn new(features_col: usize, label_col: usize, dimension: usize) -> Self {
-        SvmTask { features_col, label_col, dimension, l1: 0.0, l2: 0.0 }
+        SvmTask {
+            features_col,
+            label_col,
+            dimension,
+            l1: 0.0,
+            l2: 0.0,
+        }
     }
 
     /// Add an L1 penalty `µ‖w‖₁` (per-epoch soft thresholding).
@@ -73,7 +79,9 @@ impl IgdTask for SvmTask {
     }
 
     fn gradient_step(&self, model: &mut dyn ModelStore, tuple: &Tuple, alpha: f64) {
-        let Some((x, y)) = self.example(tuple) else { return };
+        let Some((x, y)) = self.example(tuple) else {
+            return;
+        };
         let mut wx = 0.0;
         for (i, v) in x.iter_entries() {
             if i < model.len() {
@@ -189,7 +197,8 @@ mod tests {
         ])
         .unwrap();
         let mut t = Table::new("svm1", schema);
-        t.insert(vec![Value::from(vec![1.0, 0.0]), Value::Double(1.0)]).unwrap();
+        t.insert(vec![Value::from(vec![1.0, 0.0]), Value::Double(1.0)])
+            .unwrap();
         // Model already classifies with margin > 1: w.x*y = 2 > 1.
         let mut store = DenseModelStore::new(vec![2.0, 0.0]);
         task.gradient_step(&mut store, t.get(0).unwrap(), 0.5);
@@ -207,7 +216,8 @@ mod tests {
         ])
         .unwrap();
         let mut t = Table::new("svm1", schema);
-        t.insert(vec![Value::from(vec![1.0, 0.0]), Value::Double(-1.0)]).unwrap();
+        t.insert(vec![Value::from(vec![1.0, 0.0]), Value::Double(-1.0)])
+            .unwrap();
         let mut store = DenseModelStore::new(vec![0.5, 0.0]);
         task.gradient_step(&mut store, t.get(0).unwrap(), 0.1);
         // negative example pushes the coefficient down

@@ -156,10 +156,18 @@ impl<'a, T: IgdTask> Trainer<'a, T> {
             for tuple in table.scan() {
                 loss += task.example_loss(&model, tuple);
             }
-            EpochOutcome { loss, gradient_norm: None, shuffle_duration }
+            EpochOutcome {
+                loss,
+                gradient_norm: None,
+                shuffle_duration,
+            }
         });
 
-        TrainedModel { task_name: self.task.name(), model, history }
+        TrainedModel {
+            task_name: self.task.name(),
+            model,
+            history,
+        }
     }
 }
 
@@ -214,7 +222,10 @@ mod tests {
         let trained = trainer.train(&table);
         assert!(trained.epochs() >= 1);
         let final_loss = trained.final_loss().unwrap();
-        assert!(final_loss < initial * 0.5, "final {final_loss} vs initial {initial}");
+        assert!(
+            final_loss < initial * 0.5,
+            "final {final_loss} vs initial {initial}"
+        );
         assert_eq!(trained.task_name, "LR");
     }
 
@@ -239,8 +250,8 @@ mod tests {
             .with_step_size(StepSizeSchedule::Constant(0.5))
             .with_convergence(ConvergenceTest::FixedEpochs(15));
 
-        let clustered = Trainer::new(&task, base.with_scan_order(ScanOrder::Clustered))
-            .train(&table);
+        let clustered =
+            Trainer::new(&task, base.with_scan_order(ScanOrder::Clustered)).train(&table);
         let shuffled = Trainer::new(
             &task,
             base.with_scan_order(ScanOrder::ShuffleOnce { seed: 5 }),

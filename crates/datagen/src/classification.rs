@@ -12,7 +12,11 @@ fn classification_schema(sparse: bool) -> Schema {
         Column::new("id", DataType::Int),
         Column::new(
             "vec",
-            if sparse { DataType::SparseVec } else { DataType::DenseVec },
+            if sparse {
+                DataType::SparseVec
+            } else {
+                DataType::DenseVec
+            },
         ),
         Column::new("label", DataType::Double),
     ])
@@ -62,8 +66,15 @@ pub fn dense_classification(name: &str, config: DenseClassificationConfig) -> Ta
     // A random (but fixed) direction separates the classes; remaining
     // dimensions are noise, like the mostly-uninformative cartographic
     // attributes of Forest.
-    let direction: Vec<f64> = (0..config.dimension).map(|_| rng.gen_range(-1.0..1.0)).collect();
-    let norm: f64 = direction.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-9);
+    let direction: Vec<f64> = (0..config.dimension)
+        .map(|_| rng.gen_range(-1.0..1.0))
+        .collect();
+    let norm: f64 = direction
+        .iter()
+        .map(|v| v * v)
+        .sum::<f64>()
+        .sqrt()
+        .max(1e-9);
     for i in 0..config.examples {
         let label = if i < positives { 1.0 } else { -1.0 };
         let x: Vec<f64> = direction
@@ -133,8 +144,14 @@ impl Default for SparseClassificationConfig {
 ///   (label-sorted) storage order genuinely slower to converge, exactly the
 ///   CA-TX phenomenon.
 pub fn sparse_classification(name: &str, config: SparseClassificationConfig) -> Table {
-    assert!(config.vocabulary > config.informative, "vocabulary must exceed informative terms");
-    assert!(config.informative >= 3, "need at least three informative terms");
+    assert!(
+        config.vocabulary > config.informative,
+        "vocabulary must exceed informative terms"
+    );
+    assert!(
+        config.informative >= 3,
+        "need at least three informative terms"
+    );
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut rows: Vec<(SparseVector, f64)> = Vec::with_capacity(config.examples);
     // Informative vocabulary layout: [1, shared) is shared between classes,
@@ -155,7 +172,11 @@ pub fn sparse_classification(name: &str, config: SparseClassificationConfig) -> 
                 1 + rng.gen_range(0..shared_end.saturating_sub(1).max(1))
             } else if roll < 0.5 {
                 // class-private informative vocabulary
-                let base = if label > 0.0 { shared_end } else { shared_end + private };
+                let base = if label > 0.0 {
+                    shared_end
+                } else {
+                    shared_end + private
+                };
                 base + rng.gen_range(0..private.max(1))
             } else {
                 // background vocabulary
@@ -185,7 +206,11 @@ pub fn ca_tx_table(n: usize) -> Table {
     for i in 0..2 * n {
         let label = if i < n { 1.0 } else { -1.0 };
         table
-            .insert(vec![Value::Int(i as i64), Value::from(vec![1.0]), Value::Double(label)])
+            .insert(vec![
+                Value::Int(i as i64),
+                Value::from(vec![1.0]),
+                Value::Double(label),
+            ])
             .expect("generated row matches schema");
     }
     table
@@ -214,7 +239,11 @@ mod tests {
 
     #[test]
     fn dense_generator_is_deterministic() {
-        let config = DenseClassificationConfig { examples: 50, dimension: 5, ..Default::default() };
+        let config = DenseClassificationConfig {
+            examples: 50,
+            dimension: 5,
+            ..Default::default()
+        };
         let a = dense_classification("a", config);
         let b = dense_classification("b", config);
         for (ra, rb) in a.scan().zip(b.scan()) {
@@ -226,7 +255,11 @@ mod tests {
     fn clustered_flag_controls_storage_order() {
         let clustered = dense_classification(
             "c",
-            DenseClassificationConfig { examples: 100, dimension: 4, ..Default::default() },
+            DenseClassificationConfig {
+                examples: 100,
+                dimension: 4,
+                ..Default::default()
+            },
         );
         let labels: Vec<f64> = clustered.scan().map(|r| r.get_double(2).unwrap()).collect();
         // All +1s precede all -1s.
@@ -261,7 +294,11 @@ mod tests {
         let mut neg = vec![0.0; 8];
         for row in t.scan() {
             let x = row.get_feature_vector(1).unwrap().to_dense(8);
-            let target = if row.get_double(2).unwrap() > 0.0 { &mut pos } else { &mut neg };
+            let target = if row.get_double(2).unwrap() > 0.0 {
+                &mut pos
+            } else {
+                &mut neg
+            };
             for (t, v) in target.iter_mut().zip(x.as_slice()) {
                 *t += v;
             }
@@ -297,10 +334,16 @@ mod tests {
 
     #[test]
     fn sparse_generator_is_deterministic_and_clusterable() {
-        let config = SparseClassificationConfig { examples: 100, ..Default::default() };
+        let config = SparseClassificationConfig {
+            examples: 100,
+            ..Default::default()
+        };
         let a = sparse_classification("a", config);
         let b = sparse_classification("b", config);
-        assert_eq!(a.get(3).unwrap().get_feature_vector(1), b.get(3).unwrap().get_feature_vector(1));
+        assert_eq!(
+            a.get(3).unwrap().get_feature_vector(1),
+            b.get(3).unwrap().get_feature_vector(1)
+        );
         let labels: Vec<f64> = a.scan().map(|r| r.get_double(2).unwrap()).collect();
         let first_neg = labels.iter().position(|&l| l < 0.0).unwrap();
         assert!(labels[first_neg..].iter().all(|&l| l < 0.0));

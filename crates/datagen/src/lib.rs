@@ -15,14 +15,14 @@ pub mod sequences;
 pub mod series;
 pub mod stats;
 
-pub use classification::{
+pub use crate::classification::{
     ca_tx_table, dense_classification, sparse_classification, DenseClassificationConfig,
     SparseClassificationConfig,
 };
-pub use ratings::{ratings_table, RatingsConfig};
-pub use sequences::{labeled_sequences, SequenceConfig};
-pub use series::{returns_table, timeseries_table, ReturnsConfig, TimeSeriesConfig};
-pub use stats::{dataset_stats, DatasetStats};
+pub use crate::ratings::{ratings_table, RatingsConfig};
+pub use crate::sequences::{labeled_sequences, SequenceConfig};
+pub use crate::series::{returns_table, timeseries_table, ReturnsConfig, TimeSeriesConfig};
+pub use crate::stats::{dataset_stats, DatasetStats};
 
 /// Standard column layout of generated classification tables:
 /// `(id INT, vec DENSE_VEC | SPARSE_VEC, label DOUBLE)`.

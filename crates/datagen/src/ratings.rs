@@ -29,20 +29,38 @@ pub struct RatingsConfig {
 
 impl Default for RatingsConfig {
     fn default() -> Self {
-        RatingsConfig { rows: 600, cols: 400, ratings: 20_000, true_rank: 5, noise: 0.1, seed: 13 }
+        RatingsConfig {
+            rows: 600,
+            cols: 400,
+            ratings: 20_000,
+            true_rank: 5,
+            noise: 0.1,
+            seed: 13,
+        }
     }
 }
 
 /// Generate a `(row INT, col INT, rating DOUBLE)` table of sparse ratings
 /// with planted low-rank structure.
 pub fn ratings_table(name: &str, config: RatingsConfig) -> Table {
-    assert!(config.rows > 0 && config.cols > 0, "matrix must be non-empty");
+    assert!(
+        config.rows > 0 && config.cols > 0,
+        "matrix must be non-empty"
+    );
     let mut rng = StdRng::seed_from_u64(config.seed);
     let l: Vec<Vec<f64>> = (0..config.rows)
-        .map(|_| (0..config.true_rank).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .map(|_| {
+            (0..config.true_rank)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect()
+        })
         .collect();
     let r: Vec<Vec<f64>> = (0..config.cols)
-        .map(|_| (0..config.true_rank).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .map(|_| {
+            (0..config.true_rank)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect()
+        })
         .collect();
 
     let schema = Schema::new(vec![
@@ -56,9 +74,18 @@ pub fn ratings_table(name: &str, config: RatingsConfig) -> Table {
         let i = rng.gen_range(0..config.rows);
         let j = rng.gen_range(0..config.cols);
         let clean: f64 = l[i].iter().zip(r[j].iter()).map(|(a, b)| a * b).sum();
-        let noisy = clean + if config.noise > 0.0 { rng.gen_range(-config.noise..config.noise) } else { 0.0 };
+        let noisy = clean
+            + if config.noise > 0.0 {
+                rng.gen_range(-config.noise..config.noise)
+            } else {
+                0.0
+            };
         table
-            .insert(vec![Value::Int(i as i64), Value::Int(j as i64), Value::Double(noisy)])
+            .insert(vec![
+                Value::Int(i as i64),
+                Value::Int(j as i64),
+                Value::Double(noisy),
+            ])
             .expect("generated row matches schema");
     }
     table
@@ -70,7 +97,12 @@ mod tests {
 
     #[test]
     fn generates_requested_number_of_ratings() {
-        let config = RatingsConfig { rows: 20, cols: 15, ratings: 500, ..Default::default() };
+        let config = RatingsConfig {
+            rows: 20,
+            cols: 15,
+            ratings: 500,
+            ..Default::default()
+        };
         let t = ratings_table("ml_small", config);
         assert_eq!(t.len(), 500);
         for row in t.scan() {
@@ -84,7 +116,12 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        let config = RatingsConfig { rows: 10, cols: 10, ratings: 100, ..Default::default() };
+        let config = RatingsConfig {
+            rows: 10,
+            cols: 10,
+            ratings: 100,
+            ..Default::default()
+        };
         let a = ratings_table("a", config);
         let b = ratings_table("b", config);
         for (ra, rb) in a.scan().zip(b.scan()) {
@@ -96,8 +133,14 @@ mod tests {
     #[test]
     fn ratings_are_bounded_by_planted_structure() {
         // |rating| <= true_rank * 1 + noise since factors are in [-1, 1].
-        let config =
-            RatingsConfig { rows: 30, cols: 30, ratings: 1000, true_rank: 3, noise: 0.2, seed: 5 };
+        let config = RatingsConfig {
+            rows: 30,
+            cols: 30,
+            ratings: 1000,
+            true_rank: 3,
+            noise: 0.2,
+            seed: 5,
+        };
         let t = ratings_table("bounded", config);
         assert!(t
             .scan()
@@ -106,8 +149,14 @@ mod tests {
 
     #[test]
     fn zero_noise_gives_exactly_low_rank_values() {
-        let config =
-            RatingsConfig { rows: 5, cols: 5, ratings: 50, true_rank: 2, noise: 0.0, seed: 9 };
+        let config = RatingsConfig {
+            rows: 5,
+            cols: 5,
+            ratings: 50,
+            true_rank: 2,
+            noise: 0.0,
+            seed: 9,
+        };
         let t = ratings_table("exact", config);
         // Re-generate and check both passes agree (the clean value is a pure
         // function of (i, j) and the seed).

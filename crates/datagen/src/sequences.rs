@@ -56,7 +56,10 @@ impl Default for SequenceConfig {
 /// Generate a one-column `(sentence SEQUENCE)` table of labeled sequences.
 pub fn labeled_sequences(name: &str, config: SequenceConfig) -> Table {
     assert!(config.num_labels > 0, "need at least one label");
-    assert!(config.min_tokens > 0 && config.max_tokens >= config.min_tokens, "bad token range");
+    assert!(
+        config.min_tokens > 0 && config.max_tokens >= config.min_tokens,
+        "bad token range"
+    );
     assert!(
         config.num_features >= config.num_labels,
         "need at least one feature per label block"
@@ -86,7 +89,9 @@ pub fn labeled_sequences(name: &str, config: SequenceConfig) -> Table {
             }
             sentence.push((SparseVector::from_pairs(pairs), label));
         }
-        table.insert(vec![Value::Sequence(sentence)]).expect("generated row matches schema");
+        table
+            .insert(vec![Value::Sequence(sentence)])
+            .expect("generated row matches schema");
     }
     table
 }
@@ -97,7 +102,10 @@ mod tests {
 
     #[test]
     fn generates_requested_sentences_with_valid_labels() {
-        let config = SequenceConfig { sentences: 50, ..Default::default() };
+        let config = SequenceConfig {
+            sentences: 50,
+            ..Default::default()
+        };
         let t = labeled_sequences("conll_small", config);
         assert_eq!(t.len(), 50);
         for row in t.scan() {
@@ -113,7 +121,10 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        let config = SequenceConfig { sentences: 10, ..Default::default() };
+        let config = SequenceConfig {
+            sentences: 10,
+            ..Default::default()
+        };
         let a = labeled_sequences("a", config);
         let b = labeled_sequences("b", config);
         for (ra, rb) in a.scan().zip(b.scan()) {

@@ -23,7 +23,13 @@ pub struct TimeSeriesConfig {
 
 impl Default for TimeSeriesConfig {
     fn default() -> Self {
-        TimeSeriesConfig { horizon: 200, state_dim: 2, amplitude: 1.0, noise: 0.3, seed: 31 }
+        TimeSeriesConfig {
+            horizon: 200,
+            state_dim: 2,
+            amplitude: 1.0,
+            noise: 0.3,
+            seed: 31,
+        }
     }
 }
 
@@ -102,7 +108,9 @@ pub fn returns_table(name: &str, config: &ReturnsConfig) -> Table {
             .zip(config.volatilities.iter())
             .map(|(&m, &v)| m + if v > 0.0 { rng.gen_range(-v..v) } else { 0.0 })
             .collect();
-        table.insert(vec![Value::from(r)]).expect("generated row matches schema");
+        table
+            .insert(vec![Value::from(r)])
+            .expect("generated row matches schema");
     }
     table
 }
@@ -113,7 +121,11 @@ mod tests {
 
     #[test]
     fn timeseries_has_one_row_per_timestep() {
-        let config = TimeSeriesConfig { horizon: 50, state_dim: 3, ..Default::default() };
+        let config = TimeSeriesConfig {
+            horizon: 50,
+            state_dim: 3,
+            ..Default::default()
+        };
         let t = timeseries_table("ts", config);
         assert_eq!(t.len(), 50);
         for (i, row) in t.scan().enumerate() {
@@ -124,8 +136,13 @@ mod tests {
 
     #[test]
     fn timeseries_amplitude_bounds_observations() {
-        let config =
-            TimeSeriesConfig { horizon: 100, state_dim: 1, amplitude: 2.0, noise: 0.1, seed: 3 };
+        let config = TimeSeriesConfig {
+            horizon: 100,
+            state_dim: 1,
+            amplitude: 2.0,
+            noise: 0.1,
+            seed: 3,
+        };
         let t = timeseries_table("amp", config);
         assert!(t
             .scan()
@@ -158,10 +175,16 @@ mod tests {
     fn generators_are_deterministic() {
         let a = timeseries_table("a", TimeSeriesConfig::default());
         let b = timeseries_table("b", TimeSeriesConfig::default());
-        assert_eq!(a.get(7).unwrap().get_feature_vector(1), b.get(7).unwrap().get_feature_vector(1));
+        assert_eq!(
+            a.get(7).unwrap().get_feature_vector(1),
+            b.get(7).unwrap().get_feature_vector(1)
+        );
         let ra = returns_table("a", &ReturnsConfig::default());
         let rb = returns_table("b", &ReturnsConfig::default());
-        assert_eq!(ra.get(3).unwrap().get_feature_vector(0), rb.get(3).unwrap().get_feature_vector(0));
+        assert_eq!(
+            ra.get(3).unwrap().get_feature_vector(0),
+            rb.get(3).unwrap().get_feature_vector(0)
+        );
     }
 
     #[test]

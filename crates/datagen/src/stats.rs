@@ -51,14 +51,22 @@ mod tests {
 
     #[test]
     fn stats_reflect_table_contents() {
-        let config = DenseClassificationConfig { examples: 100, dimension: 10, ..Default::default() };
+        let config = DenseClassificationConfig {
+            examples: 100,
+            dimension: 10,
+            ..Default::default()
+        };
         let table = dense_classification("forest_tiny", config);
         let stats = dataset_stats(&table, "10");
         assert_eq!(stats.name, "forest_tiny");
         assert_eq!(stats.examples, 100);
         assert_eq!(stats.dimension, "10");
         // 100 rows x (8 id + 10*8+16 vec + 8 label) ~ 11k bytes
-        assert!(stats.bytes > 5_000 && stats.bytes < 50_000, "bytes {}", stats.bytes);
+        assert!(
+            stats.bytes > 5_000 && stats.bytes < 50_000,
+            "bytes {}",
+            stats.bytes
+        );
     }
 
     #[test]

@@ -15,12 +15,16 @@ pub struct DenseVector {
 impl DenseVector {
     /// Create a zero vector of length `n`.
     pub fn zeros(n: usize) -> Self {
-        DenseVector { values: vec![0.0; n] }
+        DenseVector {
+            values: vec![0.0; n],
+        }
     }
 
     /// Create a vector filled with `value`.
     pub fn filled(n: usize, value: f64) -> Self {
-        DenseVector { values: vec![value; n] }
+        DenseVector {
+            values: vec![value; n],
+        }
     }
 
     /// Number of components.
@@ -134,7 +138,9 @@ impl From<Vec<f64>> for DenseVector {
 
 impl From<&[f64]> for DenseVector {
     fn from(values: &[f64]) -> Self {
-        DenseVector { values: values.to_vec() }
+        DenseVector {
+            values: values.to_vec(),
+        }
     }
 }
 

@@ -19,12 +19,20 @@ pub struct FactorMatrix {
 impl FactorMatrix {
     /// A `rows x rank` matrix of zeros.
     pub fn zeros(rows: usize, rank: usize) -> Self {
-        FactorMatrix { rows, rank, data: vec![0.0; rows * rank] }
+        FactorMatrix {
+            rows,
+            rank,
+            data: vec![0.0; rows * rank],
+        }
     }
 
     /// A `rows x rank` matrix with every entry set to `value`.
     pub fn filled(rows: usize, rank: usize, value: f64) -> Self {
-        FactorMatrix { rows, rank, data: vec![value; rows * rank] }
+        FactorMatrix {
+            rows,
+            rank,
+            data: vec![value; rows * rank],
+        }
     }
 
     /// Build from a closure mapping `(row, k)` to a value; used to seed

@@ -17,11 +17,11 @@ pub mod ops;
 pub mod projection;
 pub mod sparse;
 
-pub use dense::DenseVector;
-pub use factor::FactorMatrix;
-pub use ops::{log1p_exp, log_sum_exp, sigmoid};
-pub use projection::{project_l1_ball, project_l2_ball, project_simplex};
-pub use sparse::SparseVector;
+pub use crate::dense::DenseVector;
+pub use crate::factor::FactorMatrix;
+pub use crate::ops::{log1p_exp, log_sum_exp, sigmoid};
+pub use crate::projection::{project_l1_ball, project_l2_ball, project_simplex};
+pub use crate::sparse::SparseVector;
 
 /// A feature vector that is either dense or sparse.
 ///
@@ -95,9 +95,7 @@ impl FeatureVector {
     /// Iterate over (index, value) pairs of the stored entries.
     pub fn iter_entries(&self) -> Box<dyn Iterator<Item = (usize, f64)> + '_> {
         match self {
-            FeatureVector::Dense(x) => {
-                Box::new(x.as_slice().iter().copied().enumerate())
-            }
+            FeatureVector::Dense(x) => Box::new(x.as_slice().iter().copied().enumerate()),
             FeatureVector::Sparse(x) => Box::new(x.iter()),
         }
     }

@@ -42,7 +42,9 @@ fn text_arg(args: &[Value], index: usize, function: &str, what: &str) -> Result<
     args.get(index)
         .and_then(|v| v.as_text().map(str::to_string))
         .ok_or_else(|| {
-            SqlError::Analytics(format!("{function}() argument {index} must be the {what} (text)"))
+            SqlError::Analytics(format!(
+                "{function}() argument {index} must be the {what} (text)"
+            ))
         })
 }
 
@@ -161,7 +163,16 @@ pub fn execute_analytics(
             let rank = int_arg(args, 7, name, "factorization rank")?;
             let config = config_with_overrides(base_config, args, 8, name)?;
             let summary = lmf_train(
-                db, &model, &table, &row_col, &col_col, &rating_col, rows, cols, rank, config,
+                db,
+                &model,
+                &table,
+                &row_col,
+                &col_col,
+                &rating_col,
+                rows,
+                cols,
+                rank,
+                config,
             )?;
             Ok(summary_result(summary))
         }
@@ -185,8 +196,14 @@ pub fn execute_analytics(
             }
             let (column, scores) = match upper.as_str() {
                 "SVMPREDICT" => ("prediction", svm_predict(db, &model, &table, &features)?),
-                "LINEARPREDICT" => ("score", frontend::linear_predict(db, &model, &table, &features)?),
-                _ => ("probability", logistic_predict(db, &model, &table, &features)?),
+                "LINEARPREDICT" => (
+                    "score",
+                    frontend::linear_predict(db, &model, &table, &features)?,
+                ),
+                _ => (
+                    "probability",
+                    logistic_predict(db, &model, &table, &features)?,
+                ),
             };
             Ok(prediction_result(column, scores))
         }
@@ -206,7 +223,10 @@ pub fn execute_analytics(
             } else {
                 logistic_regression_loss(db, &model, &table, &features, &label)?
             };
-            Ok(QueryResult::with_rows(vec!["loss".into()], vec![vec![Value::Double(loss)]]))
+            Ok(QueryResult::with_rows(
+                vec!["loss".into()],
+                vec![vec![Value::Double(loss)]],
+            ))
         }
         "CRFPREDICT" => {
             let model = text_arg(args, 0, name, "model name")?;
@@ -223,14 +243,22 @@ pub fn execute_analytics(
                 .into_iter()
                 .enumerate()
                 .map(|(i, labels)| {
-                    let rendered =
-                        labels.iter().map(usize::to_string).collect::<Vec<_>>().join(" ");
+                    let rendered = labels
+                        .iter()
+                        .map(usize::to_string)
+                        .collect::<Vec<_>>()
+                        .join(" ");
                     vec![Value::Int(i as i64), Value::Text(rendered)]
                 })
                 .collect();
-            Ok(QueryResult::with_rows(vec!["row".into(), "labels".into()], rows))
+            Ok(QueryResult::with_rows(
+                vec!["row".into(), "labels".into()],
+                rows,
+            ))
         }
-        other => Err(SqlError::Analytics(format!("unknown analytics function {other}()"))),
+        other => Err(SqlError::Analytics(format!(
+            "unknown analytics function {other}()"
+        ))),
     }
 }
 
@@ -346,15 +374,17 @@ mod tests {
         let result =
             execute_analytics(&mut db, fast_config(), "SVMPredict", &predict_args).unwrap();
         assert_eq!(result.len(), 80);
-        assert_eq!(result.columns, vec!["row".to_string(), "prediction".to_string()]);
+        assert_eq!(
+            result.columns,
+            vec!["row".to_string(), "prediction".to_string()]
+        );
         let predictions = result.column_values("prediction").unwrap();
         assert!(predictions.iter().all(|v| {
             let p = v.as_double().unwrap();
             p == 1.0 || p == -1.0 || p == 0.0
         }));
 
-        let probs =
-            execute_analytics(&mut db, fast_config(), "LRPredict", &predict_args).unwrap();
+        let probs = execute_analytics(&mut db, fast_config(), "LRPredict", &predict_args).unwrap();
         assert_eq!(probs.columns[1], "probability");
     }
 
@@ -375,7 +405,12 @@ mod tests {
 
         execute_analytics(&mut db, fast_config(), "LRTrain", &train_args).unwrap();
         let lr_loss = execute_analytics(&mut db, fast_config(), "LRLoss", &train_args).unwrap();
-        assert!(lr_loss.single_value().unwrap().as_double().unwrap().is_finite());
+        assert!(lr_loss
+            .single_value()
+            .unwrap()
+            .as_double()
+            .unwrap()
+            .is_finite());
     }
 
     #[test]

@@ -254,9 +254,9 @@ impl Expr {
             }
             Expr::IsNull { expr, .. } => expr.contains_aggregate(),
             Expr::ArrayLiteral(items) => items.iter().any(Expr::contains_aggregate),
-            Expr::SparseLiteral(pairs) => {
-                pairs.iter().any(|(i, v)| i.contains_aggregate() || v.contains_aggregate())
-            }
+            Expr::SparseLiteral(pairs) => pairs
+                .iter()
+                .any(|(i, v)| i.contains_aggregate() || v.contains_aggregate()),
             _ => false,
         }
     }
@@ -274,7 +274,10 @@ impl Expr {
 
 /// Whether a function name refers to one of the built-in SQL aggregates.
 pub fn is_aggregate_function(name: &str) -> bool {
-    matches!(name.to_ascii_uppercase().as_str(), "COUNT" | "SUM" | "AVG" | "MIN" | "MAX")
+    matches!(
+        name.to_ascii_uppercase().as_str(),
+        "COUNT" | "SUM" | "AVG" | "MIN" | "MAX"
+    )
 }
 
 #[cfg(test)]
@@ -293,7 +296,10 @@ mod tests {
         };
         assert!(agg.contains_aggregate());
 
-        let scalar = Expr::Function { name: "ABS".into(), args: vec![Expr::Column("x".into())] };
+        let scalar = Expr::Function {
+            name: "ABS".into(),
+            args: vec![Expr::Column("x".into())],
+        };
         assert!(!scalar.contains_aggregate());
     }
 
@@ -308,7 +314,11 @@ mod tests {
     fn default_names_prefer_column_and_function_names() {
         assert_eq!(Expr::Column("label".into()).default_name(), "label");
         assert_eq!(
-            Expr::Function { name: "SVMTrain".into(), args: vec![] }.default_name(),
+            Expr::Function {
+                name: "SVMTrain".into(),
+                args: vec![]
+            }
+            .default_name(),
             "SVMTrain"
         );
         assert_eq!(Expr::Literal(Literal::Int(3)).default_name(), "?column?");

@@ -73,11 +73,17 @@ mod tests {
 
     #[test]
     fn display_includes_positions_and_messages() {
-        let lex = SqlError::Lex { position: 7, message: "unterminated string".into() };
+        let lex = SqlError::Lex {
+            position: 7,
+            message: "unterminated string".into(),
+        };
         assert!(lex.to_string().contains("byte 7"));
         assert!(lex.to_string().contains("unterminated"));
 
-        let parse = SqlError::Parse { position: 3, message: "expected FROM".into() };
+        let parse = SqlError::Parse {
+            position: 3,
+            message: "expected FROM".into(),
+        };
         assert!(parse.to_string().contains("token 3"));
 
         let storage: SqlError = StorageError::UnknownTable("t".into()).into();

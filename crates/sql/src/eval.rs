@@ -53,9 +53,9 @@ pub fn evaluate(expr: &Expr, row: Option<RowContext<'_>>, ctx: &mut EvalContext)
                 "column '{name}' referenced in a query without a FROM clause"
             ))),
         },
-        Expr::Wildcard => {
-            Err(SqlError::Analysis("'*' is only valid inside COUNT(*)".to_string()))
-        }
+        Expr::Wildcard => Err(SqlError::Analysis(
+            "'*' is only valid inside COUNT(*)".to_string(),
+        )),
         Expr::Unary { op, expr } => {
             let v = evaluate(expr, row, ctx)?;
             apply_unary(*op, v)
@@ -167,7 +167,14 @@ fn apply_aggregate(
     // Evaluate the argument for every row, skipping NULLs like SQL does.
     let mut values = Vec::with_capacity(rows.len());
     for row in rows {
-        let v = evaluate(arg, Some(RowContext { schema, values: row }), ctx)?;
+        let v = evaluate(
+            arg,
+            Some(RowContext {
+                schema,
+                values: row,
+            }),
+            ctx,
+        )?;
         if !v.is_null() {
             values.push(v);
         }
@@ -192,11 +199,11 @@ fn apply_aggregate(
         }
         "MIN" => Ok(values
             .into_iter()
-            .min_by(|a, b| compare_values(a, b))
+            .min_by(compare_values)
             .unwrap_or(Value::Null)),
         "MAX" => Ok(values
             .into_iter()
-            .max_by(|a, b| compare_values(a, b))
+            .max_by(compare_values)
             .unwrap_or(Value::Null)),
         other => Err(SqlError::Analysis(format!("unknown aggregate {other}()"))),
     }
@@ -340,7 +347,10 @@ pub fn compare_values(a: &Value, b: &Value) -> Ordering {
 fn apply_scalar_function(name: &str, args: &[Value], ctx: &mut EvalContext) -> Result<Value> {
     let upper = name.to_ascii_uppercase();
     let arity_error = |expected: usize| {
-        SqlError::Analysis(format!("{upper}() expects {expected} argument(s), got {}", args.len()))
+        SqlError::Analysis(format!(
+            "{upper}() expects {expected} argument(s), got {}",
+            args.len()
+        ))
     };
     let numeric = |i: usize| -> Result<f64> {
         args.get(i)
@@ -411,9 +421,9 @@ fn apply_scalar_function(name: &str, args: &[Value], ctx: &mut EvalContext) -> R
             }
             match &args[0] {
                 Value::Text(s) => Ok(Value::Int(s.chars().count() as i64)),
-                other => {
-                    Err(SqlError::Evaluation(format!("LENGTH() expects text, got {other:?}")))
-                }
+                other => Err(SqlError::Evaluation(format!(
+                    "LENGTH() expects text, got {other:?}"
+                ))),
             }
         }
         "DIM" => {
@@ -455,19 +465,23 @@ fn apply_scalar_function(name: &str, args: &[Value], ctx: &mut EvalContext) -> R
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::parse_statement;
     use crate::ast::{SelectItem, Statement};
+    use crate::parser::parse_statement;
     use bismarck_storage::{Column, DataType};
     use rand::SeedableRng;
 
     fn ctx() -> EvalContext {
-        EvalContext { rng: StdRng::seed_from_u64(7) }
+        EvalContext {
+            rng: StdRng::seed_from_u64(7),
+        }
     }
 
     /// Parse `SELECT <expr>` and return the expression.
     fn expr(text: &str) -> Expr {
         let stmt = parse_statement(&format!("SELECT {text}")).unwrap();
-        let Statement::Select(select) = stmt else { panic!() };
+        let Statement::Select(select) = stmt else {
+            panic!()
+        };
         let SelectItem::Expr { expr, .. } = select.items.into_iter().next().unwrap() else {
             panic!()
         };
@@ -519,9 +533,13 @@ mod tests {
         assert_eq!(eval_text("SQRT(9.0)"), Value::Double(3.0));
         assert_eq!(eval_text("POWER(2, 10)"), Value::Double(1024.0));
         assert_eq!(eval_text("LENGTH('hello')"), Value::Int(5));
-        let Value::Double(p) = eval_text("SIGMOID(0)") else { panic!() };
+        let Value::Double(p) = eval_text("SIGMOID(0)") else {
+            panic!()
+        };
         assert!((p - 0.5).abs() < 1e-12);
-        let Value::Double(r) = eval_text("RANDOM()") else { panic!() };
+        let Value::Double(r) = eval_text("RANDOM()") else {
+            panic!()
+        };
         assert!((0.0..1.0).contains(&r));
     }
 
@@ -544,7 +562,10 @@ mod tests {
             eval_text("DOT(ARRAY[1.0, 2.0], ARRAY[3.0, 4.0])"),
             Value::Double(11.0)
         );
-        assert_eq!(eval_text("DOT({1: 2.0}, ARRAY[5.0, 7.0])"), Value::Double(14.0));
+        assert_eq!(
+            eval_text("DOT({1: 2.0}, ARRAY[5.0, 7.0])"),
+            Value::Double(14.0)
+        );
     }
 
     #[test]
@@ -555,7 +576,10 @@ mod tests {
         ])
         .unwrap();
         let values = vec![Value::Int(3), Value::Double(-1.0)];
-        let row = RowContext { schema: &schema, values: &values };
+        let row = RowContext {
+            schema: &schema,
+            values: &values,
+        };
         assert_eq!(
             evaluate(&expr("label * 2"), Some(row), &mut ctx()).unwrap(),
             Value::Double(-2.0)
@@ -623,8 +647,14 @@ mod tests {
     #[test]
     fn value_ordering_is_total_and_null_first() {
         assert_eq!(compare_values(&Value::Null, &Value::Int(0)), Ordering::Less);
-        assert_eq!(compare_values(&Value::Int(2), &Value::Double(2.0)), Ordering::Equal);
-        assert_eq!(compare_values(&Value::Double(3.5), &Value::Int(3)), Ordering::Greater);
+        assert_eq!(
+            compare_values(&Value::Int(2), &Value::Double(2.0)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            compare_values(&Value::Double(3.5), &Value::Int(3)),
+            Ordering::Greater
+        );
         assert_eq!(
             compare_values(&Value::Text("a".into()), &Value::Text("b".into())),
             Ordering::Less

@@ -2,7 +2,7 @@
 //! statements against it.
 
 use bismarck_core::TrainerConfig;
-use bismarck_storage::{Column, Database, DataType, Schema, Table, Value};
+use bismarck_storage::{Column, DataType, Database, Schema, Table, Value};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -44,7 +44,9 @@ impl SqlSession {
         SqlSession {
             db: Database::new(),
             trainer_config: TrainerConfig::default(),
-            ctx: EvalContext { rng: StdRng::seed_from_u64(seed) },
+            ctx: EvalContext {
+                rng: StdRng::seed_from_u64(seed),
+            },
         }
     }
 
@@ -101,13 +103,23 @@ impl SqlSession {
                 self.db.drop_table(&name)?;
                 Ok(QueryResult::status_only("DROP TABLE"))
             }
-            Statement::Insert { table, columns, rows } => self.run_insert(table, columns, rows),
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => self.run_insert(table, columns, rows),
             Statement::Select(select) => self.run_select(select),
-            Statement::Copy { table, direction, path } => self.run_copy(table, direction, path),
+            Statement::Copy {
+                table,
+                direction,
+                path,
+            } => self.run_copy(table, direction, path),
             Statement::Shuffle { table, seed } => self.run_reorder(table, Reorder::Shuffle(seed)),
-            Statement::Cluster { table, column, ascending } => {
-                self.run_reorder(table, Reorder::Cluster { column, ascending })
-            }
+            Statement::Cluster {
+                table,
+                column,
+                ascending,
+            } => self.run_reorder(table, Reorder::Cluster { column, ascending }),
             Statement::CreateTableAs { name, query } => self.run_create_table_as(name, query),
             Statement::ShowTables => Ok(self.run_show_tables()),
             Statement::Describe { name } => self.run_describe(&name),
@@ -117,13 +129,11 @@ impl SqlSession {
     /// `CREATE TABLE ... AS SELECT ...`: materialize a query result. Column
     /// types are inferred from the result values (integer columns containing
     /// any double are widened to DOUBLE; all-NULL columns default to DOUBLE).
-    fn run_create_table_as(
-        &mut self,
-        name: String,
-        query: SelectStatement,
-    ) -> Result<QueryResult> {
+    fn run_create_table_as(&mut self, name: String, query: SelectStatement) -> Result<QueryResult> {
         if self.db.contains(&name) {
-            return Err(SqlError::Storage(bismarck_storage::StorageError::TableExists(name)));
+            return Err(SqlError::Storage(
+                bismarck_storage::StorageError::TableExists(name),
+            ));
         }
         let result = self.run_select(query)?;
         let arity = result.columns.len();
@@ -132,7 +142,9 @@ impl SqlSession {
         let mut types: Vec<Option<DataType>> = vec![None; arity];
         for row in &result.rows {
             for (i, value) in row.iter().enumerate() {
-                let Some(dtype) = value.data_type() else { continue };
+                let Some(dtype) = value.data_type() else {
+                    continue;
+                };
                 types[i] = Some(match (types[i], dtype) {
                     (None, t) => t,
                     (Some(DataType::Int), DataType::Double)
@@ -170,7 +182,9 @@ impl SqlSession {
             table.insert(coerced)?;
         }
         self.db.register_table(table);
-        Ok(QueryResult::status_only(format!("CREATE TABLE AS ({count} rows)")))
+        Ok(QueryResult::status_only(format!(
+            "CREATE TABLE AS ({count} rows)"
+        )))
     }
 
     /// `SHOW TABLES`: table names and row counts, sorted by name.
@@ -216,9 +230,8 @@ impl SqlSession {
     ) -> Result<QueryResult> {
         match direction {
             CopyDirection::FromFile => {
-                let text = std::fs::read_to_string(&path).map_err(|e| {
-                    SqlError::Evaluation(format!("cannot read '{path}': {e}"))
-                })?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| SqlError::Evaluation(format!("cannot read '{path}': {e}")))?;
                 let schema = self.db.table(&table_name)?.schema().clone();
                 // Parse into a staging table first so a malformed file never
                 // leaves a half-loaded target behind.
@@ -233,9 +246,8 @@ impl SqlSession {
             CopyDirection::ToFile => {
                 let table = self.db.table(&table_name)?;
                 let text = bismarck_storage::csv::table_to_string(table);
-                std::fs::write(&path, text).map_err(|e| {
-                    SqlError::Evaluation(format!("cannot write '{path}': {e}"))
-                })?;
+                std::fs::write(&path, text)
+                    .map_err(|e| SqlError::Evaluation(format!("cannot write '{path}': {e}")))?;
                 Ok(QueryResult::status_only(format!("COPY {}", table.len())))
             }
         }
@@ -247,8 +259,7 @@ impl SqlSession {
     fn run_reorder(&mut self, table_name: String, reorder: Reorder) -> Result<QueryResult> {
         let (schema, mut rows) = {
             let table = self.db.table(&table_name)?;
-            let rows: Vec<Vec<Value>> =
-                table.scan().map(|tuple| tuple.values().to_vec()).collect();
+            let rows: Vec<Vec<Value>> = table.scan().map(|tuple| tuple.values().to_vec()).collect();
             (table.schema().clone(), rows)
         };
         let status = match reorder {
@@ -288,7 +299,10 @@ impl SqlSession {
         // Columns are nullable so `INSERT` with an explicit column list can
         // omit the rest; the storage layer still enforces declared types.
         let schema = Schema::new(
-            columns.into_iter().map(|c| Column::nullable(c.name, c.data_type)).collect(),
+            columns
+                .into_iter()
+                .map(|c| Column::nullable(c.name, c.data_type))
+                .collect(),
         )?;
         self.db.create_table(name, schema)?;
         Ok(QueryResult::status_only("CREATE TABLE"))
@@ -375,7 +389,10 @@ impl SqlSession {
                     "an analytics function must be the only item in its SELECT".into(),
                 ));
             }
-            let SelectItem::Expr { expr: Expr::Function { name, args }, .. } = &select.items[0]
+            let SelectItem::Expr {
+                expr: Expr::Function { name, args },
+                ..
+            } = &select.items[0]
             else {
                 unreachable!("filtered on function items above");
             };
@@ -417,7 +434,10 @@ impl SqlSession {
         for tuple in table.scan() {
             let keep = match &select.filter {
                 Some(predicate) => {
-                    let row = RowContext { schema: &schema, values: tuple.values() };
+                    let row = RowContext {
+                        schema: &schema,
+                        values: tuple.values(),
+                    };
                     is_truthy(&evaluate(predicate, Some(row), ctx)?)
                 }
                 None => true,
@@ -428,9 +448,9 @@ impl SqlSession {
         }
 
         let has_aggregates = !select.group_by.is_empty()
-            || select.items.iter().any(|item| {
-                matches!(item, SelectItem::Expr { expr, .. } if expr.contains_aggregate())
-            });
+            || select.items.iter().any(
+                |item| matches!(item, SelectItem::Expr { expr, .. } if expr.contains_aggregate()),
+            );
 
         let (columns, mut keyed_rows) = if has_aggregates {
             self.grouped_projection(&select, &schema, rows)?
@@ -446,7 +466,11 @@ impl SqlSession {
                 keyed_rows.sort_by(|(a, _), (b, _)| {
                     for (idx, key) in select.order_by.iter().enumerate() {
                         let ordering = compare_values(&a[idx], &b[idx]);
-                        let ordering = if key.ascending { ordering } else { ordering.reverse() };
+                        let ordering = if key.ascending {
+                            ordering
+                        } else {
+                            ordering.reverse()
+                        };
                         if ordering != std::cmp::Ordering::Equal {
                             return ordering;
                         }
@@ -486,7 +510,10 @@ impl SqlSession {
 
         let mut keyed_rows = Vec::with_capacity(rows.len());
         for values in rows {
-            let row = RowContext { schema, values: &values };
+            let row = RowContext {
+                schema,
+                values: &values,
+            };
             let mut out = Vec::with_capacity(columns.len());
             for item in &select.items {
                 match item {
@@ -525,7 +552,10 @@ impl SqlSession {
             groups.push((Vec::new(), rows));
         } else {
             for values in rows {
-                let row = RowContext { schema, values: &values };
+                let row = RowContext {
+                    schema,
+                    values: &values,
+                };
                 let mut key = Vec::with_capacity(select.group_by.len());
                 for expr in &select.group_by {
                     key.push(evaluate(expr, Some(row), &mut self.ctx)?);
@@ -539,7 +569,9 @@ impl SqlSession {
 
         let mut columns = Vec::with_capacity(select.items.len());
         for item in &select.items {
-            let SelectItem::Expr { expr, alias } = item else { unreachable!() };
+            let SelectItem::Expr { expr, alias } = item else {
+                unreachable!()
+            };
             columns.push(alias.clone().unwrap_or_else(|| expr.default_name()));
         }
 
@@ -549,12 +581,19 @@ impl SqlSession {
             // (e.g. COUNT(*) over an empty table).
             let mut out = Vec::with_capacity(columns.len());
             for item in &select.items {
-                let SelectItem::Expr { expr, .. } = item else { unreachable!() };
+                let SelectItem::Expr { expr, .. } = item else {
+                    unreachable!()
+                };
                 out.push(evaluate_grouped(expr, schema, &members, &mut self.ctx)?);
             }
             let mut keys = Vec::with_capacity(select.order_by.len());
             for key in &select.order_by {
-                keys.push(evaluate_grouped(&key.expr, schema, &members, &mut self.ctx)?);
+                keys.push(evaluate_grouped(
+                    &key.expr,
+                    schema,
+                    &members,
+                    &mut self.ctx,
+                )?);
             }
             keyed_rows.push((keys, out));
         }
@@ -626,8 +665,9 @@ mod tests {
         assert_eq!(result.columns, vec!["id", "x", "label", "name"]);
         assert_eq!(result.len(), 5);
 
-        let filtered =
-            session.execute("SELECT id, name FROM points WHERE label > 0 ORDER BY id DESC").unwrap();
+        let filtered = session
+            .execute("SELECT id, name FROM points WHERE label > 0 ORDER BY id DESC")
+            .unwrap();
         assert_eq!(filtered.len(), 3);
         assert_eq!(filtered.rows[0][0], Value::Int(5));
         assert_eq!(filtered.rows[2][0], Value::Int(1));
@@ -636,8 +676,12 @@ mod tests {
     #[test]
     fn insert_with_column_list_fills_missing_with_null() {
         let mut session = session_with_points();
-        session.execute("INSERT INTO points (id, label) VALUES (6, 1.0)").unwrap();
-        let row = session.execute("SELECT x FROM points WHERE id = 6").unwrap();
+        session
+            .execute("INSERT INTO points (id, label) VALUES (6, 1.0)")
+            .unwrap();
+        let row = session
+            .execute("SELECT x FROM points WHERE id = 6")
+            .unwrap();
         assert_eq!(row.rows[0][0], Value::Null);
     }
 
@@ -655,7 +699,9 @@ mod tests {
     #[test]
     fn aggregates_with_and_without_group_by() {
         let mut session = session_with_points();
-        let total = session.execute("SELECT COUNT(*), AVG(x) FROM points").unwrap();
+        let total = session
+            .execute("SELECT COUNT(*), AVG(x) FROM points")
+            .unwrap();
         assert_eq!(total.rows[0][0], Value::Int(5));
         assert_eq!(total.rows[0][1], Value::Double(0.5));
 
@@ -710,7 +756,9 @@ mod tests {
     #[test]
     fn limit_caps_rows() {
         let mut session = session_with_points();
-        let result = session.execute("SELECT id FROM points ORDER BY id LIMIT 2").unwrap();
+        let result = session
+            .execute("SELECT id FROM points ORDER BY id LIMIT 2")
+            .unwrap();
         assert_eq!(result.len(), 2);
         assert_eq!(result.rows[1][0], Value::Int(2));
     }
@@ -732,7 +780,9 @@ mod tests {
     #[test]
     fn wildcard_with_group_by_is_rejected() {
         let mut session = session_with_points();
-        let err = session.execute("SELECT * FROM points GROUP BY label").unwrap_err();
+        let err = session
+            .execute("SELECT * FROM points GROUP BY label")
+            .unwrap_err();
         assert!(err.to_string().contains("GROUP BY"));
     }
 
@@ -769,7 +819,9 @@ mod tests {
     fn type_mismatch_on_insert_is_a_storage_error() {
         let mut session = SqlSession::new();
         session.execute("CREATE TABLE typed (x INT)").unwrap();
-        let err = session.execute("INSERT INTO typed VALUES ('text')").unwrap_err();
+        let err = session
+            .execute("INSERT INTO typed VALUES ('text')")
+            .unwrap_err();
         assert!(matches!(err, SqlError::Storage(_)));
     }
 
@@ -928,8 +980,13 @@ mod tests {
 
         // Clustering by a missing column is rejected and leaves the table intact.
         assert!(session.execute("CLUSTER TABLE points BY missing").is_err());
-        assert_eq!(session.execute("SELECT COUNT(*) FROM points").unwrap().single_value(),
-            Some(&Value::Int(5)));
+        assert_eq!(
+            session
+                .execute("SELECT COUNT(*) FROM points")
+                .unwrap()
+                .single_value(),
+            Some(&Value::Int(5))
+        );
     }
 
     #[test]
@@ -939,14 +996,18 @@ mod tests {
         let path_str = path.to_str().unwrap().to_string();
 
         let mut session = session_with_points();
-        let exported = session.execute(&format!("COPY points TO '{path_str}'")).unwrap();
+        let exported = session
+            .execute(&format!("COPY points TO '{path_str}'"))
+            .unwrap();
         assert_eq!(exported.status, "COPY 5");
 
         // Append the exported rows into a second table with the same schema.
         session
             .execute("CREATE TABLE points2 (id INT, x DOUBLE, label DOUBLE, name TEXT)")
             .unwrap();
-        let imported = session.execute(&format!("COPY points2 FROM '{path_str}'")).unwrap();
+        let imported = session
+            .execute(&format!("COPY points2 FROM '{path_str}'"))
+            .unwrap();
         assert_eq!(imported.status, "COPY 5");
         let n = session.execute("SELECT COUNT(*) FROM points2").unwrap();
         assert_eq!(n.single_value(), Some(&Value::Int(5)));
@@ -965,7 +1026,9 @@ mod tests {
     #[test]
     fn copy_from_missing_file_is_an_error_and_loads_nothing() {
         let mut session = session_with_points();
-        let err = session.execute("COPY points FROM '/definitely/not/here.csv'").unwrap_err();
+        let err = session
+            .execute("COPY points FROM '/definitely/not/here.csv'")
+            .unwrap_err();
         assert!(matches!(err, SqlError::Evaluation(_)));
         let n = session.execute("SELECT COUNT(*) FROM points").unwrap();
         assert_eq!(n.single_value(), Some(&Value::Int(5)));
@@ -980,11 +1043,19 @@ mod tests {
         for i in 0..30 {
             let y = if i % 2 == 0 { 1.0 } else { -1.0 };
             session
-                .execute(&format!("INSERT INTO d VALUES ({i}, ARRAY[{}, {}], {y})", y, -y * 0.5))
+                .execute(&format!(
+                    "INSERT INTO d VALUES ({i}, ARRAY[{}, {}], {y})",
+                    y,
+                    -y * 0.5
+                ))
                 .unwrap();
         }
-        session.execute("SELECT SVMTrain('m', 'd', 'vec', 'label', 0.2, 10)").unwrap();
-        let loss = session.execute("SELECT SVMLoss('m', 'd', 'vec', 'label')").unwrap();
+        session
+            .execute("SELECT SVMTrain('m', 'd', 'vec', 'label', 0.2, 10)")
+            .unwrap();
+        let loss = session
+            .execute("SELECT SVMLoss('m', 'd', 'vec', 'label')")
+            .unwrap();
         let value = loss.single_value().unwrap().as_double().unwrap();
         assert!(value.is_finite() && value >= 0.0);
         // A well-separated toy problem should reach a small hinge loss.
@@ -995,12 +1066,19 @@ mod tests {
     fn random_scalar_function_varies_per_row() {
         let mut session = session_with_points();
         let result = session.execute("SELECT RANDOM() AS r FROM points").unwrap();
-        let values: Vec<f64> = result.rows.iter().map(|r| r[0].as_double().unwrap()).collect();
+        let values: Vec<f64> = result
+            .rows
+            .iter()
+            .map(|r| r[0].as_double().unwrap())
+            .collect();
         assert_eq!(values.len(), 5);
         let distinct = values
             .iter()
             .map(|v| format!("{v:.12}"))
             .collect::<std::collections::HashSet<_>>();
-        assert!(distinct.len() > 1, "RANDOM() should not repeat the same value every row");
+        assert!(
+            distinct.len() > 1,
+            "RANDOM() should not repeat the same value every row"
+        );
     }
 }

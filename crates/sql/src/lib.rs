@@ -55,7 +55,7 @@ pub mod parser;
 pub mod result;
 pub mod token;
 
-pub use error::{Result, SqlError};
-pub use exec::SqlSession;
-pub use parser::{parse_script, parse_statement};
-pub use result::QueryResult;
+pub use crate::error::{Result, SqlError};
+pub use crate::exec::SqlSession;
+pub use crate::parser::{parse_script, parse_statement};
+pub use crate::result::QueryResult;

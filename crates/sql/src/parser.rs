@@ -14,7 +14,10 @@ pub fn parse_statement(sql: &str) -> Result<Statement> {
     let mut statements = parse_script(sql)?;
     match statements.len() {
         1 => Ok(statements.remove(0)),
-        0 => Err(SqlError::Parse { position: 0, message: "empty statement".into() }),
+        0 => Err(SqlError::Parse {
+            position: 0,
+            message: "empty statement".into(),
+        }),
         n => Err(SqlError::Parse {
             position: 0,
             message: format!("expected a single statement, found {n}"),
@@ -70,7 +73,10 @@ impl Parser {
         } else {
             message = format!("{message} (found end of input)");
         }
-        SqlError::Parse { position: self.pos, message }
+        SqlError::Parse {
+            position: self.pos,
+            message,
+        }
     }
 
     /// Consume the next token if it equals `kind`.
@@ -162,7 +168,11 @@ impl Parser {
                 return Err(self.error("expected a quoted file path in COPY"));
             }
         };
-        Ok(Statement::Copy { table, direction, path })
+        Ok(Statement::Copy {
+            table,
+            direction,
+            path,
+        })
     }
 
     fn parse_shuffle(&mut self) -> Result<Statement> {
@@ -195,7 +205,11 @@ impl Parser {
             self.eat_keyword("ASC");
             true
         };
-        Ok(Statement::Cluster { table, column, ascending })
+        Ok(Statement::Cluster {
+            table,
+            column,
+            ascending,
+        })
     }
 
     fn parse_create_table(&mut self) -> Result<Statement> {
@@ -211,7 +225,10 @@ impl Parser {
         loop {
             let col_name = self.expect_identifier()?;
             let data_type = self.parse_data_type()?;
-            columns.push(ColumnDef { name: col_name, data_type });
+            columns.push(ColumnDef {
+                name: col_name,
+                data_type,
+            });
             if !self.eat(&TokenKind::Comma) {
                 break;
             }
@@ -277,7 +294,11 @@ impl Parser {
                 break;
             }
         }
-        Ok(Statement::Insert { table, columns, rows })
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+        })
     }
 
     fn parse_select(&mut self) -> Result<SelectStatement> {
@@ -300,8 +321,16 @@ impl Parser {
             }
         }
 
-        let from = if self.eat_keyword("FROM") { Some(self.expect_identifier()?) } else { None };
-        let filter = if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
+        let from = if self.eat_keyword("FROM") {
+            Some(self.expect_identifier()?)
+        } else {
+            None
+        };
+        let filter = if self.eat_keyword("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
 
         let mut group_by = Vec::new();
         if self.eat_keyword("GROUP") {
@@ -345,7 +374,14 @@ impl Parser {
             None
         };
 
-        Ok(SelectStatement { items, from, filter, group_by, order_by, limit })
+        Ok(SelectStatement {
+            items,
+            from,
+            filter,
+            group_by,
+            order_by,
+            limit,
+        })
     }
 
     // Expression grammar, lowest precedence first:
@@ -366,7 +402,11 @@ impl Parser {
         let mut left = self.parse_and()?;
         while self.eat_keyword("OR") {
             let right = self.parse_and()?;
-            left = Expr::Binary { left: Box::new(left), op: BinaryOp::Or, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::Or,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -375,7 +415,11 @@ impl Parser {
         let mut left = self.parse_not()?;
         while self.eat_keyword("AND") {
             let right = self.parse_not()?;
-            left = Expr::Binary { left: Box::new(left), op: BinaryOp::And, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::And,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -383,7 +427,10 @@ impl Parser {
     fn parse_not(&mut self) -> Result<Expr> {
         if self.eat_keyword("NOT") {
             let expr = self.parse_not()?;
-            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(expr) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(expr),
+            });
         }
         self.parse_comparison()
     }
@@ -393,7 +440,10 @@ impl Parser {
         if self.eat_keyword("IS") {
             let negated = self.eat_keyword("NOT");
             self.expect_keyword("NULL")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         let op = match self.peek() {
             Some(TokenKind::Eq) => Some(BinaryOp::Eq),
@@ -407,7 +457,11 @@ impl Parser {
         if let Some(op) = op {
             self.pos += 1;
             let right = self.parse_additive()?;
-            return Ok(Expr::Binary { left: Box::new(left), op, right: Box::new(right) });
+            return Ok(Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            });
         }
         Ok(left)
     }
@@ -422,7 +476,11 @@ impl Parser {
             };
             self.pos += 1;
             let right = self.parse_multiplicative()?;
-            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -437,7 +495,11 @@ impl Parser {
             };
             self.pos += 1;
             let right = self.parse_unary()?;
-            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -445,7 +507,10 @@ impl Parser {
     fn parse_unary(&mut self) -> Result<Expr> {
         if self.eat(&TokenKind::Minus) {
             let expr = self.parse_unary()?;
-            return Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(expr) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(expr),
+            });
         }
         self.parse_primary()
     }
@@ -529,13 +594,18 @@ mod tests {
 
     #[test]
     fn parses_the_papers_training_query() {
-        let stmt =
-            parse_statement("SELECT SVMTrain('myModel', 'LabeledPapers', 'vec', 'label');")
-                .unwrap();
-        let Statement::Select(select) = stmt else { panic!("expected SELECT") };
+        let stmt = parse_statement("SELECT SVMTrain('myModel', 'LabeledPapers', 'vec', 'label');")
+            .unwrap();
+        let Statement::Select(select) = stmt else {
+            panic!("expected SELECT")
+        };
         assert_eq!(select.items.len(), 1);
         assert!(select.from.is_none());
-        let SelectItem::Expr { expr: Expr::Function { name, args }, .. } = &select.items[0] else {
+        let SelectItem::Expr {
+            expr: Expr::Function { name, args },
+            ..
+        } = &select.items[0]
+        else {
             panic!("expected function item")
         };
         assert_eq!(name, "SVMTrain");
@@ -549,7 +619,9 @@ mod tests {
              label DOUBLE, title TEXT, seq SEQUENCE)",
         )
         .unwrap();
-        let Statement::CreateTable { name, columns } = stmt else { panic!() };
+        let Statement::CreateTable { name, columns } = stmt else {
+            panic!()
+        };
         assert_eq!(name, "LabeledPapers");
         assert_eq!(columns.len(), 6);
         assert_eq!(columns[1].data_type, DataType::DenseVec);
@@ -570,7 +642,14 @@ mod tests {
              (2, ARRAY[0.5, -0.25], -1.0)",
         )
         .unwrap();
-        let Statement::Insert { table, columns, rows } = stmt else { panic!() };
+        let Statement::Insert {
+            table,
+            columns,
+            rows,
+        } = stmt
+        else {
+            panic!()
+        };
         assert_eq!(table, "t");
         assert_eq!(columns.as_deref().unwrap().len(), 3);
         assert_eq!(rows.len(), 2);
@@ -580,7 +659,9 @@ mod tests {
     #[test]
     fn parses_sparse_vector_literal() {
         let stmt = parse_statement("INSERT INTO t VALUES ({0: 1.5, 41000: 2.0})").unwrap();
-        let Statement::Insert { rows, .. } = stmt else { panic!() };
+        let Statement::Insert { rows, .. } = stmt else {
+            panic!()
+        };
         assert!(matches!(rows[0][0], Expr::SparseLiteral(ref pairs) if pairs.len() == 2));
     }
 
@@ -591,7 +672,9 @@ mod tests {
              GROUP BY label ORDER BY n DESC LIMIT 10",
         )
         .unwrap();
-        let Statement::Select(select) = stmt else { panic!() };
+        let Statement::Select(select) = stmt else {
+            panic!()
+        };
         assert_eq!(select.items.len(), 2);
         assert_eq!(select.from.as_deref(), Some("points"));
         assert!(select.filter.is_some());
@@ -604,7 +687,9 @@ mod tests {
     #[test]
     fn parses_order_by_random() {
         let stmt = parse_statement("SELECT * FROM data ORDER BY RANDOM()").unwrap();
-        let Statement::Select(select) = stmt else { panic!() };
+        let Statement::Select(select) = stmt else {
+            panic!()
+        };
         assert!(matches!(
             &select.order_by[0].expr,
             Expr::Function { name, args } if name.eq_ignore_ascii_case("random") && args.is_empty()
@@ -614,21 +699,52 @@ mod tests {
     #[test]
     fn operator_precedence_binds_mul_tighter_than_add_and_cmp() {
         let stmt = parse_statement("SELECT 1 + 2 * 3 < 10").unwrap();
-        let Statement::Select(select) = stmt else { panic!() };
-        let SelectItem::Expr { expr, .. } = &select.items[0] else { panic!() };
+        let Statement::Select(select) = stmt else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = &select.items[0] else {
+            panic!()
+        };
         // Shape: (1 + (2 * 3)) < 10
-        let Expr::Binary { op: BinaryOp::Lt, left, .. } = expr else { panic!("expected <") };
-        let Expr::Binary { op: BinaryOp::Add, right, .. } = left.as_ref() else {
+        let Expr::Binary {
+            op: BinaryOp::Lt,
+            left,
+            ..
+        } = expr
+        else {
+            panic!("expected <")
+        };
+        let Expr::Binary {
+            op: BinaryOp::Add,
+            right,
+            ..
+        } = left.as_ref()
+        else {
             panic!("expected + on the left of <")
         };
-        assert!(matches!(right.as_ref(), Expr::Binary { op: BinaryOp::Mul, .. }));
+        assert!(matches!(
+            right.as_ref(),
+            Expr::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn parses_is_null_and_is_not_null() {
         let stmt = parse_statement("SELECT * FROM t WHERE a IS NULL OR b IS NOT NULL").unwrap();
-        let Statement::Select(select) = stmt else { panic!() };
-        let Some(Expr::Binary { op: BinaryOp::Or, left, right }) = select.filter else { panic!() };
+        let Statement::Select(select) = stmt else {
+            panic!()
+        };
+        let Some(Expr::Binary {
+            op: BinaryOp::Or,
+            left,
+            right,
+        }) = select.filter
+        else {
+            panic!()
+        };
         assert!(matches!(*left, Expr::IsNull { negated: false, .. }));
         assert!(matches!(*right, Expr::IsNull { negated: true, .. }));
     }
@@ -661,15 +777,23 @@ mod tests {
     fn drop_table_parses() {
         assert_eq!(
             parse_statement("DROP TABLE myModel").unwrap(),
-            Statement::DropTable { name: "myModel".into() }
+            Statement::DropTable {
+                name: "myModel".into()
+            }
         );
     }
 
     #[test]
     fn count_star_is_a_wildcard_argument() {
         let stmt = parse_statement("SELECT COUNT(*) FROM t").unwrap();
-        let Statement::Select(select) = stmt else { panic!() };
-        let SelectItem::Expr { expr: Expr::Function { args, .. }, .. } = &select.items[0] else {
+        let Statement::Select(select) = stmt else {
+            panic!()
+        };
+        let SelectItem::Expr {
+            expr: Expr::Function { args, .. },
+            ..
+        } = &select.items[0]
+        else {
             panic!()
         };
         assert_eq!(args, &vec![Expr::Wildcard]);
@@ -707,28 +831,43 @@ mod tests {
         );
         assert_eq!(
             parse_statement("SHUFFLE TABLE forest SEED 42").unwrap(),
-            Statement::Shuffle { table: "forest".into(), seed: Some(42) }
+            Statement::Shuffle {
+                table: "forest".into(),
+                seed: Some(42)
+            }
         );
         assert_eq!(
             parse_statement("SHUFFLE TABLE forest").unwrap(),
-            Statement::Shuffle { table: "forest".into(), seed: None }
+            Statement::Shuffle {
+                table: "forest".into(),
+                seed: None
+            }
         );
         assert_eq!(
             parse_statement("CLUSTER TABLE forest BY label DESC").unwrap(),
-            Statement::Cluster { table: "forest".into(), column: "label".into(), ascending: false }
+            Statement::Cluster {
+                table: "forest".into(),
+                column: "label".into(),
+                ascending: false
+            }
         );
         assert_eq!(
             parse_statement("CLUSTER TABLE forest BY label").unwrap(),
-            Statement::Cluster { table: "forest".into(), column: "label".into(), ascending: true }
+            Statement::Cluster {
+                table: "forest".into(),
+                column: "label".into(),
+                ascending: true
+            }
         );
     }
 
     #[test]
     fn create_table_as_select_parses() {
-        let stmt =
-            parse_statement("CREATE TABLE shuffled AS SELECT * FROM data ORDER BY RANDOM()")
-                .unwrap();
-        let Statement::CreateTableAs { name, query } = stmt else { panic!("expected CTAS") };
+        let stmt = parse_statement("CREATE TABLE shuffled AS SELECT * FROM data ORDER BY RANDOM()")
+            .unwrap();
+        let Statement::CreateTableAs { name, query } = stmt else {
+            panic!("expected CTAS")
+        };
         assert_eq!(name, "shuffled");
         assert_eq!(query.from.as_deref(), Some("data"));
         assert_eq!(query.order_by.len(), 1);
@@ -736,10 +875,15 @@ mod tests {
 
     #[test]
     fn show_tables_and_describe_parse() {
-        assert_eq!(parse_statement("SHOW TABLES").unwrap(), Statement::ShowTables);
+        assert_eq!(
+            parse_statement("SHOW TABLES").unwrap(),
+            Statement::ShowTables
+        );
         assert_eq!(
             parse_statement("DESCRIBE forest").unwrap(),
-            Statement::Describe { name: "forest".into() }
+            Statement::Describe {
+                name: "forest".into()
+            }
         );
         assert!(parse_statement("SHOW forest").is_err());
         assert!(parse_statement("DESCRIBE").is_err());
@@ -756,14 +900,28 @@ mod tests {
     #[test]
     fn negative_numbers_and_not_parse() {
         let stmt = parse_statement("SELECT -3.5, NOT TRUE").unwrap();
-        let Statement::Select(select) = stmt else { panic!() };
+        let Statement::Select(select) = stmt else {
+            panic!()
+        };
         assert!(matches!(
             select.items[0],
-            SelectItem::Expr { expr: Expr::Unary { op: UnaryOp::Neg, .. }, .. }
+            SelectItem::Expr {
+                expr: Expr::Unary {
+                    op: UnaryOp::Neg,
+                    ..
+                },
+                ..
+            }
         ));
         assert!(matches!(
             select.items[1],
-            SelectItem::Expr { expr: Expr::Unary { op: UnaryOp::Not, .. }, .. }
+            SelectItem::Expr {
+                expr: Expr::Unary {
+                    op: UnaryOp::Not,
+                    ..
+                },
+                ..
+            }
         ));
     }
 }

@@ -16,13 +16,21 @@ pub struct QueryResult {
 impl QueryResult {
     /// An empty result carrying only a status line (DDL/DML statements).
     pub fn status_only(status: impl Into<String>) -> Self {
-        QueryResult { columns: Vec::new(), rows: Vec::new(), status: status.into() }
+        QueryResult {
+            columns: Vec::new(),
+            rows: Vec::new(),
+            status: status.into(),
+        }
     }
 
     /// A result with rows.
     pub fn with_rows(columns: Vec<String>, rows: Vec<Vec<Value>>) -> Self {
         let status = format!("SELECT {}", rows.len());
-        QueryResult { columns, rows, status }
+        QueryResult {
+            columns,
+            rows,
+            status,
+        }
     }
 
     /// Number of rows.
@@ -68,8 +76,12 @@ fn render_value(value: &Value) -> String {
         }
         Value::Text(s) => s.clone(),
         Value::DenseVec(v) => {
-            let entries: Vec<String> =
-                v.as_slice().iter().take(4).map(|x| format!("{x:.3}")).collect();
+            let entries: Vec<String> = v
+                .as_slice()
+                .iter()
+                .take(4)
+                .map(|x| format!("{x:.3}"))
+                .collect();
             if v.len() > 4 {
                 format!("[{}, ... ({} dims)]", entries.join(", "), v.len())
             } else {
@@ -138,7 +150,10 @@ mod tests {
             vec![vec![Value::Int(1), Value::Int(2)]],
         );
         assert_eq!(r2.single_value(), None);
-        assert_eq!(QueryResult::status_only("CREATE TABLE").single_value(), None);
+        assert_eq!(
+            QueryResult::status_only("CREATE TABLE").single_value(),
+            None
+        );
     }
 
     #[test]
@@ -173,10 +188,7 @@ mod tests {
     #[test]
     fn display_handles_vectors_and_nulls() {
         let long = Value::DenseVec(DenseVector::from(vec![1.0; 10]));
-        let r = QueryResult::with_rows(
-            vec!["v".into(), "x".into()],
-            vec![vec![long, Value::Null]],
-        );
+        let r = QueryResult::with_rows(vec!["v".into(), "x".into()], vec![vec![long, Value::Null]]);
         let text = r.to_string();
         assert!(text.contains("(10 dims)"));
         assert!(text.contains("NULL"));

@@ -158,7 +158,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             c if c.is_ascii_digit() => {
                 let (kind, consumed) = lex_number(&bytes[i..], start_offset)?;
-                tokens.push(Token { kind, offset: start_offset });
+                tokens.push(Token {
+                    kind,
+                    offset: start_offset,
+                });
                 offset += consumed;
                 i += consumed;
             }
@@ -174,13 +177,19 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 } else {
                     TokenKind::Identifier(word)
                 };
-                tokens.push(Token { kind, offset: start_offset });
+                tokens.push(Token {
+                    kind,
+                    offset: start_offset,
+                });
                 offset += end - i;
                 i = end;
             }
             _ => {
                 let (kind, consumed) = lex_symbol(&bytes[i..], start_offset)?;
-                tokens.push(Token { kind, offset: start_offset });
+                tokens.push(Token {
+                    kind,
+                    offset: start_offset,
+                });
                 offset += consumed;
                 i += consumed;
             }
@@ -206,7 +215,10 @@ fn lex_string(rest: &[char], offset: usize) -> Result<(String, usize)> {
         literal.push(rest[i]);
         i += 1;
     }
-    Err(SqlError::Lex { position: offset, message: "unterminated string literal".into() })
+    Err(SqlError::Lex {
+        position: offset,
+        message: "unterminated string literal".into(),
+    })
 }
 
 fn lex_number(rest: &[char], offset: usize) -> Result<(TokenKind, usize)> {
@@ -239,11 +251,17 @@ fn lex_number(rest: &[char], offset: usize) -> Result<(TokenKind, usize)> {
     if is_float {
         text.parse::<f64>()
             .map(|v| (TokenKind::Float(v), i))
-            .map_err(|e| SqlError::Lex { position: offset, message: format!("bad float: {e}") })
+            .map_err(|e| SqlError::Lex {
+                position: offset,
+                message: format!("bad float: {e}"),
+            })
     } else {
         text.parse::<i64>()
             .map(|v| (TokenKind::Integer(v), i))
-            .map_err(|e| SqlError::Lex { position: offset, message: format!("bad integer: {e}") })
+            .map_err(|e| SqlError::Lex {
+                position: offset,
+                message: format!("bad integer: {e}"),
+            })
     }
 }
 

@@ -45,17 +45,23 @@ impl Database {
 
     /// Look up a table by name.
     pub fn table(&self, name: &str) -> Result<&Table, StorageError> {
-        self.tables.get(name).ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
     }
 
     /// Mutable lookup by name.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StorageError> {
-        self.tables.get_mut(name).ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
     }
 
     /// Remove a table; returns it if present.
     pub fn drop_table(&mut self, name: &str) -> Result<Table, StorageError> {
-        self.tables.remove(name).ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+        self.tables
+            .remove(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
     }
 
     /// Whether a table exists.
@@ -104,14 +110,20 @@ mod tests {
     fn create_duplicate_fails() {
         let mut db = Database::new();
         db.create_table("t", schema()).unwrap();
-        assert!(matches!(db.create_table("t", schema()), Err(StorageError::TableExists(_))));
+        assert!(matches!(
+            db.create_table("t", schema()),
+            Err(StorageError::TableExists(_))
+        ));
     }
 
     #[test]
     fn register_replaces() {
         let mut db = Database::new();
         db.create_table("t", schema()).unwrap();
-        db.table_mut("t").unwrap().insert(vec![Value::Int(1)]).unwrap();
+        db.table_mut("t")
+            .unwrap()
+            .insert(vec![Value::Int(1)])
+            .unwrap();
         let replacement = Table::new("t", schema());
         db.register_table(replacement);
         assert_eq!(db.table("t").unwrap().len(), 0);

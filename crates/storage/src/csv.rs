@@ -93,11 +93,7 @@ fn render_field(value: &Value) -> String {
 }
 
 /// Parse delimited text into a new table with the given name and schema.
-pub fn table_from_str(
-    name: &str,
-    schema: Schema,
-    text: &str,
-) -> Result<Table, StorageError> {
+pub fn table_from_str(name: &str, schema: Schema, text: &str) -> Result<Table, StorageError> {
     let mut table = Table::new(name, schema);
     for (line_no, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -155,7 +151,10 @@ mod tests {
         let t = table_from_str("t", schema(), text).unwrap();
         assert_eq!(t.len(), 2);
         assert_eq!(t.get(0).unwrap().get_int(0), Some(1));
-        assert_eq!(t.get(0).unwrap().get_feature_vector(1).unwrap().dimension(), 2);
+        assert_eq!(
+            t.get(0).unwrap().get_feature_vector(1).unwrap().dimension(),
+            2
+        );
         assert_eq!(t.get(0).unwrap().get_feature_vector(2).unwrap().nnz(), 2);
         assert!(t.get(1).unwrap().get(3).unwrap().is_null());
         assert_eq!(t.get(1).unwrap().get_text(4), Some("bob"));
@@ -164,7 +163,11 @@ mod tests {
         let t2 = table_from_str("t2", schema(), &rendered).unwrap();
         assert_eq!(t2.len(), 2);
         assert_eq!(
-            t2.get(0).unwrap().get_feature_vector(2).unwrap().dot(&[1.0, 0.0, 0.0, 1.0]),
+            t2.get(0)
+                .unwrap()
+                .get_feature_vector(2)
+                .unwrap()
+                .dot(&[1.0, 0.0, 0.0, 1.0]),
             1.5 + 2.0
         );
     }

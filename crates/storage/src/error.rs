@@ -54,7 +54,11 @@ impl std::fmt::Display for StorageError {
             StorageError::ArityMismatch { expected, actual } => {
                 write!(f, "expected {expected} values, got {actual}")
             }
-            StorageError::TypeMismatch { column, expected, actual } => {
+            StorageError::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => {
                 write!(f, "column '{column}' expects {expected}, got {actual}")
             }
             StorageError::NullViolation(column) => {
@@ -85,8 +89,12 @@ mod tests {
         assert!(msg.contains("label"));
         assert!(msg.contains("DOUBLE"));
         assert!(msg.contains("TEXT"));
-        assert!(StorageError::UnknownTable("t".into()).to_string().contains("t"));
-        assert!(StorageError::RowOutOfRange { row: 5, len: 2 }.to_string().contains('5'));
+        assert!(StorageError::UnknownTable("t".into())
+            .to_string()
+            .contains("t"));
+        assert!(StorageError::RowOutOfRange { row: 5, len: 2 }
+            .to_string()
+            .contains('5'));
     }
 
     #[test]

@@ -32,16 +32,16 @@ pub mod table;
 pub mod tuple;
 pub mod value;
 
-pub use catalog::Database;
-pub use error::StorageError;
-pub use null_agg::NullAggregate;
-pub use reservoir::ReservoirSampler;
-pub use scan::{segment_ranges, ScanOrder};
-pub use schema::{Column, DataType, Schema};
-pub use shared::SharedModel;
-pub use table::Table;
-pub use tuple::Tuple;
-pub use value::Value;
+pub use crate::catalog::Database;
+pub use crate::error::StorageError;
+pub use crate::null_agg::NullAggregate;
+pub use crate::reservoir::ReservoirSampler;
+pub use crate::scan::{segment_ranges, ScanOrder};
+pub use crate::schema::{Column, DataType, Schema};
+pub use crate::shared::SharedModel;
+pub use crate::table::Table;
+pub use crate::tuple::Tuple;
+pub use crate::value::Value;
 
 /// Convenience result alias for storage operations.
 pub type Result<T> = std::result::Result<T, StorageError>;

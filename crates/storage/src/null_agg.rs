@@ -93,7 +93,8 @@ mod tests {
         .unwrap();
         let mut t = Table::new("t", schema);
         for i in 0..n {
-            t.insert(vec![Value::Int(i as i64), Value::Double(1.0)]).unwrap();
+            t.insert(vec![Value::Int(i as i64), Value::Double(1.0)])
+                .unwrap();
         }
         t
     }

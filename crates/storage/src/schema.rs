@@ -48,12 +48,20 @@ pub struct Column {
 impl Column {
     /// A non-nullable column.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Column { name: name.into(), dtype, nullable: false }
+        Column {
+            name: name.into(),
+            dtype,
+            nullable: false,
+        }
     }
 
     /// A nullable column.
     pub fn nullable(name: impl Into<String>, dtype: DataType) -> Self {
-        Column { name: name.into(), dtype, nullable: true }
+        Column {
+            name: name.into(),
+            dtype,
+            nullable: true,
+        }
     }
 }
 
@@ -114,8 +122,8 @@ impl Schema {
                     }
                 }
                 Some(dt) => {
-                    let compatible = dt == col.dtype
-                        || (col.dtype == DataType::Double && dt == DataType::Int);
+                    let compatible =
+                        dt == col.dtype || (col.dtype == DataType::Double && dt == DataType::Int);
                     if !compatible {
                         return Err(StorageError::TypeMismatch {
                             column: col.name.clone(),
@@ -184,7 +192,10 @@ mod tests {
             Err(StorageError::ArityMismatch { .. })
         ));
         let bad_type = vec![Value::from("x"), Value::from(vec![1.0]), Value::Null];
-        assert!(matches!(s.validate(&bad_type), Err(StorageError::TypeMismatch { .. })));
+        assert!(matches!(
+            s.validate(&bad_type),
+            Err(StorageError::TypeMismatch { .. })
+        ));
         let null_violation = vec![Value::Null, Value::from(vec![1.0]), Value::Null];
         assert!(matches!(
             s.validate(&null_violation),

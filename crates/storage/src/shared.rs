@@ -26,7 +26,9 @@ impl SharedModel {
     /// Create a shared model initialized from `values`.
     pub fn from_slice(values: &[f64]) -> Self {
         let cells = values.iter().map(|v| AtomicU64::new(v.to_bits())).collect();
-        SharedModel { cells: Arc::new(cells) }
+        SharedModel {
+            cells: Arc::new(cells),
+        }
     }
 
     /// Create a zero-initialized shared model of length `n`.

@@ -23,7 +23,9 @@ struct Page {
 
 impl Page {
     fn with_capacity() -> Self {
-        Page { tuples: Vec::with_capacity(PAGE_CAPACITY) }
+        Page {
+            tuples: Vec::with_capacity(PAGE_CAPACITY),
+        }
     }
 
     fn is_full(&self) -> bool {
@@ -43,7 +45,12 @@ pub struct Table {
 impl Table {
     /// Create an empty table.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
-        Table { name: name.into(), schema, pages: Vec::new(), row_count: 0 }
+        Table {
+            name: name.into(),
+            schema,
+            pages: Vec::new(),
+            row_count: 0,
+        }
     }
 
     /// Table name.
@@ -75,7 +82,7 @@ impl Table {
     /// order).
     pub fn insert(&mut self, values: Vec<Value>) -> Result<usize, StorageError> {
         self.schema.validate(&values)?;
-        if self.pages.last().map_or(true, Page::is_full) {
+        if self.pages.last().is_none_or(Page::is_full) {
             self.pages.push(Page::with_capacity());
         }
         self.pages
@@ -104,7 +111,10 @@ impl Table {
     /// Fetch the tuple at `row` (storage order).
     pub fn get(&self, row: usize) -> Result<&Tuple, StorageError> {
         if row >= self.row_count {
-            return Err(StorageError::RowOutOfRange { row, len: self.row_count });
+            return Err(StorageError::RowOutOfRange {
+                row,
+                len: self.row_count,
+            });
         }
         let page = row / PAGE_CAPACITY;
         let slot = row % PAGE_CAPACITY;
@@ -176,7 +186,9 @@ mod tests {
     fn insert_validates_schema() {
         let mut t = table();
         assert!(t.insert(vec![Value::Int(0)]).is_err());
-        assert!(t.insert(vec![Value::from("x"), Value::Double(0.0)]).is_err());
+        assert!(t
+            .insert(vec![Value::from("x"), Value::Double(0.0)])
+            .is_err());
         assert!(t.is_empty());
     }
 
@@ -185,7 +197,8 @@ mod tests {
         let mut t = table();
         let n = PAGE_CAPACITY * 2 + 10;
         for i in 0..n {
-            t.insert(vec![Value::Int(i as i64), Value::Double(i as f64)]).unwrap();
+            t.insert(vec![Value::Int(i as i64), Value::Double(i as f64)])
+                .unwrap();
         }
         assert_eq!(t.len(), n);
         assert_eq!(t.page_count(), 3);
@@ -193,7 +206,10 @@ mod tests {
         let ids: Vec<i64> = t.scan().map(|tup| tup.get_int(0).unwrap()).collect();
         assert_eq!(ids.len(), n);
         assert!(ids.windows(2).all(|w| w[1] == w[0] + 1));
-        assert_eq!(t.get(PAGE_CAPACITY).unwrap().get_int(0), Some(PAGE_CAPACITY as i64));
+        assert_eq!(
+            t.get(PAGE_CAPACITY).unwrap().get_int(0),
+            Some(PAGE_CAPACITY as i64)
+        );
     }
 
     #[test]
@@ -203,7 +219,10 @@ mod tests {
             t.insert(vec![Value::Int(i), Value::Double(0.0)]).unwrap();
         }
         let order = vec![4, 2, 0, 99];
-        let ids: Vec<i64> = t.scan_permuted(&order).map(|tup| tup.get_int(0).unwrap()).collect();
+        let ids: Vec<i64> = t
+            .scan_permuted(&order)
+            .map(|tup| tup.get_int(0).unwrap())
+            .collect();
         assert_eq!(ids, vec![4, 2, 0]);
     }
 
@@ -213,7 +232,10 @@ mod tests {
         for i in 0..10 {
             t.insert(vec![Value::Int(i), Value::Double(0.0)]).unwrap();
         }
-        let ids: Vec<i64> = t.scan_range(7, 100).map(|tup| tup.get_int(0).unwrap()).collect();
+        let ids: Vec<i64> = t
+            .scan_range(7, 100)
+            .map(|tup| tup.get_int(0).unwrap())
+            .collect();
         assert_eq!(ids, vec![7, 8, 9]);
         assert_eq!(t.scan_range(5, 3).count(), 0);
     }

@@ -42,7 +42,10 @@ impl ConvergenceTest {
     /// The paper's default completion criterion: 0.1% relative tolerance with
     /// a generous epoch cap.
     pub fn paper_default(max_epochs: usize) -> Self {
-        ConvergenceTest::RelativeLossDecrease { tolerance: 1e-3, max_epochs }
+        ConvergenceTest::RelativeLossDecrease {
+            tolerance: 1e-3,
+            max_epochs,
+        }
     }
 
     /// Decide whether to stop after `epoch` (0-based) given the loss history
@@ -51,7 +54,10 @@ impl ConvergenceTest {
     pub fn should_stop(&self, epoch: usize, losses: &[f64], gradient_norm: Option<f64>) -> bool {
         match *self {
             ConvergenceTest::FixedEpochs(n) => epoch + 1 >= n,
-            ConvergenceTest::RelativeLossDecrease { tolerance, max_epochs } => {
+            ConvergenceTest::RelativeLossDecrease {
+                tolerance,
+                max_epochs,
+            } => {
                 if epoch + 1 >= max_epochs {
                     return true;
                 }
@@ -76,7 +82,10 @@ impl ConvergenceTest {
                 }
                 losses.last().is_some_and(|&l| l <= target)
             }
-            ConvergenceTest::GradientNormBelow { tolerance, max_epochs } => {
+            ConvergenceTest::GradientNormBelow {
+                tolerance,
+                max_epochs,
+            } => {
                 if epoch + 1 >= max_epochs {
                     return true;
                 }
@@ -111,7 +120,10 @@ mod tests {
 
     #[test]
     fn relative_drop_stops_on_small_improvement() {
-        let t = ConvergenceTest::RelativeLossDecrease { tolerance: 1e-3, max_epochs: 100 };
+        let t = ConvergenceTest::RelativeLossDecrease {
+            tolerance: 1e-3,
+            max_epochs: 100,
+        };
         assert!(!t.should_stop(0, &[10.0], None));
         // 10 -> 5: big improvement, keep going
         assert!(!t.should_stop(1, &[10.0, 5.0], None));
@@ -123,20 +135,29 @@ mod tests {
 
     #[test]
     fn relative_drop_respects_epoch_cap() {
-        let t = ConvergenceTest::RelativeLossDecrease { tolerance: 1e-9, max_epochs: 2 };
+        let t = ConvergenceTest::RelativeLossDecrease {
+            tolerance: 1e-9,
+            max_epochs: 2,
+        };
         assert!(t.should_stop(1, &[10.0, 1.0], None));
     }
 
     #[test]
     fn relative_drop_ignores_non_finite() {
-        let t = ConvergenceTest::RelativeLossDecrease { tolerance: 1e-3, max_epochs: 10 };
+        let t = ConvergenceTest::RelativeLossDecrease {
+            tolerance: 1e-3,
+            max_epochs: 10,
+        };
         assert!(!t.should_stop(1, &[f64::INFINITY, 5.0], None));
         assert!(!t.should_stop(1, &[f64::NAN, 5.0], None));
     }
 
     #[test]
     fn loss_below_target() {
-        let t = ConvergenceTest::LossBelow { target: 1.0, max_epochs: 50 };
+        let t = ConvergenceTest::LossBelow {
+            target: 1.0,
+            max_epochs: 50,
+        };
         assert!(!t.should_stop(0, &[2.0], None));
         assert!(t.should_stop(1, &[2.0, 0.9], None));
         assert!(t.should_stop(49, &[2.0; 50], None));
@@ -144,7 +165,10 @@ mod tests {
 
     #[test]
     fn gradient_norm_threshold() {
-        let t = ConvergenceTest::GradientNormBelow { tolerance: 1e-2, max_epochs: 10 };
+        let t = ConvergenceTest::GradientNormBelow {
+            tolerance: 1e-2,
+            max_epochs: 10,
+        };
         assert!(!t.should_stop(0, &[1.0], Some(0.5)));
         assert!(t.should_stop(1, &[1.0, 1.0], Some(1e-3)));
         assert!(!t.should_stop(1, &[1.0, 1.0], None));
@@ -154,7 +178,10 @@ mod tests {
     #[test]
     fn paper_default_is_point_one_percent() {
         match ConvergenceTest::paper_default(20) {
-            ConvergenceTest::RelativeLossDecrease { tolerance, max_epochs } => {
+            ConvergenceTest::RelativeLossDecrease {
+                tolerance,
+                max_epochs,
+            } => {
                 assert!((tolerance - 1e-3).abs() < 1e-15);
                 assert_eq!(max_epochs, 20);
             }

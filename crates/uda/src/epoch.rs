@@ -27,7 +27,11 @@ pub struct EpochOutcome {
 impl EpochOutcome {
     /// An outcome with only a loss value.
     pub fn with_loss(loss: f64) -> Self {
-        EpochOutcome { loss, gradient_norm: None, shuffle_duration: Duration::ZERO }
+        EpochOutcome {
+            loss,
+            gradient_norm: None,
+            shuffle_duration: Duration::ZERO,
+        }
     }
 }
 
@@ -78,7 +82,10 @@ impl TrainingHistory {
 
     /// Total wall-clock time across all epochs.
     pub fn total_duration(&self) -> Duration {
-        self.records.last().map(|r| r.cumulative).unwrap_or(Duration::ZERO)
+        self.records
+            .last()
+            .map(|r| r.cumulative)
+            .unwrap_or(Duration::ZERO)
     }
 
     /// Total time spent shuffling across all epochs.
@@ -94,12 +101,18 @@ impl TrainingHistory {
     /// Number of epochs needed to first reach a loss at or below `target`,
     /// if it was ever reached.
     pub fn epochs_to_reach(&self, target: f64) -> Option<usize> {
-        self.records.iter().find(|r| r.loss <= target).map(|r| r.epoch + 1)
+        self.records
+            .iter()
+            .find(|r| r.loss <= target)
+            .map(|r| r.epoch + 1)
     }
 
     /// Cumulative time needed to first reach a loss at or below `target`.
     pub fn time_to_reach(&self, target: f64) -> Option<Duration> {
-        self.records.iter().find(|r| r.loss <= target).map(|r| r.cumulative)
+        self.records
+            .iter()
+            .find(|r| r.loss <= target)
+            .map(|r| r.cumulative)
     }
 
     /// Record one epoch (exposed for trainers that manage their own loop).
@@ -151,7 +164,10 @@ impl EpochRunner {
                 shuffle_duration: outcome.shuffle_duration,
                 cumulative: started.elapsed(),
             });
-            if self.convergence.should_stop(epoch, &losses, outcome.gradient_norm) {
+            if self
+                .convergence
+                .should_stop(epoch, &losses, outcome.gradient_norm)
+            {
                 history.set_converged(epoch + 1 < cap || self.is_satisfied(epoch, &losses));
                 break;
             }
@@ -168,13 +184,20 @@ impl EpochRunner {
                 // Re-evaluate with a cap one larger so the cap clause cannot fire.
                 let relaxed = match self.convergence {
                     ConvergenceTest::RelativeLossDecrease { tolerance, .. } => {
-                        ConvergenceTest::RelativeLossDecrease { tolerance, max_epochs: epoch + 2 }
+                        ConvergenceTest::RelativeLossDecrease {
+                            tolerance,
+                            max_epochs: epoch + 2,
+                        }
                     }
-                    ConvergenceTest::LossBelow { target, .. } => {
-                        ConvergenceTest::LossBelow { target, max_epochs: epoch + 2 }
-                    }
+                    ConvergenceTest::LossBelow { target, .. } => ConvergenceTest::LossBelow {
+                        target,
+                        max_epochs: epoch + 2,
+                    },
                     ConvergenceTest::GradientNormBelow { tolerance, .. } => {
-                        ConvergenceTest::GradientNormBelow { tolerance, max_epochs: epoch + 2 }
+                        ConvergenceTest::GradientNormBelow {
+                            tolerance,
+                            max_epochs: epoch + 2,
+                        }
                     }
                     ConvergenceTest::FixedEpochs(n) => ConvergenceTest::FixedEpochs(n),
                 };
@@ -199,11 +222,17 @@ mod tests {
 
     #[test]
     fn stops_early_on_relative_tolerance() {
-        let runner =
-            EpochRunner::new(ConvergenceTest::RelativeLossDecrease { tolerance: 1e-3, max_epochs: 100 });
+        let runner = EpochRunner::new(ConvergenceTest::RelativeLossDecrease {
+            tolerance: 1e-3,
+            max_epochs: 100,
+        });
         // Loss halves until epoch 3, then freezes.
         let history = runner.run(|epoch| {
-            let loss = if epoch < 3 { 100.0 / (1 << epoch) as f64 } else { 12.5 };
+            let loss = if epoch < 3 {
+                100.0 / (1 << epoch) as f64
+            } else {
+                12.5
+            };
             EpochOutcome::with_loss(loss)
         });
         assert!(history.epochs() < 100);
@@ -213,8 +242,10 @@ mod tests {
 
     #[test]
     fn reports_not_converged_when_cap_hit_without_progress_criterion() {
-        let runner =
-            EpochRunner::new(ConvergenceTest::RelativeLossDecrease { tolerance: 1e-6, max_epochs: 4 });
+        let runner = EpochRunner::new(ConvergenceTest::RelativeLossDecrease {
+            tolerance: 1e-6,
+            max_epochs: 4,
+        });
         // Loss keeps improving by a lot, so the criterion itself never fires.
         let history = runner.run(|epoch| EpochOutcome::with_loss(100.0 / (epoch + 1) as f64));
         assert_eq!(history.epochs(), 4);
@@ -248,7 +279,10 @@ mod tests {
 
     #[test]
     fn loss_below_stops_and_marks_converged() {
-        let runner = EpochRunner::new(ConvergenceTest::LossBelow { target: 3.0, max_epochs: 50 });
+        let runner = EpochRunner::new(ConvergenceTest::LossBelow {
+            target: 3.0,
+            max_epochs: 50,
+        });
         let history = runner.run(|epoch| EpochOutcome::with_loss(10.0 - 2.0 * epoch as f64));
         assert_eq!(history.epochs(), 5);
         assert!(history.converged());

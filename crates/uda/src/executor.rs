@@ -97,7 +97,7 @@ where
 mod tests {
     use super::*;
     use crate::aggregate::{AvgAggregate, CountAggregate};
-    use bismarck_storage::{Column, DataType, Schema, ScanOrder, Table, Value};
+    use bismarck_storage::{Column, DataType, ScanOrder, Schema, Table, Value};
 
     fn table(n: usize) -> Table {
         let schema = Schema::new(vec![
@@ -107,7 +107,8 @@ mod tests {
         .unwrap();
         let mut t = Table::new("t", schema);
         for i in 0..n {
-            t.insert(vec![Value::Int(i as i64), Value::Double(i as f64)]).unwrap();
+            t.insert(vec![Value::Int(i as i64), Value::Double(i as f64)])
+                .unwrap();
         }
         t
     }
@@ -117,7 +118,9 @@ mod tests {
         let t = table(100);
         let agg = AvgAggregate { column: 1 };
         let clustered = run_sequential(&agg, &t, None).unwrap();
-        let order = ScanOrder::ShuffleOnce { seed: 1 }.permutation(t.len(), 0).unwrap();
+        let order = ScanOrder::ShuffleOnce { seed: 1 }
+            .permutation(t.len(), 0)
+            .unwrap();
         let shuffled = run_sequential(&agg, &t, Some(&order)).unwrap();
         assert!((clustered - shuffled).abs() < 1e-9);
         assert!((clustered - 49.5).abs() < 1e-9);

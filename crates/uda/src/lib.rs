@@ -23,8 +23,8 @@ pub mod epoch;
 pub mod executor;
 pub mod loss;
 
-pub use aggregate::Aggregate;
-pub use convergence::ConvergenceTest;
-pub use epoch::{EpochOutcome, EpochRecord, EpochRunner, TrainingHistory};
-pub use executor::{run_segmented, run_segmented_parallel, run_sequential};
-pub use loss::sum_over_table;
+pub use crate::aggregate::Aggregate;
+pub use crate::convergence::ConvergenceTest;
+pub use crate::epoch::{EpochOutcome, EpochRecord, EpochRunner, TrainingHistory};
+pub use crate::executor::{run_segmented, run_segmented_parallel, run_sequential};
+pub use crate::loss::sum_over_table;

@@ -14,9 +14,18 @@ use bismarck_storage::ScanOrder;
 use bismarck_uda::ConvergenceTest;
 
 fn main() {
-    let config = TimeSeriesConfig { horizon: 300, state_dim: 2, noise: 0.4, ..Default::default() };
+    let config = TimeSeriesConfig {
+        horizon: 300,
+        state_dim: 2,
+        noise: 0.4,
+        ..Default::default()
+    };
     let observations = timeseries_table("sensor_stream", config);
-    println!("{} noisy observations of a {}-dimensional signal", observations.len(), 2);
+    println!(
+        "{} noisy observations of a {}-dimensional signal",
+        observations.len(),
+        2
+    );
 
     for &smoothness in &[0.0, 2.0, 20.0] {
         let task = KalmanTask::new(0, 1, config.horizon, config.state_dim, smoothness);

@@ -18,9 +18,19 @@ fn main() {
     let (users, movies, rank) = (400, 300, 8);
     let ratings = ratings_table(
         "ratings",
-        RatingsConfig { rows: users, cols: movies, ratings: 30_000, true_rank: 5, noise: 0.1, seed: 3 },
+        RatingsConfig {
+            rows: users,
+            cols: movies,
+            ratings: 30_000,
+            true_rank: 5,
+            noise: 0.1,
+            seed: 3,
+        },
     );
-    println!("{} observed ratings over a {users} x {movies} matrix, rank {rank} factors", ratings.len());
+    println!(
+        "{} observed ratings over a {users} x {movies} matrix, rank {rank} factors",
+        ratings.len()
+    );
 
     // Bismarck: IGD over (user, movie, rating) tuples.
     let task = LmfTask::new(0, 1, 2, users, movies, rank).with_regularization(0.01);
@@ -41,7 +51,13 @@ fn main() {
 
     // Baseline: alternating least squares.
     let start = Instant::now();
-    let als = als_train(&ratings, AlsConfig { sweeps: 10, ..AlsConfig::new(users, movies, rank) });
+    let als = als_train(
+        &ratings,
+        AlsConfig {
+            sweeps: 10,
+            ..AlsConfig::new(users, movies, rank)
+        },
+    );
     let als_time = start.elapsed();
     let als_rmse = (als.losses.last().copied().unwrap_or(f64::NAN) / ratings.len() as f64).sqrt();
     println!(
@@ -53,6 +69,9 @@ fn main() {
     // Show a few predictions from the IGD factors.
     println!("\nsample predictions (user, movie) -> predicted rating:");
     for (u, m) in [(0usize, 0usize), (5, 10), (100, 50), (250, 200)] {
-        println!("  ({u:3}, {m:3}) -> {:+.2}", task.predict(&trained.model, u, m));
+        println!(
+            "  ({u:3}, {m:3}) -> {:+.2}",
+            task.predict(&trained.model, u, m)
+        );
     }
 }

@@ -39,7 +39,10 @@ fn main() {
         .with_step_size(StepSizeSchedule::Constant(0.2))
         .with_convergence(ConvergenceTest::FixedEpochs(epochs));
 
-    println!("training L1-regularized LR on {} sparse papers (dim {dim})", table.len());
+    println!(
+        "training L1-regularized LR on {} sparse papers (dim {dim})",
+        table.len()
+    );
     for (label, order) in [
         ("Clustered   ", ScanOrder::Clustered),
         ("ShuffleOnce ", ScanOrder::ShuffleOnce { seed: 9 }),

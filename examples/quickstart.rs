@@ -18,7 +18,11 @@ fn main() {
     let mut db = Database::new();
     let table = dense_classification(
         "LabeledPapers",
-        DenseClassificationConfig { examples: 5_000, dimension: 54, ..Default::default() },
+        DenseClassificationConfig {
+            examples: 5_000,
+            dimension: 54,
+            ..Default::default()
+        },
     );
     db.register_table(table);
 
@@ -45,5 +49,8 @@ fn main() {
         .collect();
     let accuracy = classification_accuracy(&predictions, &labels);
     println!("training accuracy: {:.1}%", accuracy * 100.0);
-    println!("model persisted as table 'myModel' ({} rows)", db.table("myModel").unwrap().len());
+    println!(
+        "model persisted as table 'myModel' ({} rows)",
+        db.table("myModel").unwrap().len()
+    );
 }

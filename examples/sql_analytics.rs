@@ -16,7 +16,11 @@ fn main() {
     //    vector literals works too, shown here on a small scratch table.
     session.register_table(dense_classification(
         "LabeledPapers",
-        DenseClassificationConfig { examples: 2_000, dimension: 8, ..Default::default() },
+        DenseClassificationConfig {
+            examples: 2_000,
+            dimension: 8,
+            ..Default::default()
+        },
     ));
     session
         .execute_script(
@@ -71,7 +75,11 @@ fn main() {
         .scan()
         .map(|t| t.get_double(2).unwrap_or(0.0))
         .collect();
-    let agree = predicted.iter().zip(&labels).filter(|(p, y)| (*p - *y).abs() < 0.5).count();
+    let agree = predicted
+        .iter()
+        .zip(&labels)
+        .filter(|(p, y)| (*p - *y).abs() < 0.5)
+        .count();
     println!(
         "training accuracy via SVMPredict: {:.1}% ({agree}/{} rows)\n",
         100.0 * agree as f64 / labels.len() as f64,

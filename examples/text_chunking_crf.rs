@@ -28,7 +28,10 @@ fn main() {
             ..Default::default()
         },
     );
-    println!("{} sentences, {num_features} observation features, {num_labels} chunk labels", sentences.len());
+    println!(
+        "{} sentences, {num_features} observation features, {num_labels} chunk labels",
+        sentences.len()
+    );
 
     let task = CrfTask::new(0, num_features, num_labels).with_l2(1e-4);
     let config = TrainerConfig::default()
@@ -38,7 +41,10 @@ fn main() {
     let trainer = ParallelTrainer::new(
         &task,
         config,
-        ParallelStrategy::SharedMemory { workers: 2, discipline: UpdateDiscipline::NoLock },
+        ParallelStrategy::SharedMemory {
+            workers: 2,
+            discipline: UpdateDiscipline::NoLock,
+        },
     );
     let (trained, _) = trainer.train(&sentences);
     println!(
@@ -56,7 +62,10 @@ fn main() {
         predicted.push(task.viterbi(&trained.model, &features));
         gold.push(seq.iter().map(|&(_, y)| y as usize).collect());
     }
-    println!("token-level accuracy: {:.1}%", sequence_accuracy(&predicted, &gold) * 100.0);
+    println!(
+        "token-level accuracy: {:.1}%",
+        sequence_accuracy(&predicted, &gold) * 100.0
+    );
 
     // Decode one sentence for illustration.
     if let Ok(row) = sentences.get(0) {

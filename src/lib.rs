@@ -1,0 +1,14 @@
+//! Umbrella crate for the Bismarck reproduction.
+//!
+//! Re-exports every workspace crate under one roof so downstream users
+//! (and this package's own `tests/` and `examples/`) can depend on a
+//! single `bismarck` crate. See the workspace `README.md` for the crate
+//! map and the role each member plays in the paper's architecture.
+
+pub use bismarck_baselines as baselines;
+pub use bismarck_core as core;
+pub use bismarck_datagen as datagen;
+pub use bismarck_linalg as linalg;
+pub use bismarck_sql as sql;
+pub use bismarck_storage as storage;
+pub use bismarck_uda as uda;

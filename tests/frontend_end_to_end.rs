@@ -8,7 +8,10 @@ use bismarck_core::frontend::{
 };
 use bismarck_core::metrics::{classification_accuracy, rmse};
 use bismarck_core::{StepSizeSchedule, TrainerConfig};
-use bismarck_datagen::{dense_classification, sparse_classification, DenseClassificationConfig, SparseClassificationConfig};
+use bismarck_datagen::{
+    dense_classification, sparse_classification, DenseClassificationConfig,
+    SparseClassificationConfig,
+};
 use bismarck_storage::{Database, ScanOrder};
 use bismarck_uda::ConvergenceTest;
 
@@ -23,7 +26,12 @@ fn dense_db(n: usize) -> Database {
     let mut db = Database::new();
     db.register_table(dense_classification(
         "train",
-        DenseClassificationConfig { examples: n, dimension: 12, separation: 2.0, ..Default::default() },
+        DenseClassificationConfig {
+            examples: n,
+            dimension: 12,
+            separation: 2.0,
+            ..Default::default()
+        },
     ));
     db
 }
@@ -37,8 +45,12 @@ fn svm_round_trip_reaches_high_accuracy() {
     assert_eq!(db.table("svm_model").unwrap().len(), 12);
 
     let preds = svm_predict(&db, "svm_model", "train", "vec").unwrap();
-    let labels: Vec<f64> =
-        db.table("train").unwrap().scan().map(|t| t.get_double(2).unwrap()).collect();
+    let labels: Vec<f64> = db
+        .table("train")
+        .unwrap()
+        .scan()
+        .map(|t| t.get_double(2).unwrap())
+        .collect();
     assert!(classification_accuracy(&preds, &labels) > 0.9);
 }
 
@@ -47,20 +59,34 @@ fn logistic_round_trip_on_sparse_data() {
     let mut db = Database::new();
     db.register_table(sparse_classification(
         "papers",
-        SparseClassificationConfig { examples: 1_200, vocabulary: 4_000, ..Default::default() },
+        SparseClassificationConfig {
+            examples: 1_200,
+            vocabulary: 4_000,
+            ..Default::default()
+        },
     ));
     let summary =
         logistic_regression_train(&mut db, "lr_model", "papers", "vec", "label", fast_config())
             .unwrap();
     assert!(summary.final_loss.is_finite());
-    assert_eq!(summary.dimension, infer_dimension(db.table("papers").unwrap(), 1));
+    assert_eq!(
+        summary.dimension,
+        infer_dimension(db.table("papers").unwrap(), 1)
+    );
 
     let probs = logistic_predict(&db, "lr_model", "papers", "vec").unwrap();
     assert_eq!(probs.len(), 1_200);
     assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
-    let labels: Vec<f64> =
-        db.table("papers").unwrap().scan().map(|t| t.get_double(2).unwrap()).collect();
-    let hard: Vec<f64> = probs.iter().map(|&p| if p > 0.5 { 1.0 } else { -1.0 }).collect();
+    let labels: Vec<f64> = db
+        .table("papers")
+        .unwrap()
+        .scan()
+        .map(|t| t.get_double(2).unwrap())
+        .collect();
+    let hard: Vec<f64> = probs
+        .iter()
+        .map(|&p| if p > 0.5 { 1.0 } else { -1.0 })
+        .collect();
     assert!(classification_accuracy(&hard, &labels) > 0.85);
 }
 
@@ -94,5 +120,8 @@ fn training_on_same_data_twice_is_deterministic() {
     let mut db2 = dense_db(400);
     svm_train(&mut db1, "m", "train", "vec", "label", fast_config()).unwrap();
     svm_train(&mut db2, "m", "train", "vec", "label", fast_config()).unwrap();
-    assert_eq!(load_model(&db1, "m").unwrap(), load_model(&db2, "m").unwrap());
+    assert_eq!(
+        load_model(&db1, "m").unwrap(),
+        load_model(&db2, "m").unwrap()
+    );
 }

@@ -16,7 +16,8 @@ fn table_from_rows(rows: &[(Vec<f64>, f64)]) -> Table {
     .unwrap();
     let mut t = Table::new("prop", schema);
     for (x, y) in rows {
-        t.insert(vec![Value::from(x.clone()), Value::Double(*y)]).unwrap();
+        t.insert(vec![Value::from(x.clone()), Value::Double(*y)])
+            .unwrap();
     }
     t
 }

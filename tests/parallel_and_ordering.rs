@@ -72,9 +72,18 @@ fn all_parallel_schemes_agree_with_sequential_on_final_quality() {
 
     for strategy in [
         ParallelStrategy::PureUda { segments: 4 },
-        ParallelStrategy::SharedMemory { workers: 4, discipline: UpdateDiscipline::Lock },
-        ParallelStrategy::SharedMemory { workers: 4, discipline: UpdateDiscipline::Aig },
-        ParallelStrategy::SharedMemory { workers: 4, discipline: UpdateDiscipline::NoLock },
+        ParallelStrategy::SharedMemory {
+            workers: 4,
+            discipline: UpdateDiscipline::Lock,
+        },
+        ParallelStrategy::SharedMemory {
+            workers: 4,
+            discipline: UpdateDiscipline::Aig,
+        },
+        ParallelStrategy::SharedMemory {
+            workers: 4,
+            discipline: UpdateDiscipline::NoLock,
+        },
     ] {
         let (trained, stats) = ParallelTrainer::new(&task, cfg, strategy).train(&table);
         let loss = trained.final_loss().unwrap();
@@ -149,7 +158,10 @@ fn pure_uda_convergence_is_no_better_than_nolock_shared_memory() {
     let (nolock, _) = ParallelTrainer::new(
         &task,
         cfg,
-        ParallelStrategy::SharedMemory { workers: 8, discipline: UpdateDiscipline::NoLock },
+        ParallelStrategy::SharedMemory {
+            workers: 8,
+            discipline: UpdateDiscipline::NoLock,
+        },
     )
     .train(&table);
     assert!(

@@ -10,7 +10,7 @@ use bismarck_datagen::{
     dense_classification, labeled_sequences, ratings_table, sparse_classification,
     DenseClassificationConfig, RatingsConfig, SequenceConfig, SparseClassificationConfig,
 };
-use bismarck_sql::{SqlSession, SqlError};
+use bismarck_sql::{SqlError, SqlSession};
 use bismarck_storage::Value;
 use bismarck_uda::ConvergenceTest;
 
@@ -25,7 +25,11 @@ fn svm_on_generated_dense_data_reaches_high_accuracy_via_sql() {
     let mut session = SqlSession::with_seed(1).with_trainer_config(fast_config());
     session.register_table(dense_classification(
         "forest",
-        DenseClassificationConfig { examples: 2_000, dimension: 20, ..Default::default() },
+        DenseClassificationConfig {
+            examples: 2_000,
+            dimension: 20,
+            ..Default::default()
+        },
     ));
 
     let summary = session
@@ -33,7 +37,10 @@ fn svm_on_generated_dense_data_reaches_high_accuracy_via_sql() {
         .expect("training");
     assert_eq!(summary.len(), 1);
     let converged_idx = summary.column_index("converged").unwrap();
-    assert!(matches!(summary.rows[0][converged_idx], Value::Int(0) | Value::Int(1)));
+    assert!(matches!(
+        summary.rows[0][converged_idx],
+        Value::Int(0) | Value::Int(1)
+    ));
 
     // The persisted model is queryable and has one row per dimension.
     let n = session.execute("SELECT COUNT(*) FROM svm_model").unwrap();
@@ -64,7 +71,11 @@ fn logistic_regression_on_sparse_data_via_sql() {
     let mut session = SqlSession::with_seed(2).with_trainer_config(fast_config());
     session.register_table(sparse_classification(
         "dblife",
-        SparseClassificationConfig { examples: 800, vocabulary: 2_000, ..Default::default() },
+        SparseClassificationConfig {
+            examples: 800,
+            vocabulary: 2_000,
+            ..Default::default()
+        },
     ));
     let summary = session
         .execute("SELECT LogisticRegressionTrain('lr_model', 'dblife', 'vec', 'label', 0.2, 10)")
@@ -86,11 +97,15 @@ fn logistic_regression_on_sparse_data_via_sql() {
 
 #[test]
 fn lmf_training_via_sql_persists_stacked_factors() {
-    let mut session = SqlSession::with_seed(3).with_trainer_config(
-        fast_config().with_step_size(StepSizeSchedule::Constant(0.05)),
-    );
-    let config =
-        RatingsConfig { rows: 30, cols: 20, ratings: 600, true_rank: 3, ..Default::default() };
+    let mut session = SqlSession::with_seed(3)
+        .with_trainer_config(fast_config().with_step_size(StepSizeSchedule::Constant(0.05)));
+    let config = RatingsConfig {
+        rows: 30,
+        cols: 20,
+        ratings: 600,
+        true_rank: 3,
+        ..Default::default()
+    };
     session.register_table(ratings_table("movielens", config));
 
     let summary = session
@@ -104,12 +119,14 @@ fn lmf_training_via_sql_persists_stacked_factors() {
 
 #[test]
 fn crf_training_and_viterbi_prediction_via_sql() {
-    let mut session = SqlSession::with_seed(4).with_trainer_config(
-        fast_config().with_step_size(StepSizeSchedule::Constant(0.3)),
-    );
+    let mut session = SqlSession::with_seed(4)
+        .with_trainer_config(fast_config().with_step_size(StepSizeSchedule::Constant(0.3)));
     session.register_table(labeled_sequences(
         "conll",
-        SequenceConfig { sentences: 60, ..Default::default() },
+        SequenceConfig {
+            sentences: 60,
+            ..Default::default()
+        },
     ));
     let summary = session
         .execute("SELECT CRFTrain('crf_model', 'conll', 'sentence')")
@@ -133,7 +150,11 @@ fn relational_queries_over_generated_tables() {
     let mut session = SqlSession::with_seed(5);
     session.register_table(dense_classification(
         "forest",
-        DenseClassificationConfig { examples: 500, dimension: 10, ..Default::default() },
+        DenseClassificationConfig {
+            examples: 500,
+            dimension: 10,
+            ..Default::default()
+        },
     ));
 
     // Class balance through GROUP BY.
@@ -172,15 +193,26 @@ fn relational_queries_over_generated_tables() {
 #[test]
 fn errors_from_each_layer_are_distinguishable() {
     let mut session = SqlSession::new();
-    assert!(matches!(session.execute("SELEC 1").unwrap_err(), SqlError::Parse { .. }));
-    assert!(matches!(session.execute("SELECT 'oops").unwrap_err(), SqlError::Lex { .. }));
+    assert!(matches!(
+        session.execute("SELEC 1").unwrap_err(),
+        SqlError::Parse { .. }
+    ));
+    assert!(matches!(
+        session.execute("SELECT 'oops").unwrap_err(),
+        SqlError::Lex { .. }
+    ));
     assert!(matches!(
         session.execute("SELECT * FROM nowhere").unwrap_err(),
         SqlError::Storage(_)
     ));
     assert!(matches!(
-        session.execute("SELECT SVMTrain('m', 'nowhere', 'vec', 'label')").unwrap_err(),
+        session
+            .execute("SELECT SVMTrain('m', 'nowhere', 'vec', 'label')")
+            .unwrap_err(),
         SqlError::Analytics(_)
     ));
-    assert!(matches!(session.execute("SELECT 1/0").unwrap_err(), SqlError::Evaluation(_)));
+    assert!(matches!(
+        session.execute("SELECT 1/0").unwrap_err(),
+        SqlError::Evaluation(_)
+    ));
 }

@@ -39,73 +39,147 @@ fn assert_improves<T: IgdTask>(task: &T, table: &Table, cfg: TrainerConfig, fact
 fn logistic_regression_on_dense_data() {
     let table = dense_classification(
         "forest",
-        DenseClassificationConfig { examples: 1_000, dimension: 20, ..Default::default() },
+        DenseClassificationConfig {
+            examples: 1_000,
+            dimension: 20,
+            ..Default::default()
+        },
     );
     let task = LogisticRegressionTask::new(1, 2, 20);
-    assert_improves(&task, &table, config(10, StepSizeSchedule::Constant(0.3)), 0.6);
+    assert_improves(
+        &task,
+        &table,
+        config(10, StepSizeSchedule::Constant(0.3)),
+        0.6,
+    );
 }
 
 #[test]
 fn svm_on_sparse_data() {
     let table = sparse_classification(
         "dblife",
-        SparseClassificationConfig { examples: 800, vocabulary: 3_000, ..Default::default() },
+        SparseClassificationConfig {
+            examples: 800,
+            vocabulary: 3_000,
+            ..Default::default()
+        },
     );
     let dim = bismarck_core::frontend::infer_dimension(&table, 1);
     let task = SvmTask::new(1, 2, dim);
-    assert_improves(&task, &table, config(10, StepSizeSchedule::Constant(0.2)), 0.6);
+    assert_improves(
+        &task,
+        &table,
+        config(10, StepSizeSchedule::Constant(0.2)),
+        0.6,
+    );
 }
 
 #[test]
 fn least_squares_regression() {
     let table = dense_classification(
         "reg",
-        DenseClassificationConfig { examples: 500, dimension: 10, separation: 2.0, ..Default::default() },
+        DenseClassificationConfig {
+            examples: 500,
+            dimension: 10,
+            separation: 2.0,
+            ..Default::default()
+        },
     );
     // Treat the ±1 label as a regression target.
     let task = LeastSquaresTask::new(1, 2, 10);
-    assert_improves(&task, &table, config(15, StepSizeSchedule::Constant(0.05)), 0.7);
+    assert_improves(
+        &task,
+        &table,
+        config(15, StepSizeSchedule::Constant(0.05)),
+        0.7,
+    );
 }
 
 #[test]
 fn low_rank_matrix_factorization() {
     let table = ratings_table(
         "ml",
-        RatingsConfig { rows: 80, cols: 60, ratings: 4_000, true_rank: 4, noise: 0.05, seed: 2 },
+        RatingsConfig {
+            rows: 80,
+            cols: 60,
+            ratings: 4_000,
+            true_rank: 4,
+            noise: 0.05,
+            seed: 2,
+        },
     );
     let task = LmfTask::new(0, 1, 2, 80, 60, 6).with_regularization(0.001);
-    assert_improves(&task, &table, config(25, StepSizeSchedule::Constant(0.03)), 0.3);
+    assert_improves(
+        &task,
+        &table,
+        config(25, StepSizeSchedule::Constant(0.03)),
+        0.3,
+    );
 }
 
 #[test]
 fn conditional_random_field_labeling() {
     let table = labeled_sequences(
         "conll",
-        SequenceConfig { sentences: 120, num_features: 400, num_labels: 4, seed: 5, ..Default::default() },
+        SequenceConfig {
+            sentences: 120,
+            num_features: 400,
+            num_labels: 4,
+            seed: 5,
+            ..Default::default()
+        },
     );
     let task = CrfTask::new(0, 400, 4);
-    assert_improves(&task, &table, config(8, StepSizeSchedule::Constant(0.15)), 0.7);
+    assert_improves(
+        &task,
+        &table,
+        config(8, StepSizeSchedule::Constant(0.15)),
+        0.7,
+    );
 }
 
 #[test]
 fn kalman_smoothing_of_time_series() {
     let table = timeseries_table(
         "ts",
-        TimeSeriesConfig { horizon: 100, state_dim: 2, amplitude: 1.5, noise: 0.2, seed: 6 },
+        TimeSeriesConfig {
+            horizon: 100,
+            state_dim: 2,
+            amplitude: 1.5,
+            noise: 0.2,
+            seed: 6,
+        },
     );
     let task = KalmanTask::new(0, 1, 100, 2, 1.0);
-    assert_improves(&task, &table, config(40, StepSizeSchedule::Constant(0.05)), 0.3);
+    assert_improves(
+        &task,
+        &table,
+        config(40, StepSizeSchedule::Constant(0.05)),
+        0.3,
+    );
 }
 
 #[test]
 fn portfolio_optimization_respects_simplex() {
     let rc = ReturnsConfig::default();
     let table = returns_table("returns", &rc);
-    let task = PortfolioTask::new(0, rc.mean_returns.clone(), rc.mean_returns.clone(), 5.0, table.len());
-    let trainer = Trainer::new(&task, config(20, StepSizeSchedule::Diminishing { initial: 0.5 }));
+    let task = PortfolioTask::new(
+        0,
+        rc.mean_returns.clone(),
+        rc.mean_returns.clone(),
+        5.0,
+        table.len(),
+    );
+    let trainer = Trainer::new(
+        &task,
+        config(20, StepSizeSchedule::Diminishing { initial: 0.5 }),
+    );
     let trained = trainer.train(&table);
     let sum: f64 = trained.model.iter().sum();
-    assert!((sum - 1.0).abs() < 1e-6, "allocation must stay on the simplex, sum {sum}");
+    assert!(
+        (sum - 1.0).abs() < 1e-6,
+        "allocation must stay on the simplex, sum {sum}"
+    );
     assert!(trained.model.iter().all(|&w| w >= -1e-9));
     // The optimizer should also have improved on the uniform allocation.
     let uniform_obj = trainer.objective(&task.initial_model(), &table);
@@ -119,7 +193,11 @@ fn developer_effort_is_small_across_tasks() {
     // task-specific code beyond construction.
     let table = dense_classification(
         "forest",
-        DenseClassificationConfig { examples: 300, dimension: 8, ..Default::default() },
+        DenseClassificationConfig {
+            examples: 300,
+            dimension: 8,
+            ..Default::default()
+        },
     );
     let lr = LogisticRegressionTask::new(1, 2, 8);
     let svm = SvmTask::new(1, 2, 8);

@@ -1,0 +1,143 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the slice of the proptest API the workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_recursive`
+//! / `boxed`, range and tuple strategies, `prop::collection::vec`,
+//! `prop::sample::select`, a small regex-subset string strategy, the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_oneof!`
+//! macros and `ProptestConfig::with_cases`.
+//!
+//! Differences from upstream, by design: cases are generated from a
+//! deterministic per-test seed (derived from the test name) so CI runs
+//! are reproducible, and there is **no shrinking** — a failing case
+//! reports its inputs verbatim. That trades minimal counterexamples for
+//! zero dependencies, which is the right trade in this offline build
+//! environment.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Strategy};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// Namespace mirroring `proptest::prop` as used via the prelude
+/// (`prop::collection::vec`, `prop::sample::select`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// The glob-import surface test files rely on.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body; failure aborts the
+/// current case with a message instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                ::core::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests. Accepts the upstream surface used here: an
+/// optional leading `#![proptest_config(..)]`, then `#[test]` functions
+/// whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng =
+                $crate::TestRng::deterministic(::core::stringify!($name));
+            for case in 0..config.cases {
+                let mut __parts: ::std::vec::Vec<::std::string::String> =
+                    ::std::vec::Vec::new();
+                $(
+                    let __generated = $crate::Strategy::generate(&($strategy), &mut rng);
+                    __parts.push(::std::format!(
+                        "{} = {:?}",
+                        ::core::stringify!($arg),
+                        &__generated
+                    ));
+                    let $arg = __generated;
+                )+
+                let case_desc = __parts.join(", ");
+                #[allow(clippy::redundant_closure_call)]
+                let outcome: ::core::result::Result<(), ::std::string::String> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(message) = outcome {
+                    ::core::panic!(
+                        "proptest {} failed at case {}/{}: {}\n  inputs: {}",
+                        ::core::stringify!($name),
+                        case + 1,
+                        config.cases,
+                        message,
+                        case_desc
+                    );
+                }
+            }
+        }
+    )*};
+}

@@ -1,0 +1,122 @@
+//! String strategies from a small regex subset.
+//!
+//! Upstream proptest interprets a `&str` strategy as a full regex. The
+//! workspace's tests only use patterns of the shape `X{lo,hi}` where
+//! `X` is `.` or a character class `[...]`, so that is what this
+//! parser supports; anything else panics with a clear message rather
+//! than silently generating the wrong language.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_pattern(self);
+        let len = rng.int_in(lo as i128, hi as i128) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len())])
+            .collect()
+    }
+}
+
+/// Decompose `X{lo,hi}` into (alphabet, lo, hi).
+fn parse_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let (element, counts) = match pattern.rfind('{') {
+        Some(open) if pattern.ends_with('}') => {
+            (&pattern[..open], &pattern[open + 1..pattern.len() - 1])
+        }
+        _ => unsupported(pattern),
+    };
+    let (lo, hi) = match counts.split_once(',') {
+        Some((lo, hi)) => match (lo.trim().parse(), hi.trim().parse()) {
+            (Ok(lo), Ok(hi)) => (lo, hi),
+            _ => unsupported(pattern),
+        },
+        None => match counts.trim().parse() {
+            Ok(n) => (n, n),
+            Err(_) => unsupported(pattern),
+        },
+    };
+    let alphabet = if element == "." {
+        // Printable ASCII plus a couple of control characters, to poke
+        // at lexer edge cases the way `.` in a real regex would.
+        let mut chars: Vec<char> = (0x20u8..0x7f).map(char::from).collect();
+        chars.push('\n');
+        chars.push('\t');
+        chars
+    } else if element.starts_with('[') && element.ends_with(']') {
+        parse_class(&element[1..element.len() - 1], pattern)
+    } else {
+        unsupported(pattern)
+    };
+    assert!(
+        !alphabet.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    (alphabet, lo, hi)
+}
+
+/// Expand the body of a `[...]` class: literals and `a-z` ranges, with
+/// a trailing `-` treated as a literal (standard regex behaviour).
+fn parse_class(body: &str, pattern: &str) -> Vec<char> {
+    if body.starts_with('^') {
+        unsupported(pattern);
+    }
+    let chars: Vec<char> = body.chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            assert!(lo <= hi, "inverted range {lo}-{hi} in pattern {pattern:?}");
+            for c in lo..=hi {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    alphabet
+}
+
+fn unsupported(pattern: &str) -> ! {
+    panic!(
+        "string pattern {pattern:?} is outside the regex subset supported by the \
+         vendored proptest stand-in (expected `.{{lo,hi}}` or `[class]{{lo,hi}}`)"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_pattern_generates_in_length_bounds() {
+        let mut rng = TestRng::deterministic("dot");
+        for _ in 0..100 {
+            let s = ".{0,12}".generate(&mut rng);
+            assert!(s.chars().count() <= 12);
+        }
+    }
+
+    #[test]
+    fn class_pattern_uses_only_listed_chars() {
+        let mut rng = TestRng::deterministic("class");
+        for _ in 0..100 {
+            let s = "[ a-zA-Z0-9_'(),*;=<>.+-]{0,20}".generate(&mut rng);
+            assert!(s
+                .chars()
+                .all(|c| c == ' ' || c.is_ascii_alphanumeric() || "_'(),*;=<>.+-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn exact_count_pattern() {
+        let mut rng = TestRng::deterministic("exact");
+        assert_eq!("[ab]{5}".generate(&mut rng).len(), 5);
+    }
+}

@@ -1,0 +1,84 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the small slice of the `rand` 0.8 API that the Bismarck
+//! reproduction actually uses: `StdRng` (seedable from a `u64`), the
+//! `Rng` methods `gen`, `gen_range` and `gen_bool`, and `SliceRandom::
+//! shuffle`. The generator is xoshiro256** seeded via SplitMix64 — not
+//! bit-compatible with upstream `StdRng` (ChaCha12), but deterministic
+//! for a given seed, which is all the callers rely on. Swapping this
+//! crate for the real `rand` is a one-line change in the workspace
+//! manifest once a registry is available.
+
+pub mod rngs;
+pub mod seq;
+
+mod uniform;
+
+pub use uniform::SampleRange;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Return a uniform `f64` in `[0, 1)` built from the high 53 bits.
+    fn next_f64(&mut self) -> f64 {
+        // 2^-53, the spacing of doubles in [0.5, 1).
+        const SCALE: f64 = 1.0 / ((1u64 << 53) as f64);
+        (self.next_u64() >> 11) as f64 * SCALE
+    }
+}
+
+/// Seedable generators; only the `seed_from_u64` entry point is provided.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The user-facing sampling interface, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from its standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}

@@ -1,0 +1,75 @@
+//! Uniform sampling from range expressions, mirroring `rand`'s
+//! `SampleRange`. Integer sampling uses multiply-then-shift range
+//! reduction; the modulo bias of the naive approach is avoided by
+//! widening to 128 bits (Lemire's method without the rejection step —
+//! bias is at most 2^-64, far below anything the callers can observe).
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Range expressions [`crate::Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+fn sample_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    (((rng.next_u64() as u128) * (span as u128)) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = sample_u64_below(rng, span);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (((rng.next_u64() as u128).wrapping_mul(span)) >> 64) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = rng.next_f64() as $t;
+                let value = self.start + (self.end - self.start) * unit;
+                // Narrowing to f32 (or extreme f64 spans) can round the
+                // product up onto the excluded upper bound; step one ulp
+                // back to honour the half-open contract.
+                if value < self.end {
+                    value
+                } else {
+                    self.end.next_down().max(self.start)
+                }
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let unit = rng.next_f64() as $t;
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
