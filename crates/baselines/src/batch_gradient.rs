@@ -56,7 +56,7 @@ where
     let mut loss = 0.5 * config.l2 * w.iter().map(|v| v * v).sum::<f64>();
     for tuple in table.scan() {
         let (Some(x), Some(y)) = (
-            tuple.get_feature_vector(config.features_col),
+            tuple.feature_view(config.features_col),
             tuple.get_double(config.label_col),
         ) else {
             continue;
@@ -85,7 +85,7 @@ where
         let mut grad = vec![0.0; d];
         for tuple in table.scan() {
             let (Some(x), Some(y)) = (
-                tuple.get_feature_vector(config.features_col),
+                tuple.feature_view(config.features_col),
                 tuple.get_double(config.label_col),
             ) else {
                 continue;
@@ -179,7 +179,7 @@ mod tests {
         let result = batch_svm_train(&t, config);
         let mut correct = 0;
         for tuple in t.scan() {
-            let x = tuple.get_feature_vector(0).unwrap();
+            let x = tuple.feature_view(0).unwrap();
             let y = tuple.get_double(1).unwrap();
             if x.dot(&result.model) * y > 0.0 {
                 correct += 1;

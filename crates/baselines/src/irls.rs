@@ -57,7 +57,7 @@ fn logistic_loss(table: &Table, config: &IrlsConfig, w: &[f64]) -> f64 {
     let mut loss = 0.0;
     for tuple in table.scan() {
         let (Some(x), Some(y)) = (
-            tuple.get_feature_vector(config.features_col),
+            tuple.feature_view(config.features_col),
             tuple.get_double(config.label_col),
         ) else {
             continue;
@@ -81,7 +81,7 @@ pub fn irls_train(table: &Table, config: IrlsConfig) -> IrlsResult {
         let mut gradient = vec![0.0; d];
         for tuple in table.scan() {
             let (Some(x), Some(y)) = (
-                tuple.get_feature_vector(config.features_col),
+                tuple.feature_view(config.features_col),
                 tuple.get_double(config.label_col),
             ) else {
                 continue;
@@ -92,17 +92,18 @@ pub fn irls_train(table: &Table, config: IrlsConfig) -> IrlsResult {
             let target = if y > 0.0 { 1.0 } else { 0.0 };
             let s = (p * (1.0 - p)).max(1e-9);
             let residual = target - p;
-            let dense = x.to_dense(d);
-            let xs = dense.as_slice();
-            for i in 0..d {
-                if xs[i] == 0.0 {
+            // Accumulate over stored entries only: the outer product of a
+            // sparse row touches nnz² Hessian cells, not d², and no dense
+            // copy of the row is materialized.
+            for (i, xi) in x.iter_entries() {
+                if i >= d || xi == 0.0 {
                     continue;
                 }
-                gradient[i] += residual * xs[i];
+                gradient[i] += residual * xi;
                 let row = i * d;
-                for j in 0..d {
-                    if xs[j] != 0.0 {
-                        hessian[row + j] += s * xs[i] * xs[j];
+                for (j, xj) in x.iter_entries() {
+                    if j < d && xj != 0.0 {
+                        hessian[row + j] += s * xi * xj;
                     }
                 }
             }
@@ -186,7 +187,7 @@ mod tests {
         let result = irls_train(&t, IrlsConfig::new(0, 1, 3));
         let mut correct = 0;
         for tuple in t.scan() {
-            let x = tuple.get_feature_vector(0).unwrap();
+            let x = tuple.feature_view(0).unwrap();
             let y = tuple.get_double(1).unwrap();
             if x.dot(&result.model) * y > 0.0 {
                 correct += 1;

@@ -38,7 +38,7 @@ fn densify(table: &Table, dim: usize) -> Table {
     .unwrap();
     let mut dense = Table::new("dense", schema);
     for row in table.scan() {
-        let fv = row.get_feature_vector(1).unwrap();
+        let fv = row.feature_view(1).unwrap();
         dense
             .insert(vec![
                 Value::Int(row.get_int(0).unwrap()),

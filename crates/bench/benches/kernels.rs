@@ -1,0 +1,208 @@
+//! Per-tuple transition-kernel benchmark for the zero-copy gradient hot path.
+//!
+//! The paper's argument (Section 3.1, Figure 4) is that every IGD task
+//! reduces to three tight kernels run once per tuple per epoch, so the
+//! per-tuple constant factor *is* the system's performance. This bench pins
+//! that constant down on the two feature shapes of Table 1:
+//!
+//! * **dense d=54** — the Forest covertype layout;
+//! * **sparse nnz≈30** over a ~41k vocabulary — the DBLife layout;
+//!
+//! and compares, per shape, the **pre-refactor cloning path** (owned
+//! `FeatureVector` clone per tuple + `Box<dyn Iterator>` entries +
+//! per-coordinate virtual `read`/`update` calls — reimplemented here verbatim
+//! as the baseline) against the **view/kernel path** the tasks now use
+//! (borrowed `FeatureVectorRef` + bulk `dot_view`/`axpy_view` store kernels).
+//!
+//! Results are printed and written to `BENCH_hotpath.json` at the workspace
+//! root so the perf trajectory of the hot path is recorded PR over PR. Run
+//! with `cargo bench -p bismarck-bench --bench kernels` (release profile).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use bismarck_core::model::{DenseModelStore, ModelStore};
+use bismarck_core::task::IgdTask;
+use bismarck_core::tasks::LogisticRegressionTask;
+use bismarck_datagen::{
+    dense_classification, sparse_classification, DenseClassificationConfig,
+    SparseClassificationConfig,
+};
+use bismarck_linalg::ops::sigmoid;
+use bismarck_storage::{Table, Tuple};
+
+const FEATURES_COL: usize = 1;
+const LABEL_COL: usize = 2;
+const ALPHA: f64 = 0.01;
+
+/// The pre-refactor LR transition, kept as the measurement baseline: clone
+/// the feature payload out of the tuple, walk it twice through boxed
+/// iterators, and touch the model one coordinate at a time through the dyn
+/// store. This is what `gradient_step` compiled to before the refactor.
+fn cloning_lr_transition(model: &mut dyn ModelStore, tuple: &Tuple, alpha: f64) {
+    let Some(view) = tuple.feature_view(FEATURES_COL) else {
+        return;
+    };
+    let x = view.to_owned(); // the per-tuple heap clone the refactor removed
+    let Some(y) = tuple.get_double(LABEL_COL) else {
+        return;
+    };
+    let boxed_entries =
+        || -> Box<dyn Iterator<Item = (usize, f64)> + '_> { Box::new(x.iter_entries()) };
+    let mut wx = 0.0;
+    for (i, v) in boxed_entries() {
+        if i < model.len() {
+            wx += model.read(i) * v;
+        }
+    }
+    let c = alpha * y * sigmoid(-wx * y);
+    for (i, v) in boxed_entries() {
+        if i < model.len() {
+            model.update(i, c * v);
+        }
+    }
+}
+
+/// Best-of-N epoch timing for one transition implementation.
+fn measure_epochs<F>(table: &Table, dim: usize, samples: usize, mut transition: F) -> f64
+where
+    F: FnMut(&mut dyn ModelStore, &Tuple),
+{
+    let mut store = DenseModelStore::zeros(dim);
+    // Warm-up epochs: touch every tuple, fault pages, warm caches.
+    for _ in 0..3 {
+        for tuple in table.scan() {
+            transition(&mut store, tuple);
+        }
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let start = Instant::now();
+        for tuple in table.scan() {
+            transition(&mut store, tuple);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        black_box(store.as_slice());
+        best = best.min(elapsed);
+    }
+    best
+}
+
+struct ShapeResult {
+    name: &'static str,
+    tuples: usize,
+    cloned_ns_per_tuple: f64,
+    kernel_ns_per_tuple: f64,
+}
+
+impl ShapeResult {
+    fn speedup(&self) -> f64 {
+        self.cloned_ns_per_tuple / self.kernel_ns_per_tuple
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"shape\": \"{}\",\n",
+                "      \"tuples_per_epoch\": {},\n",
+                "      \"cloned_percoord_ns_per_tuple\": {:.2},\n",
+                "      \"view_kernel_ns_per_tuple\": {:.2},\n",
+                "      \"cloned_percoord_tuples_per_sec\": {:.0},\n",
+                "      \"view_kernel_tuples_per_sec\": {:.0},\n",
+                "      \"speedup\": {:.3}\n",
+                "    }}"
+            ),
+            self.name,
+            self.tuples,
+            self.cloned_ns_per_tuple,
+            self.kernel_ns_per_tuple,
+            1e9 / self.cloned_ns_per_tuple,
+            1e9 / self.kernel_ns_per_tuple,
+            self.speedup(),
+        )
+    }
+}
+
+fn bench_shape(name: &'static str, table: &Table, dim: usize, samples: usize) -> ShapeResult {
+    let task = LogisticRegressionTask::new(FEATURES_COL, LABEL_COL, dim);
+    let tuples = table.len();
+    let cloned = measure_epochs(table, dim, samples, |store, tuple| {
+        cloning_lr_transition(store, tuple, ALPHA)
+    });
+    let kernel = measure_epochs(table, dim, samples, |store, tuple| {
+        task.gradient_step(store, tuple, ALPHA)
+    });
+    let result = ShapeResult {
+        name,
+        tuples,
+        cloned_ns_per_tuple: cloned * 1e9 / tuples as f64,
+        kernel_ns_per_tuple: kernel * 1e9 / tuples as f64,
+    };
+    eprintln!(
+        "  {name}: cloned {:.1} ns/tuple, view-kernel {:.1} ns/tuple, speedup {:.2}x",
+        result.cloned_ns_per_tuple,
+        result.kernel_ns_per_tuple,
+        result.speedup()
+    );
+    result
+}
+
+fn main() {
+    eprintln!("per-tuple LR transition cost (best epoch of many)");
+
+    let dense = dense_classification(
+        "forest_like",
+        DenseClassificationConfig {
+            examples: 20_000,
+            dimension: 54,
+            ..Default::default()
+        },
+    );
+    let sparse = sparse_classification(
+        "dblife_like",
+        SparseClassificationConfig {
+            examples: 10_000,
+            vocabulary: 41_000,
+            avg_nnz: 30,
+            ..Default::default()
+        },
+    );
+    let sparse_dim = bismarck_core::frontend::infer_dimension(&sparse, FEATURES_COL);
+
+    let results = [
+        bench_shape("dense_lr_d54", &dense, 54, 30),
+        bench_shape("sparse_lr_nnz30", &sparse, sparse_dim, 30),
+    ];
+
+    let body: Vec<String> = results.iter().map(ShapeResult::json).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"kernels\",\n",
+            "  \"description\": \"per-tuple LR transition: pre-refactor cloning path vs zero-copy view/kernel path\",\n",
+            "  \"profile\": \"{}\",\n",
+            "  \"shapes\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        },
+        body.join(",\n"),
+    );
+
+    // crates/bench -> workspace root.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_hotpath.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => eprintln!("wrote {}", out.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+    print!("{json}");
+}

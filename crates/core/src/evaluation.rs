@@ -86,7 +86,7 @@ pub fn holdout_evaluate<T: IgdTask>(
         for &row in rows {
             let Ok(tuple) = table.get(row) else { continue };
             let (Some(x), Some(y)) = (
-                tuple.get_feature_vector(features_col),
+                tuple.feature_view(features_col),
                 tuple.get_double(label_col),
             ) else {
                 continue;
@@ -158,7 +158,7 @@ pub fn cross_validate<T: IgdTask>(
         for &row in &test_rows {
             let Ok(tuple) = table.get(row) else { continue };
             let (Some(x), Some(y)) = (
-                tuple.get_feature_vector(features_col),
+                tuple.feature_view(features_col),
                 tuple.get_double(label_col),
             ) else {
                 continue;

@@ -8,7 +8,6 @@
 //! trainer, and write the model back into the database so it can be applied
 //! to new data with the matching `*_predict` function.
 
-use bismarck_linalg::FeatureVector;
 use bismarck_storage::{Column, DataType, Database, Schema, StorageError, Table, Value};
 use bismarck_uda::TrainingHistory;
 
@@ -66,7 +65,7 @@ pub struct TrainSummary {
 pub fn infer_dimension(table: &Table, features_col: usize) -> usize {
     table
         .scan()
-        .filter_map(|t| t.get_feature_vector(features_col))
+        .filter_map(|t| t.feature_view(features_col))
         .map(|fv| fv.dimension())
         .max()
         .unwrap_or(0)
@@ -349,8 +348,8 @@ pub fn linear_predict(
         .scan()
         .map(|tuple| {
             tuple
-                .get_feature_vector(fcol)
-                .map(|x: FeatureVector| x.dot(&model))
+                .feature_view(fcol)
+                .map(|x| x.dot(&model))
                 .unwrap_or(0.0)
         })
         .collect())

@@ -15,10 +15,18 @@
 //! parallel executor serializes workers around a mutex and hands each of them
 //! the plain dense store while the lock is held.
 
+use bismarck_linalg::FeatureVectorRef;
 use bismarck_storage::SharedModel;
 
 /// Read/update access to a flat model, abstracting over private and shared
 /// storage so task transition functions are written once.
+///
+/// Beyond the per-coordinate primitives, the trait carries the **bulk
+/// kernels** the paper's Figure 4 transitions are made of: `dot_view`
+/// (`Dot_Product`) and `axpy_view` (`Scale_And_Add`) over a borrowed feature
+/// view. Private dense stores override them with single vectorizable slice
+/// loops; the shared NoLock/AIG stores keep the per-coordinate defaults,
+/// which preserve their racy / compare-and-swap update semantics.
 pub trait ModelStore {
     /// Number of model components.
     fn len(&self) -> usize;
@@ -37,10 +45,48 @@ pub trait ModelStore {
     /// Overwrite component `i` with `value`.
     fn write(&mut self, i: usize, value: f64);
 
+    /// `Dot_Product(w, x)` against a borrowed feature view. Entries at or
+    /// beyond [`ModelStore::len`] contribute zero, matching the bounds
+    /// convention of the per-coordinate path.
+    #[inline]
+    fn dot_view(&self, x: FeatureVectorRef<'_>) -> f64 {
+        let n = self.len();
+        let mut acc = 0.0;
+        for (i, v) in x.iter_entries() {
+            if i < n {
+                acc += self.read(i) * v;
+            }
+        }
+        acc
+    }
+
+    /// `Scale_And_Add(w, x, c)`: `w += c * x` through the store's update
+    /// discipline. Entries at or beyond [`ModelStore::len`] are ignored.
+    #[inline]
+    fn axpy_view(&mut self, x: FeatureVectorRef<'_>, c: f64) {
+        let n = self.len();
+        for (i, v) in x.iter_entries() {
+            if i < n {
+                self.update(i, c * v);
+            }
+        }
+    }
+
     /// Copy the model into a dense vector (used for loss evaluation and for
     /// applying dense proximal operators).
     fn snapshot(&self) -> Vec<f64> {
-        (0..self.len()).map(|i| self.read(i)).collect()
+        let mut out = Vec::new();
+        self.snapshot_into(&mut out);
+        out
+    }
+
+    /// Copy the model into a caller-owned buffer, reusing its allocation.
+    /// Callers that snapshot repeatedly (e.g. the CRF's per-sentence
+    /// forward–backward) keep one scratch vector instead of allocating per
+    /// tuple.
+    fn snapshot_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.len()).map(|i| self.read(i)));
     }
 }
 
@@ -99,8 +145,24 @@ impl ModelStore for DenseModelStore {
         self.values[i] = value;
     }
 
+    // Slice fast paths: one vectorizable loop instead of `d` virtual calls.
+    #[inline]
+    fn dot_view(&self, x: FeatureVectorRef<'_>) -> f64 {
+        x.dot(&self.values)
+    }
+
+    #[inline]
+    fn axpy_view(&mut self, x: FeatureVectorRef<'_>, c: f64) {
+        x.scale_and_add_into(&mut self.values, c);
+    }
+
     fn snapshot(&self) -> Vec<f64> {
         self.values.clone()
+    }
+
+    fn snapshot_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.values);
     }
 }
 
@@ -139,8 +201,25 @@ impl ModelStore for SliceModelStore<'_> {
         self.values[i] = value;
     }
 
+    // The Lock discipline holds exclusive access inside its critical
+    // section, so it gets the same slice kernels as the private store.
+    #[inline]
+    fn dot_view(&self, x: FeatureVectorRef<'_>) -> f64 {
+        x.dot(self.values)
+    }
+
+    #[inline]
+    fn axpy_view(&mut self, x: FeatureVectorRef<'_>, c: f64) {
+        x.scale_and_add_into(self.values, c);
+    }
+
     fn snapshot(&self) -> Vec<f64> {
         self.values.to_vec()
+    }
+
+    fn snapshot_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(self.values);
     }
 }
 
@@ -163,6 +242,9 @@ impl NoLockStore {
     }
 }
 
+// NoLock keeps the default per-coordinate `dot_view`/`axpy_view`: each
+// component update must go through `add_racy` individually — that *is* the
+// Hogwild! discipline.
 impl ModelStore for NoLockStore {
     fn len(&self) -> usize {
         self.shared.len()
@@ -209,6 +291,9 @@ impl AigStore {
     }
 }
 
+// AIG keeps the default per-coordinate `dot_view`/`axpy_view`: per-component
+// compare-and-swap is the whole point of the discipline, so the bulk kernels
+// must not be collapsed into an unsynchronized slice loop.
 impl ModelStore for AigStore {
     fn len(&self) -> usize {
         self.shared.len()
@@ -238,6 +323,8 @@ impl ModelStore for AigStore {
 mod tests {
     use super::*;
 
+    use bismarck_linalg::SparseVector;
+
     fn exercise<M: ModelStore>(store: &mut M) {
         assert_eq!(store.len(), 3);
         assert!(!store.is_empty());
@@ -247,6 +334,26 @@ mod tests {
         assert_eq!(store.read(0), 1.5);
         assert_eq!(store.read(1), 0.0);
         assert_eq!(store.snapshot(), vec![1.5, 0.0, -1.0]);
+
+        // Bulk kernels agree with the per-coordinate primitives, including
+        // ragged inputs whose entries run past the model length.
+        let dense = [2.0, 1.0, 0.0, 9.0];
+        assert_eq!(store.dot_view(FeatureVectorRef::Dense(&dense)), 1.5 * 2.0);
+        let sparse = SparseVector::from_pairs(vec![(2, 4.0), (7, 1.0)]);
+        assert_eq!(store.dot_view(FeatureVectorRef::from(&sparse)), -4.0);
+        store.axpy_view(FeatureVectorRef::from(&sparse), 0.5);
+        assert_eq!(store.read(2), 1.0);
+        store.axpy_view(FeatureVectorRef::Dense(&dense), 1.0);
+        assert_eq!(store.snapshot(), vec![3.5, 1.0, 1.0]);
+
+        let mut scratch = vec![7.0; 10];
+        store.snapshot_into(&mut scratch);
+        assert_eq!(scratch, vec![3.5, 1.0, 1.0]);
+
+        // Reset to the state the per-store assertions expect.
+        store.write(0, 1.5);
+        store.write(1, 0.0);
+        store.write(2, -1.0);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! Each tuple is `(t, observation vector)`; the flat model stacks the `T`
 //! state vectors, so the dimension is `T · d`.
 
-use bismarck_linalg::FeatureVector;
+use bismarck_linalg::FeatureVectorRef;
 use bismarck_storage::Tuple;
 
 use crate::model::ModelStore;
@@ -73,12 +73,13 @@ impl KalmanTask {
         t * self.state_dim + k
     }
 
-    fn example(&self, tuple: &Tuple) -> Option<(usize, FeatureVector)> {
+    /// Borrow the observation view for a valid timestep — zero-copy.
+    fn example<'t>(&self, tuple: &'t Tuple) -> Option<(usize, FeatureVectorRef<'t>)> {
         let t = tuple.get_int(self.time_col)?;
         if t < 0 || t as usize >= self.horizon {
             return None;
         }
-        let obs = tuple.get_feature_vector(self.obs_col)?;
+        let obs = tuple.feature_view(self.obs_col)?;
         Some((t as usize, obs))
     }
 
@@ -103,7 +104,9 @@ impl IgdTask for KalmanTask {
         let Some((t, obs)) = self.example(tuple) else {
             return;
         };
-        let obs = obs.to_dense(self.state_dim);
+        // Read observation components straight through the view: no dense
+        // materialization per tuple (dense views index directly; sparse ones
+        // binary-search their few stored entries).
         for k in 0..self.state_dim {
             let wt = model.read(self.offset(t, k));
             // Observation term: 2 (w_t - y_t)
@@ -122,7 +125,6 @@ impl IgdTask for KalmanTask {
     fn example_loss(&self, model: &[f64], tuple: &Tuple) -> f64 {
         match self.example(tuple) {
             Some((t, obs)) => {
-                let obs = obs.to_dense(self.state_dim);
                 let mut loss = 0.0;
                 for k in 0..self.state_dim {
                     let wt = model[self.offset(t, k)];

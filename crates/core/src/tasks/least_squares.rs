@@ -6,7 +6,7 @@
 //! but IGD run in *clustered* order oscillates between `+1` and `−1` and
 //! converges far more slowly than under a random order.
 
-use bismarck_linalg::FeatureVector;
+use bismarck_linalg::FeatureVectorRef;
 use bismarck_storage::Tuple;
 
 use crate::model::ModelStore;
@@ -41,14 +41,15 @@ impl LeastSquaresTask {
         self
     }
 
-    fn example(&self, tuple: &Tuple) -> Option<(FeatureVector, f64)> {
-        let x = tuple.get_feature_vector(self.features_col)?;
+    /// Borrow the example's feature view and target — zero-copy.
+    fn example<'t>(&self, tuple: &'t Tuple) -> Option<(FeatureVectorRef<'t>, f64)> {
+        let x = tuple.feature_view(self.features_col)?;
         let y = tuple.get_double(self.label_col)?;
         Some((x, y))
     }
 
     /// Predicted value `wᵀx`.
-    pub fn predict(model: &[f64], x: &FeatureVector) -> f64 {
+    pub fn predict(model: &[f64], x: FeatureVectorRef<'_>) -> f64 {
         x.dot(model)
     }
 }
@@ -66,19 +67,8 @@ impl IgdTask for LeastSquaresTask {
         let Some((x, y)) = self.example(tuple) else {
             return;
         };
-        let mut wx = 0.0;
-        for (i, v) in x.iter_entries() {
-            if i < model.len() {
-                wx += model.read(i) * v;
-            }
-        }
-        let residual = wx - y;
-        let c = -alpha * residual;
-        for (i, v) in x.iter_entries() {
-            if i < model.len() {
-                model.update(i, c * v);
-            }
-        }
+        let residual = model.dot_view(x) - y;
+        model.axpy_view(x, -alpha * residual);
     }
 
     fn example_loss(&self, model: &[f64], tuple: &Tuple) -> f64 {
@@ -244,7 +234,8 @@ mod tests {
     fn name_and_predict() {
         let task = LeastSquaresTask::new(0, 1, 2);
         assert_eq!(task.name(), "LS");
-        let x = FeatureVector::from(vec![1.0, 2.0]);
-        assert!((LeastSquaresTask::predict(&[3.0, 0.5], &x) - 4.0).abs() < 1e-12);
+        let x = [1.0, 2.0];
+        let view = FeatureVectorRef::Dense(&x);
+        assert!((LeastSquaresTask::predict(&[3.0, 0.5], view) - 4.0).abs() < 1e-12);
     }
 }

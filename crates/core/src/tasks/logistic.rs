@@ -13,7 +13,7 @@
 
 use bismarck_linalg::ops::{log1p_exp, sigmoid};
 use bismarck_linalg::projection::soft_threshold_vec;
-use bismarck_linalg::FeatureVector;
+use bismarck_linalg::FeatureVectorRef;
 use bismarck_storage::Tuple;
 
 use crate::model::ModelStore;
@@ -57,25 +57,16 @@ impl LogisticRegressionTask {
         self
     }
 
-    fn example(&self, tuple: &Tuple) -> Option<(FeatureVector, f64)> {
-        let x = tuple.get_feature_vector(self.features_col)?;
+    /// Borrow the example's feature view and label — zero-copy, so the
+    /// per-tuple transition never touches the heap.
+    fn example<'t>(&self, tuple: &'t Tuple) -> Option<(FeatureVectorRef<'t>, f64)> {
+        let x = tuple.feature_view(self.features_col)?;
         let y = tuple.get_double(self.label_col)?;
         Some((x, y))
     }
 
-    /// Margin `wᵀx` read through a model store.
-    fn margin_store(&self, model: &dyn ModelStore, x: &FeatureVector) -> f64 {
-        let mut wx = 0.0;
-        for (i, v) in x.iter_entries() {
-            if i < model.len() {
-                wx += model.read(i) * v;
-            }
-        }
-        wx
-    }
-
     /// Predicted probability of the positive class for a feature vector.
-    pub fn predict_probability(model: &[f64], x: &FeatureVector) -> f64 {
+    pub fn predict_probability(model: &[f64], x: FeatureVectorRef<'_>) -> f64 {
         sigmoid(x.dot(model))
     }
 }
@@ -93,14 +84,11 @@ impl IgdTask for LogisticRegressionTask {
         let Some((x, y)) = self.example(tuple) else {
             return;
         };
-        let wx = self.margin_store(model, &x);
+        // Figure 4 LR_Transition, as two bulk kernels on the store.
+        let wx = model.dot_view(x);
         let sig = sigmoid(-wx * y);
         let c = alpha * y * sig;
-        for (i, v) in x.iter_entries() {
-            if i < model.len() {
-                model.update(i, c * v);
-            }
-        }
+        model.axpy_view(x, c);
     }
 
     fn example_loss(&self, model: &[f64], tuple: &Tuple) -> f64 {
@@ -199,9 +187,9 @@ mod tests {
         let task = LogisticRegressionTask::new(0, 1, 2);
         let model = train(&task, &t, 100, 0.5);
         for tuple in t.scan() {
-            let x = tuple.get_feature_vector(0).unwrap();
+            let x = tuple.feature_view(0).unwrap();
             let y = tuple.get_double(1).unwrap();
-            let p = LogisticRegressionTask::predict_probability(&model, &x);
+            let p = LogisticRegressionTask::predict_probability(&model, x);
             if y > 0.0 {
                 assert!(p > 0.5, "positive example classified {p}");
             } else {

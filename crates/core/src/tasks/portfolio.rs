@@ -14,7 +14,7 @@
 //! `f_i(w) = γ (wᵀ(r_i − μ))² − (pᵀw) / N`.
 
 use bismarck_linalg::projection::project_simplex;
-use bismarck_linalg::FeatureVector;
+use bismarck_linalg::FeatureVectorRef;
 use bismarck_storage::Tuple;
 
 use crate::model::ModelStore;
@@ -72,8 +72,9 @@ impl PortfolioTask {
         self.num_assets
     }
 
-    fn example(&self, tuple: &Tuple) -> Option<FeatureVector> {
-        tuple.get_feature_vector(self.returns_col)
+    /// Borrow the day's return vector — zero-copy.
+    fn example<'t>(&self, tuple: &'t Tuple) -> Option<FeatureVectorRef<'t>> {
+        tuple.feature_view(self.returns_col)
     }
 
     /// Expected portfolio return `pᵀw` for an allocation.

@@ -14,7 +14,7 @@
 //! ```
 
 use bismarck_linalg::projection::soft_threshold_vec;
-use bismarck_linalg::FeatureVector;
+use bismarck_linalg::FeatureVectorRef;
 use bismarck_storage::Tuple;
 
 use crate::model::ModelStore;
@@ -57,14 +57,16 @@ impl SvmTask {
         self
     }
 
-    fn example(&self, tuple: &Tuple) -> Option<(FeatureVector, f64)> {
-        let x = tuple.get_feature_vector(self.features_col)?;
+    /// Borrow the example's feature view and label — zero-copy, so the
+    /// per-tuple transition never touches the heap.
+    fn example<'t>(&self, tuple: &'t Tuple) -> Option<(FeatureVectorRef<'t>, f64)> {
+        let x = tuple.feature_view(self.features_col)?;
         let y = tuple.get_double(self.label_col)?;
         Some((x, y))
     }
 
     /// Decision value `wᵀx`; the predicted class is its sign.
-    pub fn decision_value(model: &[f64], x: &FeatureVector) -> f64 {
+    pub fn decision_value(model: &[f64], x: FeatureVectorRef<'_>) -> f64 {
         x.dot(model)
     }
 }
@@ -82,19 +84,10 @@ impl IgdTask for SvmTask {
         let Some((x, y)) = self.example(tuple) else {
             return;
         };
-        let mut wx = 0.0;
-        for (i, v) in x.iter_entries() {
-            if i < model.len() {
-                wx += model.read(i) * v;
-            }
-        }
+        // Figure 4 SVM_Transition: the margin test replaces LR's sigmoid.
+        let wx = model.dot_view(x);
         if 1.0 - wx * y > 0.0 {
-            let c = alpha * y;
-            for (i, v) in x.iter_entries() {
-                if i < model.len() {
-                    model.update(i, c * v);
-                }
-            }
+            model.axpy_view(x, alpha * y);
         }
     }
 
@@ -182,9 +175,9 @@ mod tests {
         let trained: f64 = t.scan().map(|tup| task.example_loss(&model, tup)).sum();
         assert!(trained < initial);
         for tuple in t.scan() {
-            let x = tuple.get_feature_vector(0).unwrap();
+            let x = tuple.feature_view(0).unwrap();
             let y = tuple.get_double(1).unwrap();
-            assert!(SvmTask::decision_value(&model, &x) * y > 0.0);
+            assert!(SvmTask::decision_value(&model, x) * y > 0.0);
         }
     }
 

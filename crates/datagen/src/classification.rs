@@ -234,7 +234,7 @@ mod tests {
         assert_eq!(positives, 50);
         assert!(t
             .scan()
-            .all(|r| r.get_feature_vector(1).map(|f| f.dimension()) == Some(10)));
+            .all(|r| r.feature_view(1).map(|f| f.dimension()) == Some(10)));
     }
 
     #[test]
@@ -247,7 +247,7 @@ mod tests {
         let a = dense_classification("a", config);
         let b = dense_classification("b", config);
         for (ra, rb) in a.scan().zip(b.scan()) {
-            assert_eq!(ra.get_feature_vector(1), rb.get_feature_vector(1));
+            assert_eq!(ra.feature_view(1), rb.feature_view(1));
         }
     }
 
@@ -293,7 +293,7 @@ mod tests {
         let mut pos = vec![0.0; 8];
         let mut neg = vec![0.0; 8];
         for row in t.scan() {
-            let x = row.get_feature_vector(1).unwrap().to_dense(8);
+            let x = row.feature_view(1).unwrap().to_dense(8);
             let target = if row.get_double(2).unwrap() > 0.0 {
                 &mut pos
             } else {
@@ -320,13 +320,13 @@ mod tests {
         assert_eq!(t.len(), 300);
         let max_dim = t
             .scan()
-            .map(|r| r.get_feature_vector(1).unwrap().dimension())
+            .map(|r| r.feature_view(1).unwrap().dimension())
             .max()
             .unwrap();
         assert!(max_dim <= 5_000);
         let avg_nnz: f64 = t
             .scan()
-            .map(|r| r.get_feature_vector(1).unwrap().nnz() as f64)
+            .map(|r| r.feature_view(1).unwrap().nnz() as f64)
             .sum::<f64>()
             / 300.0;
         assert!((10.0..=35.0).contains(&avg_nnz), "avg nnz {avg_nnz}");
@@ -341,8 +341,8 @@ mod tests {
         let a = sparse_classification("a", config);
         let b = sparse_classification("b", config);
         assert_eq!(
-            a.get(3).unwrap().get_feature_vector(1),
-            b.get(3).unwrap().get_feature_vector(1)
+            a.get(3).unwrap().feature_view(1),
+            b.get(3).unwrap().feature_view(1)
         );
         let labels: Vec<f64> = a.scan().map(|r| r.get_double(2).unwrap()).collect();
         let first_neg = labels.iter().position(|&l| l < 0.0).unwrap();
@@ -357,6 +357,6 @@ mod tests {
         assert!(t.scan().skip(500).all(|r| r.get_double(2) == Some(-1.0)));
         assert!(t
             .scan()
-            .all(|r| r.get_feature_vector(1).unwrap().dot(&[1.0]) == 1.0));
+            .all(|r| r.feature_view(1).unwrap().dot(&[1.0]) == 1.0));
     }
 }

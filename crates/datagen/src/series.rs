@@ -130,7 +130,7 @@ mod tests {
         assert_eq!(t.len(), 50);
         for (i, row) in t.scan().enumerate() {
             assert_eq!(row.get_int(0), Some(i as i64));
-            assert_eq!(row.get_feature_vector(1).unwrap().dimension(), 3);
+            assert_eq!(row.feature_view(1).unwrap().dimension(), 3);
         }
     }
 
@@ -146,7 +146,7 @@ mod tests {
         let t = timeseries_table("amp", config);
         assert!(t
             .scan()
-            .all(|r| r.get_feature_vector(1).unwrap().dot(&[1.0]).abs() <= 2.1 + 1e-9));
+            .all(|r| r.feature_view(1).unwrap().dot(&[1.0]).abs() <= 2.1 + 1e-9));
     }
 
     #[test]
@@ -157,7 +157,7 @@ mod tests {
         let n = config.num_assets();
         let mut sums = vec![0.0; n];
         for row in t.scan() {
-            let r = row.get_feature_vector(0).unwrap().to_dense(n);
+            let r = row.feature_view(0).unwrap().to_dense(n);
             for (s, v) in sums.iter_mut().zip(r.as_slice()) {
                 *s += v;
             }
@@ -176,14 +176,14 @@ mod tests {
         let a = timeseries_table("a", TimeSeriesConfig::default());
         let b = timeseries_table("b", TimeSeriesConfig::default());
         assert_eq!(
-            a.get(7).unwrap().get_feature_vector(1),
-            b.get(7).unwrap().get_feature_vector(1)
+            a.get(7).unwrap().feature_view(1),
+            b.get(7).unwrap().feature_view(1)
         );
         let ra = returns_table("a", &ReturnsConfig::default());
         let rb = returns_table("b", &ReturnsConfig::default());
         assert_eq!(
-            ra.get(3).unwrap().get_feature_vector(0),
-            rb.get(3).unwrap().get_feature_vector(0)
+            ra.get(3).unwrap().feature_view(0),
+            rb.get(3).unwrap().feature_view(0)
         );
     }
 

@@ -21,7 +21,7 @@ pub use crate::dense::DenseVector;
 pub use crate::factor::FactorMatrix;
 pub use crate::ops::{log1p_exp, log_sum_exp, sigmoid};
 pub use crate::projection::{project_l1_ball, project_l2_ball, project_simplex};
-pub use crate::sparse::SparseVector;
+pub use crate::sparse::{SparseLayoutError, SparseVector};
 
 /// A feature vector that is either dense or sparse.
 ///
@@ -93,13 +93,222 @@ impl FeatureVector {
     }
 
     /// Iterate over (index, value) pairs of the stored entries.
-    pub fn iter_entries(&self) -> Box<dyn Iterator<Item = (usize, f64)> + '_> {
+    ///
+    /// Returns a concrete enum iterator — no per-call `Box<dyn Iterator>`
+    /// allocation, which matters because tasks iterate entries once per tuple
+    /// per epoch.
+    pub fn iter_entries(&self) -> FeatureEntries<'_> {
+        self.as_view().iter_entries()
+    }
+
+    /// Borrow this vector as a zero-copy [`FeatureVectorRef`] view.
+    #[inline]
+    pub fn as_view(&self) -> FeatureVectorRef<'_> {
         match self {
-            FeatureVector::Dense(x) => Box::new(x.as_slice().iter().copied().enumerate()),
-            FeatureVector::Sparse(x) => Box::new(x.iter()),
+            FeatureVector::Dense(x) => FeatureVectorRef::Dense(x.as_slice()),
+            FeatureVector::Sparse(x) => FeatureVectorRef::Sparse {
+                indices: x.indices(),
+                values: x.values(),
+            },
         }
     }
 }
+
+/// A borrowed feature vector: the zero-copy view the per-tuple hot path runs
+/// on.
+///
+/// Storage hands out `FeatureVectorRef`s straight from column payloads
+/// ([`Dense`](FeatureVectorRef::Dense) borrows the dense slice,
+/// [`Sparse`](FeatureVectorRef::Sparse) borrows the parallel index/value
+/// slices), so a gradient step performs **no** heap allocation: the paper's
+/// `Dot_Product` / `Scale_And_Add` kernels read directly from the stored
+/// tuple. The owned [`FeatureVector`] remains for call sites that genuinely
+/// need to keep a vector beyond the tuple's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FeatureVectorRef<'a> {
+    /// Dense feature values, index `i` holds feature `i`.
+    Dense(&'a [f64]),
+    /// Sparse feature values as parallel sorted index/value slices.
+    Sparse {
+        /// Strictly increasing stored indices.
+        indices: &'a [u32],
+        /// Values parallel to `indices`.
+        values: &'a [f64],
+    },
+}
+
+impl<'a> FeatureVectorRef<'a> {
+    /// Dot product with a dense model slice (`Dot_Product` in Figure 4).
+    /// Sparse indices beyond `w.len()` contribute zero.
+    #[inline]
+    pub fn dot(&self, w: &[f64]) -> f64 {
+        match *self {
+            FeatureVectorRef::Dense(x) => ops::dot(x, w),
+            FeatureVectorRef::Sparse { indices, values } => {
+                let mut acc = 0.0;
+                for (&i, &v) in indices.iter().zip(values) {
+                    if let Some(&wi) = w.get(i as usize) {
+                        acc += wi * v;
+                    }
+                }
+                acc
+            }
+        }
+    }
+
+    /// `w += c * x`, the `Scale_And_Add` kernel from Figure 4. Sparse indices
+    /// beyond `w.len()` are ignored.
+    #[inline]
+    pub fn scale_and_add_into(&self, w: &mut [f64], c: f64) {
+        match *self {
+            FeatureVectorRef::Dense(x) => ops::scale_and_add(w, x, c),
+            FeatureVectorRef::Sparse { indices, values } => {
+                for (&i, &v) in indices.iter().zip(values) {
+                    if let Some(slot) = w.get_mut(i as usize) {
+                        *slot += c * v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of logical dimensions (highest index + 1 for sparse views).
+    pub fn dimension(&self) -> usize {
+        match *self {
+            FeatureVectorRef::Dense(x) => x.len(),
+            FeatureVectorRef::Sparse { indices, .. } => {
+                indices.last().map(|&i| i as usize + 1).unwrap_or(0)
+            }
+        }
+    }
+
+    /// Number of stored (possibly zero) entries.
+    pub fn nnz(&self) -> usize {
+        match *self {
+            FeatureVectorRef::Dense(x) => x.len(),
+            FeatureVectorRef::Sparse { indices, .. } => indices.len(),
+        }
+    }
+
+    /// Value at logical index `i` (0.0 if not stored).
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        match *self {
+            FeatureVectorRef::Dense(x) => x.get(i).copied().unwrap_or(0.0),
+            FeatureVectorRef::Sparse { indices, values } => {
+                // Indices past u32::MAX cannot be stored, so they are 0.0 by
+                // definition; a plain `as u32` cast would wrap and alias a
+                // stored entry.
+                let Ok(i) = u32::try_from(i) else { return 0.0 };
+                match indices.binary_search(&i) {
+                    Ok(pos) => values[pos],
+                    Err(_) => 0.0,
+                }
+            }
+        }
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm_sq(&self) -> f64 {
+        match *self {
+            FeatureVectorRef::Dense(x) => ops::dot(x, x),
+            FeatureVectorRef::Sparse { values, .. } => values.iter().map(|v| v * v).sum(),
+        }
+    }
+
+    /// Materialize into a dense vector of dimension at least `dim`.
+    pub fn to_dense(&self, dim: usize) -> DenseVector {
+        let n = dim.max(self.dimension());
+        let mut out = DenseVector::zeros(n);
+        let slice = out.as_mut_slice();
+        match *self {
+            FeatureVectorRef::Dense(x) => slice[..x.len()].copy_from_slice(x),
+            FeatureVectorRef::Sparse { indices, values } => {
+                for (&i, &v) in indices.iter().zip(values) {
+                    slice[i as usize] = v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Clone into an owned [`FeatureVector`]. This is the *only* place the
+    /// view API allocates; training hot paths never call it.
+    pub fn to_owned(&self) -> FeatureVector {
+        match *self {
+            FeatureVectorRef::Dense(x) => FeatureVector::Dense(DenseVector::from(x)),
+            FeatureVectorRef::Sparse { indices, values } => {
+                FeatureVector::Sparse(SparseVector::from_sorted(indices.to_vec(), values.to_vec()))
+            }
+        }
+    }
+
+    /// Iterate over (index, value) pairs of the stored entries without
+    /// allocating.
+    #[inline]
+    pub fn iter_entries(&self) -> FeatureEntries<'a> {
+        match *self {
+            FeatureVectorRef::Dense(x) => FeatureEntries::Dense(x.iter().enumerate()),
+            FeatureVectorRef::Sparse { indices, values } => {
+                FeatureEntries::Sparse(indices.iter().zip(values.iter()))
+            }
+        }
+    }
+}
+
+impl<'a> From<&'a FeatureVector> for FeatureVectorRef<'a> {
+    fn from(v: &'a FeatureVector) -> Self {
+        v.as_view()
+    }
+}
+
+impl<'a> From<&'a DenseVector> for FeatureVectorRef<'a> {
+    fn from(v: &'a DenseVector) -> Self {
+        FeatureVectorRef::Dense(v.as_slice())
+    }
+}
+
+impl<'a> From<&'a SparseVector> for FeatureVectorRef<'a> {
+    fn from(v: &'a SparseVector) -> Self {
+        FeatureVectorRef::Sparse {
+            indices: v.indices(),
+            values: v.values(),
+        }
+    }
+}
+
+/// Concrete (index, value) iterator over a feature vector's stored entries.
+///
+/// An enum rather than a `Box<dyn Iterator>` so iterating a tuple's features
+/// stays allocation-free on the training path.
+#[derive(Debug, Clone)]
+pub enum FeatureEntries<'a> {
+    /// Entries of a dense slice: every position, in order.
+    Dense(std::iter::Enumerate<std::slice::Iter<'a, f64>>),
+    /// Stored entries of a sparse vector, in increasing index order.
+    Sparse(std::iter::Zip<std::slice::Iter<'a, u32>, std::slice::Iter<'a, f64>>),
+}
+
+impl Iterator for FeatureEntries<'_> {
+    type Item = (usize, f64);
+
+    #[inline]
+    fn next(&mut self) -> Option<(usize, f64)> {
+        match self {
+            FeatureEntries::Dense(it) => it.next().map(|(i, &v)| (i, v)),
+            FeatureEntries::Sparse(it) => it.next().map(|(&i, &v)| (i as usize, v)),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            FeatureEntries::Dense(it) => it.size_hint(),
+            FeatureEntries::Sparse(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for FeatureEntries<'_> {}
 
 impl From<DenseVector> for FeatureVector {
     fn from(v: DenseVector) -> Self {
@@ -162,5 +371,55 @@ mod tests {
         let fv = FeatureVector::from(vec![3.0, 4.0]);
         let sum: f64 = fv.iter_entries().map(|(_, v)| v * v).sum();
         assert!((sum - fv.norm_sq()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn view_agrees_with_owned_vector() {
+        let owned = [
+            FeatureVector::from(vec![1.0, -2.0, 0.0, 3.5, 0.25]),
+            FeatureVector::Sparse(SparseVector::from_pairs(vec![(1, 2.0), (7, -1.0)])),
+        ];
+        let w = [0.5, -1.0, 2.0, 0.0, 1.0];
+        for fv in &owned {
+            let view = fv.as_view();
+            assert!((view.dot(&w) - fv.dot(&w)).abs() < 1e-12);
+            assert_eq!(view.dimension(), fv.dimension());
+            assert_eq!(view.nnz(), fv.nnz());
+            assert!((view.norm_sq() - fv.norm_sq()).abs() < 1e-12);
+            assert_eq!(view.to_dense(9), fv.to_dense(9));
+            assert_eq!(&view.to_owned(), fv);
+            let via_view: Vec<(usize, f64)> = view.iter_entries().collect();
+            let via_owned: Vec<(usize, f64)> = fv.iter_entries().collect();
+            assert_eq!(via_view, via_owned);
+            assert_eq!(view.iter_entries().len(), fv.nnz());
+            let mut a = w.to_vec();
+            let mut b = w.to_vec();
+            view.scale_and_add_into(&mut a, 0.3);
+            fv.scale_and_add_into(&mut b, 0.3);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn view_get_and_ragged_bounds() {
+        let sparse = SparseVector::from_pairs(vec![(2, 5.0), (10, 1.0)]);
+        let view = FeatureVectorRef::from(&sparse);
+        assert_eq!(view.get(2), 5.0);
+        assert_eq!(view.get(3), 0.0);
+        assert_eq!(view.get(100), 0.0);
+        // An index past u32::MAX must not wrap onto a stored entry.
+        assert_eq!(view.get((1usize << 32) + 2), 0.0);
+        assert_eq!(sparse.get((1usize << 32) + 2), 0.0);
+        // Updates and dots against a shorter model ignore index 10.
+        let mut w = vec![0.0; 4];
+        view.scale_and_add_into(&mut w, 2.0);
+        assert_eq!(w, vec![0.0, 0.0, 10.0, 0.0]);
+        assert!((view.dot(&[0.0, 0.0, 3.0]) - 15.0).abs() < 1e-12);
+
+        let dense = DenseVector::from(vec![1.0, 2.0]);
+        let dview = FeatureVectorRef::from(&dense);
+        assert_eq!(dview.get(1), 2.0);
+        assert_eq!(dview.get(5), 0.0);
+        assert!((dview.dot(&[10.0]) - 10.0).abs() < 1e-12);
     }
 }

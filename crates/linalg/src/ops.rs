@@ -6,22 +6,49 @@
 ///
 /// The shorter length is used if the slices disagree so the kernel never
 /// panics on ragged inputs (the storage layer validates dimensions upstream).
+///
+/// Four independent accumulators let the compiler keep four FMA chains in
+/// flight and auto-vectorize; this runs once per tuple per epoch, so the
+/// constant factor here is the system's per-tuple cost (Figure 4).
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     let n = a.len().min(b.len());
-    let mut acc = 0.0;
-    for i in 0..n {
-        acc += a[i] * b[i];
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = [0.0f64; 4];
+    let mut chunks_a = a.chunks_exact(4);
+    let mut chunks_b = b.chunks_exact(4);
+    for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
     }
-    acc
+    let mut tail = 0.0;
+    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        tail += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 /// `w += c * x` over dense slices (`Scale_And_Add` in the paper's Figure 4).
 #[inline]
 pub fn scale_and_add(w: &mut [f64], x: &[f64], c: f64) {
     let n = w.len().min(x.len());
-    for i in 0..n {
-        w[i] += c * x[i];
+    let (w, x) = (&mut w[..n], &x[..n]);
+    let mut chunks_w = w.chunks_exact_mut(4);
+    let mut chunks_x = x.chunks_exact(4);
+    for (cw, cx) in chunks_w.by_ref().zip(chunks_x.by_ref()) {
+        cw[0] += c * cx[0];
+        cw[1] += c * cx[1];
+        cw[2] += c * cx[2];
+        cw[3] += c * cx[3];
+    }
+    for (slot, v) in chunks_w
+        .into_remainder()
+        .iter_mut()
+        .zip(chunks_x.remainder())
+    {
+        *slot += c * v;
     }
 }
 
@@ -55,12 +82,26 @@ pub fn norm1(a: &[f64]) -> f64 {
 #[inline]
 pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
     let n = a.len().min(b.len());
-    let mut acc = 0.0;
-    for i in 0..n {
-        let d = a[i] - b[i];
-        acc += d * d;
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = [0.0f64; 4];
+    let mut chunks_a = a.chunks_exact(4);
+    let mut chunks_b = b.chunks_exact(4);
+    for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
+        let d0 = ca[0] - cb[0];
+        let d1 = ca[1] - cb[1];
+        let d2 = ca[2] - cb[2];
+        let d3 = ca[3] - cb[3];
+        acc[0] += d0 * d0;
+        acc[1] += d1 * d1;
+        acc[2] += d2 * d2;
+        acc[3] += d3 * d3;
     }
-    acc
+    let mut tail = 0.0;
+    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        let d = x - y;
+        tail += d * d;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 /// The logistic sigmoid `1 / (1 + exp(-z))`, evaluated without overflow for
@@ -133,6 +174,26 @@ mod tests {
     #[test]
     fn dot_ragged_uses_shorter() {
         assert!((dot(&[1.0, 2.0], &[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrolled_kernels_match_naive_loops_across_lengths() {
+        for n in 0..23usize {
+            let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() + 0.3).collect();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos() - 0.1).collect();
+            let naive_dot: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((dot(&a, &b) - naive_dot).abs() < 1e-12, "dot n={n}");
+            let naive_dist: f64 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+            assert!((dist_sq(&a, &b) - naive_dist).abs() < 1e-12, "dist n={n}");
+            let mut w = a.clone();
+            scale_and_add(&mut w, &b, 0.25);
+            for i in 0..n {
+                assert!(
+                    (w[i] - (a[i] + 0.25 * b[i])).abs() < 1e-12,
+                    "axpy n={n} i={i}"
+                );
+            }
+        }
     }
 
     #[test]

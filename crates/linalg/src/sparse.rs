@@ -7,6 +7,41 @@
 
 use crate::dense::DenseVector;
 
+/// Why a pre-sorted index/value pair was rejected by
+/// [`SparseVector::try_from_sorted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SparseLayoutError {
+    /// The index and value arrays differ in length.
+    LengthMismatch {
+        /// Number of indices supplied.
+        indices: usize,
+        /// Number of values supplied.
+        values: usize,
+    },
+    /// Indices are not strictly increasing at the given position: entry
+    /// `position` does not exceed entry `position - 1`.
+    NotStrictlyIncreasing {
+        /// First offending position (the later of the two entries).
+        position: usize,
+    },
+}
+
+impl std::fmt::Display for SparseLayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SparseLayoutError::LengthMismatch { indices, values } => {
+                write!(f, "sparse vector has {indices} indices but {values} values")
+            }
+            SparseLayoutError::NotStrictlyIncreasing { position } => write!(
+                f,
+                "sparse indices are not strictly increasing at entry {position}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SparseLayoutError {}
+
 /// A sparse `f64` vector: strictly increasing indices with their values.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SparseVector {
@@ -22,6 +57,10 @@ impl SparseVector {
 
     /// Build from (index, value) pairs. Pairs are sorted and duplicate
     /// indices are summed, so any insertion order is accepted.
+    ///
+    /// This is the one place sort-and-merge semantics live; the result is
+    /// handed to [`SparseVector::try_from_sorted`] so the layout invariant is
+    /// asserted in every build profile.
     pub fn from_pairs(mut pairs: Vec<(usize, f64)>) -> Self {
         pairs.sort_by_key(|&(i, _)| i);
         let mut indices = Vec::with_capacity(pairs.len());
@@ -36,15 +75,39 @@ impl SparseVector {
             indices.push(i as u32);
             values.push(v);
         }
-        SparseVector { indices, values }
+        SparseVector::try_from_sorted(indices, values)
+            .expect("sorted and merged pairs form a valid sparse layout")
     }
 
     /// Build from parallel index/value arrays that are already sorted by
     /// strictly increasing index. Panics in debug builds if they are not.
+    ///
+    /// In release builds the layout is *not* checked; ingest paths that
+    /// accept external input must use [`SparseVector::try_from_sorted`] so a
+    /// malformed row cannot silently corrupt every later dot product.
     pub fn from_sorted(indices: Vec<u32>, values: Vec<f64>) -> Self {
         debug_assert_eq!(indices.len(), values.len());
         debug_assert!(indices.windows(2).all(|w| w[0] < w[1]));
         SparseVector { indices, values }
+    }
+
+    /// Checked variant of [`SparseVector::from_sorted`]: validates the layout
+    /// in every build profile and reports what is wrong instead of debug-only
+    /// panicking. Binary-search `get` and merge-style kernels assume strictly
+    /// increasing indices, so this is the constructor ingest code must use.
+    pub fn try_from_sorted(indices: Vec<u32>, values: Vec<f64>) -> Result<Self, SparseLayoutError> {
+        if indices.len() != values.len() {
+            return Err(SparseLayoutError::LengthMismatch {
+                indices: indices.len(),
+                values: values.len(),
+            });
+        }
+        if let Some(position) = indices.windows(2).position(|w| w[0] >= w[1]) {
+            return Err(SparseLayoutError::NotStrictlyIncreasing {
+                position: position + 1,
+            });
+        }
+        Ok(SparseVector { indices, values })
     }
 
     /// Number of stored entries.
@@ -82,7 +145,10 @@ impl SparseVector {
 
     /// Value at logical index `i` (0.0 if not stored).
     pub fn get(&self, i: usize) -> f64 {
-        match self.indices.binary_search(&(i as u32)) {
+        // Indices past u32::MAX cannot be stored; `as u32` would wrap and
+        // alias a stored entry.
+        let Ok(i) = u32::try_from(i) else { return 0.0 };
+        match self.indices.binary_search(&i) {
             Ok(pos) => self.values[pos],
             Err(_) => 0.0,
         }
@@ -188,5 +254,37 @@ mod tests {
     fn from_sorted_accepts_valid_input() {
         let v = SparseVector::from_sorted(vec![0, 2], vec![1.0, 2.0]);
         assert_eq!(v.get(2), 2.0);
+    }
+
+    #[test]
+    fn try_from_sorted_accepts_valid_and_empty_input() {
+        let v = SparseVector::try_from_sorted(vec![0, 2, 9], vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(v.nnz(), 3);
+        assert_eq!(v.get(9), 3.0);
+        assert!(SparseVector::try_from_sorted(vec![], vec![])
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn try_from_sorted_rejects_malformed_layouts() {
+        assert_eq!(
+            SparseVector::try_from_sorted(vec![0, 1], vec![1.0]),
+            Err(SparseLayoutError::LengthMismatch {
+                indices: 2,
+                values: 1
+            })
+        );
+        assert_eq!(
+            SparseVector::try_from_sorted(vec![0, 2, 1], vec![1.0, 2.0, 3.0]),
+            Err(SparseLayoutError::NotStrictlyIncreasing { position: 2 })
+        );
+        // Duplicate indices are also rejected: "sorted" means strictly so.
+        let dup = SparseVector::try_from_sorted(vec![3, 3], vec![1.0, 2.0]);
+        assert_eq!(
+            dup,
+            Err(SparseLayoutError::NotStrictlyIncreasing { position: 1 })
+        );
+        assert!(dup.unwrap_err().to_string().contains("strictly increasing"));
     }
 }

@@ -431,7 +431,7 @@ fn apply_scalar_function(name: &str, args: &[Value], ctx: &mut EvalContext) -> R
                 return Err(arity_error(1));
             }
             args[0]
-                .as_feature_vector()
+                .feature_view()
                 .map(|fv| Value::Int(fv.dimension() as i64))
                 .ok_or_else(|| SqlError::Evaluation("DIM() expects a vector".into()))
         }
@@ -440,7 +440,7 @@ fn apply_scalar_function(name: &str, args: &[Value], ctx: &mut EvalContext) -> R
                 return Err(arity_error(1));
             }
             args[0]
-                .as_feature_vector()
+                .feature_view()
                 .map(|fv| Value::Int(fv.nnz() as i64))
                 .ok_or_else(|| SqlError::Evaluation("NNZ() expects a vector".into()))
         }
@@ -449,10 +449,10 @@ fn apply_scalar_function(name: &str, args: &[Value], ctx: &mut EvalContext) -> R
                 return Err(arity_error(2));
             }
             let a = args[0]
-                .as_feature_vector()
+                .feature_view()
                 .ok_or_else(|| SqlError::Evaluation("DOT() expects vectors".into()))?;
             let b = args[1]
-                .as_feature_vector()
+                .feature_view()
                 .ok_or_else(|| SqlError::Evaluation("DOT() expects vectors".into()))?;
             let dim = a.dimension().max(b.dimension());
             let dense_b = b.to_dense(dim);

@@ -47,12 +47,13 @@ fn parse_field(field: &str, dtype: DataType) -> Result<Value, StorageError> {
             Ok(Value::DenseVec(DenseVector::from(values)))
         }
         DataType::SparseVec => {
-            let mut pairs = Vec::new();
+            let mut indices: Vec<u32> = Vec::new();
+            let mut values: Vec<f64> = Vec::new();
             for part in field.split(';').filter(|p| !p.trim().is_empty()) {
                 let (idx, val) = part.split_once(':').ok_or_else(|| {
                     StorageError::Parse(format!("sparse entry '{part}' is not index:value"))
                 })?;
-                let idx: usize = idx
+                let idx: u32 = idx
                     .trim()
                     .parse()
                     .map_err(|e| StorageError::Parse(format!("bad sparse index '{idx}': {e}")))?;
@@ -60,9 +61,16 @@ fn parse_field(field: &str, dtype: DataType) -> Result<Value, StorageError> {
                     .trim()
                     .parse()
                     .map_err(|e| StorageError::Parse(format!("bad sparse value '{val}': {e}")))?;
-                pairs.push((idx, val));
+                indices.push(idx);
+                values.push(val);
             }
-            Ok(Value::SparseVec(SparseVector::from_pairs(pairs)))
+            // The checked constructor rejects unsorted or duplicate indices
+            // outright — dot products and binary-search lookups assume a
+            // strictly increasing layout, and a malformed input row must not
+            // silently corrupt them.
+            SparseVector::try_from_sorted(indices, values)
+                .map(Value::SparseVec)
+                .map_err(|e| StorageError::Parse(format!("bad sparse field '{field}': {e}")))
         }
         DataType::Sequence => Err(StorageError::Parse(
             "SEQUENCE columns are not supported by the text format".to_string(),
@@ -151,11 +159,8 @@ mod tests {
         let t = table_from_str("t", schema(), text).unwrap();
         assert_eq!(t.len(), 2);
         assert_eq!(t.get(0).unwrap().get_int(0), Some(1));
-        assert_eq!(
-            t.get(0).unwrap().get_feature_vector(1).unwrap().dimension(),
-            2
-        );
-        assert_eq!(t.get(0).unwrap().get_feature_vector(2).unwrap().nnz(), 2);
+        assert_eq!(t.get(0).unwrap().feature_view(1).unwrap().dimension(), 2);
+        assert_eq!(t.get(0).unwrap().feature_view(2).unwrap().nnz(), 2);
         assert!(t.get(1).unwrap().get(3).unwrap().is_null());
         assert_eq!(t.get(1).unwrap().get_text(4), Some("bob"));
 
@@ -165,7 +170,7 @@ mod tests {
         assert_eq!(
             t2.get(0)
                 .unwrap()
-                .get_feature_vector(2)
+                .feature_view(2)
                 .unwrap()
                 .dot(&[1.0, 0.0, 0.0, 1.0]),
             1.5 + 2.0
@@ -193,5 +198,16 @@ mod tests {
         assert!(table_from_str("t", schema(), text2).is_err());
         let text3 = "1,1.0,zz,0.0,n\n";
         assert!(table_from_str("t", schema(), text3).is_err());
+    }
+
+    #[test]
+    fn unsorted_or_duplicate_sparse_entries_rejected() {
+        // Out-of-order indices would corrupt binary-search lookups; the
+        // checked constructor turns them into a parse error.
+        let unsorted = "1,1.0,3:1.0;0:2.0,0.0,n\n";
+        let err = table_from_str("t", schema(), unsorted).unwrap_err();
+        assert!(matches!(err, StorageError::Parse(msg) if msg.contains("strictly increasing")));
+        let duplicated = "1,1.0,2:1.0;2:2.0,0.0,n\n";
+        assert!(table_from_str("t", schema(), duplicated).is_err());
     }
 }

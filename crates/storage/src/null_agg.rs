@@ -26,10 +26,10 @@ impl NullAggregate {
     /// Transition: observe one tuple without computing anything.
     ///
     /// "Sees the same data" means the engine still pays the per-tuple cost of
-    /// materializing the aggregate's arguments (tuple deforming, datum
-    /// copies) even though the aggregate ignores them. We model that by
-    /// materializing every column value — cloning array payloads exactly as
-    /// the typed accessors used by the real tasks do — and only then
+    /// materializing the aggregate's arguments even though it ignores them.
+    /// We model that by touching every column value through the same
+    /// zero-copy accessors the real tasks use — borrowing array payloads,
+    /// not cloning them, exactly like the kernel-based gradient path — and
     /// discarding the result. Without this, the baseline would measure a
     /// bare pointer walk and wildly overstate the relative cost of the
     /// gradient arithmetic.
@@ -38,7 +38,7 @@ impl NullAggregate {
         self.tuples_seen += 1;
         let mut bytes = 0usize;
         for value in tuple.values() {
-            if let Some(fv) = value.as_feature_vector() {
+            if let Some(fv) = value.feature_view() {
                 bytes += fv.nnz() * 8;
             } else {
                 bytes += value.approx_bytes();

@@ -1,6 +1,6 @@
 //! Tuples: rows of values plus typed accessors used by the analytics layer.
 
-use bismarck_linalg::{FeatureVector, SparseVector};
+use bismarck_linalg::{FeatureVectorRef, SparseVector};
 
 use crate::value::Value;
 
@@ -50,9 +50,13 @@ impl Tuple {
         self.values.get(i).and_then(Value::as_text)
     }
 
-    /// Feature vector (dense or sparse) at position `i`.
-    pub fn get_feature_vector(&self, i: usize) -> Option<FeatureVector> {
-        self.values.get(i).and_then(Value::as_feature_vector)
+    /// Zero-copy feature-vector view (dense or sparse) at position `i`.
+    ///
+    /// The view borrows the stored payload directly, so reading a feature
+    /// column on the per-tuple training path performs no allocation.
+    #[inline]
+    pub fn feature_view(&self, i: usize) -> Option<FeatureVectorRef<'_>> {
+        self.values.get(i).and_then(Value::feature_view)
     }
 
     /// Label sequence at position `i`.
@@ -99,8 +103,8 @@ mod tests {
         assert_eq!(t.get_int(0), Some(7));
         assert_eq!(t.get_double(2), Some(-1.0));
         assert_eq!(t.get_text(3), Some("paper"));
-        assert_eq!(t.get_feature_vector(1).unwrap().dimension(), 2);
-        assert_eq!(t.get_feature_vector(4).unwrap().nnz(), 1);
+        assert_eq!(t.feature_view(1).unwrap().dimension(), 2);
+        assert_eq!(t.feature_view(4).unwrap().nnz(), 1);
         assert!(t.get_sequence(0).is_none());
     }
 

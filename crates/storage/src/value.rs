@@ -6,7 +6,7 @@
 //! sparse array of doubles — the "array of floats" column type the MADlib
 //! interface expects.
 
-use bismarck_linalg::{DenseVector, FeatureVector, SparseVector};
+use bismarck_linalg::{DenseVector, FeatureVectorRef, SparseVector};
 
 use crate::schema::DataType;
 
@@ -76,11 +76,17 @@ impl Value {
         }
     }
 
-    /// Interpret as a feature vector (dense or sparse), cloning the payload.
-    pub fn as_feature_vector(&self) -> Option<FeatureVector> {
+    /// Borrow as a zero-copy feature-vector view (dense or sparse).
+    ///
+    /// This replaced a `FeatureVector`-cloning accessor: the training hot
+    /// path reads every feature column once per tuple per epoch, so the view
+    /// must not heap-allocate. Call `.to_owned()` on the view at the few
+    /// call sites that need the vector to outlive the tuple.
+    #[inline]
+    pub fn feature_view(&self) -> Option<FeatureVectorRef<'_>> {
         match self {
-            Value::DenseVec(v) => Some(FeatureVector::Dense(v.clone())),
-            Value::SparseVec(v) => Some(FeatureVector::Sparse(v.clone())),
+            Value::DenseVec(v) => Some(FeatureVectorRef::Dense(v.as_slice())),
+            Value::SparseVec(v) => Some(FeatureVectorRef::from(v)),
             _ => None,
         }
     }
@@ -171,13 +177,17 @@ mod tests {
     }
 
     #[test]
-    fn feature_vector_conversion() {
+    fn feature_view_borrows_both_layouts() {
         let v = Value::from(vec![1.0, 2.0]);
-        let fv = v.as_feature_vector().unwrap();
+        let fv = v.feature_view().unwrap();
         assert_eq!(fv.dimension(), 2);
+        assert!((fv.dot(&[1.0, 1.0]) - 3.0).abs() < 1e-12);
         let sv = Value::from(SparseVector::from_pairs(vec![(7, 1.0)]));
-        assert_eq!(sv.as_feature_vector().unwrap().dimension(), 8);
-        assert!(Value::Int(3).as_feature_vector().is_none());
+        assert_eq!(sv.feature_view().unwrap().dimension(), 8);
+        assert!(Value::Int(3).feature_view().is_none());
+        // The view borrows: converting to owned reproduces the payload.
+        let owned = sv.feature_view().unwrap().to_owned();
+        assert_eq!(owned.nnz(), 1);
     }
 
     #[test]

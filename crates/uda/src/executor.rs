@@ -56,36 +56,54 @@ pub fn run_segmented<A: Aggregate>(agg: &A, table: &Table, segments: usize) -> A
     agg.terminate(merged)
 }
 
-/// The same shared-nothing plan as [`run_segmented`], but each segment is
-/// aggregated on its own worker thread. Partial states are merged in segment
-/// order so the result is identical to the sequential segmented plan whenever
-/// `merge` is deterministic.
+/// The same shared-nothing plan as [`run_segmented`], but executed on worker
+/// threads. Partial states are merged in segment order so the result is
+/// identical to the sequential segmented plan whenever `merge` is
+/// deterministic.
+///
+/// The number of OS threads is capped at
+/// [`std::thread::available_parallelism`]: asking for 100 segments on an
+/// 8-core box runs 100 logical segments on at most 8 workers (each worker
+/// takes a contiguous block of segments and aggregates them independently),
+/// instead of paying 100 thread spawns for no extra parallelism.
 pub fn run_segmented_parallel<A>(agg: &A, table: &Table, segments: usize) -> A::Output
 where
     A: Aggregate + Sync,
     A::State: Send,
 {
     let ranges = segment_ranges(table.len(), segments.max(1));
-    let mut partials: Vec<Option<A::State>> = Vec::with_capacity(ranges.len());
-    partials.resize_with(ranges.len(), || None);
+    let hardware = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = hardware.min(ranges.len()).max(1);
+    // Contiguous blocks of segments per worker: concatenating the per-worker
+    // results in worker order reproduces the global segment order, which the
+    // merge below depends on.
+    let per_worker = ranges.len().div_ceil(workers);
 
+    let mut partials: Vec<A::State> = Vec::with_capacity(ranges.len());
     std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(ranges.len());
-        for &(start, end) in &ranges {
+        let mut handles = Vec::with_capacity(workers);
+        for block in ranges.chunks(per_worker) {
             handles.push(scope.spawn(move || {
-                let mut state = agg.initialize();
-                for tuple in table.scan_range(start, end) {
-                    agg.transition(&mut state, tuple);
-                }
-                state
+                block
+                    .iter()
+                    .map(|&(start, end)| {
+                        let mut state = agg.initialize();
+                        for tuple in table.scan_range(start, end) {
+                            agg.transition(&mut state, tuple);
+                        }
+                        state
+                    })
+                    .collect::<Vec<A::State>>()
             }));
         }
-        for (slot, handle) in partials.iter_mut().zip(handles) {
-            *slot = Some(handle.join().expect("segment worker panicked"));
+        for handle in handles {
+            partials.extend(handle.join().expect("segment worker panicked"));
         }
     });
 
-    let mut iter = partials.into_iter().flatten();
+    let mut iter = partials.into_iter();
     let mut merged = iter.next().unwrap_or_else(|| agg.initialize());
     for partial in iter {
         agg.merge(&mut merged, partial);
@@ -144,6 +162,24 @@ mod tests {
         assert_eq!(count, 203);
         let avg = run_segmented_parallel(&AvgAggregate { column: 1 }, &t, 4).unwrap();
         assert!((avg - 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segment_counts_far_beyond_core_count_still_merge_in_order() {
+        // More segments than any machine has cores: the executor must chunk
+        // them across capped workers and still match the deterministic
+        // single-threaded segmented plan segment for segment.
+        let t = table(517);
+        for segments in [100, 256] {
+            let seq = run_segmented(&AvgAggregate { column: 1 }, &t, segments).unwrap();
+            let par = run_segmented_parallel(&AvgAggregate { column: 1 }, &t, segments).unwrap();
+            assert!((seq - par).abs() < 1e-9, "segments={segments}");
+            assert_eq!(
+                run_segmented_parallel(&CountAggregate, &t, segments),
+                517,
+                "segments={segments}"
+            );
+        }
     }
 
     #[test]

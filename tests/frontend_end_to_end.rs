@@ -109,7 +109,7 @@ fn linear_predict_matches_manual_dot_products() {
     let model = load_model(&db, "m").unwrap();
     let preds = linear_predict(&db, "m", "train", "vec").unwrap();
     for (tuple, pred) in db.table("train").unwrap().scan().zip(preds.iter()) {
-        let manual = tuple.get_feature_vector(1).unwrap().dot(&model);
+        let manual = tuple.feature_view(1).unwrap().dot(&model);
         assert!((manual - pred).abs() < 1e-12);
     }
 }
