@@ -81,7 +81,7 @@ fn bench_stepsize(c: &mut Criterion) {
                     .with_scan_order(ScanOrder::ShuffleOnce { seed: 2 })
                     .with_step_size(schedule)
                     .with_convergence(ConvergenceTest::FixedEpochs(5));
-                b.iter(|| black_box(Trainer::new(&task, config).train(&table)))
+                b.iter(|| black_box(Trainer::new(&task, config.clone()).train(&table)))
             },
         );
     }
@@ -103,10 +103,10 @@ fn bench_sparse_vs_dense(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.bench_function("sparse_rows", |b| {
-        b.iter(|| black_box(Trainer::new(&task, config).train(&sparse)))
+        b.iter(|| black_box(Trainer::new(&task, config.clone()).train(&sparse)))
     });
     group.bench_function("densified_rows", |b| {
-        b.iter(|| black_box(Trainer::new(&task, config).train(&dense)))
+        b.iter(|| black_box(Trainer::new(&task, config.clone()).train(&dense)))
     });
     group.finish();
 }
@@ -159,12 +159,12 @@ fn bench_sql_interface_overhead(c: &mut Criterion) {
         b.iter(|| {
             let mut db = Database::new();
             db.register_table(table.clone());
-            black_box(svm_train(&mut db, "m", "dblife", "vec", "label", config).unwrap())
+            black_box(svm_train(&mut db, "m", "dblife", "vec", "label", config.clone()).unwrap())
         })
     });
     group.bench_function("sql_statement", |b| {
         b.iter(|| {
-            let mut session = SqlSession::with_seed(6).with_trainer_config(config);
+            let mut session = SqlSession::with_seed(6).with_trainer_config(config.clone());
             session.register_table(table.clone());
             black_box(
                 session

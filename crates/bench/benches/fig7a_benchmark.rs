@@ -97,7 +97,7 @@ fn bench_fig7a(c: &mut Criterion) {
     group.bench_function("movielens_lmf/bismarck", |b| {
         let task = LmfTask::new(0, 1, 2, 150, 100, 10);
         let config = bismarck_config(10).with_step_size(StepSizeSchedule::Constant(0.02));
-        b.iter(|| black_box(Trainer::new(&task, config).train(&movielens)))
+        b.iter(|| black_box(Trainer::new(&task, config.clone()).train(&movielens)))
     });
     group.bench_function("movielens_lmf/als", |b| {
         b.iter(|| {

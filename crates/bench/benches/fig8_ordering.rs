@@ -35,7 +35,7 @@ fn bench_fig8(c: &mut Criterion) {
                 .with_scan_order(order)
                 .with_step_size(StepSizeSchedule::Constant(0.2))
                 .with_convergence(ConvergenceTest::FixedEpochs(4));
-            b.iter(|| black_box(Trainer::new(&task, config).train(&table)))
+            b.iter(|| black_box(Trainer::new(&task, config.clone()).train(&table)))
         });
     }
     group.finish();

@@ -64,7 +64,9 @@ fn bench_fig9b(c: &mut Criterion) {
                 &strategy,
                 |b, &strategy| {
                     b.iter(|| {
-                        black_box(ParallelTrainer::new(&task, config, strategy).train(&table))
+                        black_box(
+                            ParallelTrainer::new(&task, config.clone(), strategy).train(&table),
+                        )
                     })
                 },
             );

@@ -151,7 +151,7 @@ pub fn cross_validate<T: IgdTask>(
             .copied()
             .collect();
         let train_table = materialize_rows(table, &train_rows, "cv_train");
-        let trained = Trainer::new(task, config).train(&train_table);
+        let trained = Trainer::new(task, config.clone()).train(&train_table);
 
         let mut predictions = Vec::new();
         let mut labels = Vec::new();

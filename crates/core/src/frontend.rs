@@ -11,6 +11,7 @@
 use bismarck_storage::{Column, DataType, Database, Schema, StorageError, Table, Value};
 use bismarck_uda::TrainingHistory;
 
+use crate::error::TrainError;
 use crate::task::IgdTask;
 use crate::tasks::{CrfTask, LmfTask, LogisticRegressionTask, SvmTask};
 use crate::trainer::{Trainer, TrainerConfig};
@@ -22,6 +23,9 @@ pub enum FrontendError {
     Storage(StorageError),
     /// The training table is empty or otherwise unusable.
     InvalidInput(String),
+    /// The training run itself failed (worker panic, divergence, checkpoint
+    /// I/O); carries the rendered [`TrainError`] message.
+    Training(String),
 }
 
 impl std::fmt::Display for FrontendError {
@@ -29,6 +33,7 @@ impl std::fmt::Display for FrontendError {
         match self {
             FrontendError::Storage(e) => write!(f, "storage error: {e}"),
             FrontendError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            FrontendError::Training(msg) => write!(f, "training failed: {msg}"),
         }
     }
 }
@@ -38,6 +43,12 @@ impl std::error::Error for FrontendError {}
 impl From<StorageError> for FrontendError {
     fn from(e: StorageError) -> Self {
         FrontendError::Storage(e)
+    }
+}
+
+impl From<TrainError> for FrontendError {
+    fn from(e: TrainError) -> Self {
+        FrontendError::Training(e.to_string())
     }
 }
 
@@ -148,7 +159,7 @@ pub fn logistic_regression_train(
 ) -> Result<TrainSummary, FrontendError> {
     let (fcol, lcol, dim) = resolve_training_table(db, table_name, features_col, label_col)?;
     let task = LogisticRegressionTask::new(fcol, lcol, dim);
-    let trained = Trainer::new(&task, config).train(db.table(table_name)?);
+    let trained = Trainer::new(&task, config).try_train(db.table(table_name)?)?;
     persist_model(db, model_name, &trained.model)?;
     Ok(TrainSummary {
         task: "LR",
@@ -173,7 +184,7 @@ pub fn svm_train(
 ) -> Result<TrainSummary, FrontendError> {
     let (fcol, lcol, dim) = resolve_training_table(db, table_name, features_col, label_col)?;
     let task = SvmTask::new(fcol, lcol, dim);
-    let trained = Trainer::new(&task, config).train(db.table(table_name)?);
+    let trained = Trainer::new(&task, config).try_train(db.table(table_name)?)?;
     persist_model(db, model_name, &trained.model)?;
     Ok(TrainSummary {
         task: "SVM",
@@ -211,7 +222,7 @@ pub fn lmf_train(
     let ccol = table.column_index(col_col)?;
     let vcol = table.column_index(rating_col)?;
     let task = LmfTask::new(rcol, ccol, vcol, rows, cols, rank);
-    let trained = Trainer::new(&task, config).train(table);
+    let trained = Trainer::new(&task, config).try_train(table)?;
     persist_model(db, model_name, &trained.model)?;
     Ok(TrainSummary {
         task: "LMF",
@@ -320,7 +331,7 @@ pub fn crf_train(
         )));
     }
     let task = CrfTask::new(scol, num_features, num_labels);
-    let trained = Trainer::new(&task, config).train(table);
+    let trained = Trainer::new(&task, config).try_train(table)?;
     persist_model(db, model_name, &trained.model)?;
     Ok(TrainSummary {
         task: "CRF",

@@ -28,7 +28,11 @@
 //!   from a [`bismarck_storage::Database`] and persist the model back as a
 //!   table, mimicking the MADlib-style SQL interface of Section 2.1.
 
+pub mod checkpoint;
+pub mod error;
 pub mod evaluation;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod frontend;
 pub mod igd;
 pub mod metrics;
@@ -40,10 +44,14 @@ pub mod task;
 pub mod tasks;
 pub mod trainer;
 
+pub use crate::checkpoint::TrainingCheckpoint;
+pub use crate::error::TrainError;
+#[cfg(feature = "fault-injection")]
+pub use crate::fault::{Fault, FaultyTask};
 pub use crate::igd::{IgdAggregate, IgdState};
 pub use crate::model::{AigStore, DenseModelStore, ModelStore, NoLockStore};
 pub use crate::mrs::{MrsConfig, MrsTrainer};
 pub use crate::parallel::{ParallelStrategy, ParallelTrainer, UpdateDiscipline};
 pub use crate::stepsize::StepSizeSchedule;
 pub use crate::task::{IgdTask, ProximalPolicy};
-pub use crate::trainer::{TrainedModel, Trainer, TrainerConfig};
+pub use crate::trainer::{BackoffPolicy, CheckpointPolicy, TrainedModel, Trainer, TrainerConfig};

@@ -198,6 +198,7 @@ impl<'a, T: IgdTask> MrsTrainer<'a, T> {
                     loss,
                     gradient_norm: None,
                     shuffle_duration: Duration::ZERO,
+                    retries: 0,
                 }
             });
 
@@ -279,6 +280,7 @@ pub fn subsampling_train<T: IgdTask>(
             loss,
             gradient_norm: None,
             shuffle_duration: Duration::ZERO,
+            retries: 0,
         }
     });
 

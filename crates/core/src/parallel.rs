@@ -13,16 +13,23 @@
 //!   **NoLock** (Hogwild!). The paper adopts NoLock for Bismarck because it
 //!   converges like Lock but scales like the lock-free scheme.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 use bismarck_storage::{segment_ranges, ScanOrder, SharedModel, Table};
-use bismarck_uda::{run_segmented_parallel, EpochOutcome, EpochRunner};
+use bismarck_uda::{panic_message, try_run_segmented_parallel, EpochOutcome, EpochRunner};
 use parking_lot::Mutex;
 
+use crate::checkpoint::TrainingCheckpoint;
+use crate::error::TrainError;
 use crate::igd::IgdAggregate;
 use crate::model::{AigStore, NoLockStore, SliceModelStore};
 use crate::task::{IgdTask, ProximalPolicy};
-use crate::trainer::{TrainedModel, TrainerConfig};
+use crate::trainer::{
+    maybe_write_checkpoint, prior_records, stop_requested, unwrap_trained, validate_checkpoint,
+    write_interrupt_checkpoint, EpochAbort, ResumeState, TrainedModel, TrainerConfig,
+};
 
 /// How shared-memory workers update the model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,7 +92,11 @@ impl ParallelStrategy {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParallelEpochStats {
     /// Time spent in the parallel gradient pass (excludes shuffle and loss).
+    /// When an epoch needed divergence retries, this accumulates the passes.
     pub gradient_duration: Duration,
+    /// Divergence recoveries (restore + step-size backoff) consumed while
+    /// producing this epoch. Zero on the fault-free path.
+    pub retries: u32,
 }
 
 /// Trainer that runs each epoch's gradient pass in parallel.
@@ -112,107 +123,290 @@ impl<'a, T: IgdTask> ParallelTrainer<'a, T> {
     }
 
     /// Train on a table starting from the task's initial model.
+    ///
+    /// Infallible wrapper over [`Self::try_train`]: failures (worker panic,
+    /// exhausted divergence budget, checkpoint I/O error) panic with the
+    /// error message — the historical behavior — while a cooperative
+    /// interrupt returns the last completed epoch's model.
     pub fn train(&self, table: &Table) -> (TrainedModel, Vec<ParallelEpochStats>) {
         self.train_from(table, self.task.initial_model())
     }
 
-    /// Train starting from a caller-provided model.
+    /// Train starting from a caller-provided model. See [`Self::train`] for
+    /// how failures surface.
     pub fn train_from(
         &self,
         table: &Table,
         initial_model: Vec<f64>,
     ) -> (TrainedModel, Vec<ParallelEpochStats>) {
+        let (result, stats) = self.try_train_impl(table, initial_model, None);
+        (unwrap_trained(result), stats)
+    }
+
+    /// Fallible training from the task's initial model.
+    pub fn try_train(
+        &self,
+        table: &Table,
+    ) -> Result<(TrainedModel, Vec<ParallelEpochStats>), TrainError> {
+        self.try_train_from(table, self.task.initial_model())
+    }
+
+    /// Fallible training from a caller-provided model.
+    ///
+    /// A panic in any gradient worker is caught, the epoch's partial updates
+    /// are discarded, and the run reports [`TrainError::WorkerPanic`]
+    /// carrying the last completed epoch's (finite) model instead of
+    /// aborting the process.
+    pub fn try_train_from(
+        &self,
+        table: &Table,
+        initial_model: Vec<f64>,
+    ) -> Result<(TrainedModel, Vec<ParallelEpochStats>), TrainError> {
+        let (result, stats) = self.try_train_impl(table, initial_model, None);
+        result.map(|trained| (trained, stats))
+    }
+
+    /// Resume a checkpointed parallel run. The same validation as
+    /// [`crate::Trainer::resume_from`] applies; note that only the `Lock`
+    /// discipline (and single-worker runs) are deterministic enough for the
+    /// resumed trajectory to match an uninterrupted one bitwise — AIG/NoLock
+    /// runs are racy by design, with or without checkpoints.
+    pub fn resume_from(
+        &self,
+        table: &Table,
+        path: impl AsRef<Path>,
+    ) -> Result<(TrainedModel, Vec<ParallelEpochStats>), TrainError> {
+        let checkpoint = TrainingCheckpoint::read(path.as_ref())?;
+        validate_checkpoint(&checkpoint, self.task, &self.config)?;
+        let model = checkpoint.model.clone();
+        let resume = ResumeState {
+            next_epoch: checkpoint.next_epoch,
+            alpha_scale: checkpoint.alpha_scale,
+            retries_used: checkpoint.retries_used,
+            losses: checkpoint.losses,
+        };
+        let (result, stats) = self.try_train_impl(table, model, Some(resume));
+        result.map(|trained| (trained, stats))
+    }
+
+    fn try_train_impl(
+        &self,
+        table: &Table,
+        initial_model: Vec<f64>,
+        resume: Option<ResumeState>,
+    ) -> (Result<TrainedModel, TrainError>, Vec<ParallelEpochStats>) {
+        let task = self.task;
+        let config = &self.config;
+        let strategy = self.strategy;
+        let (start_epoch, mut alpha_scale, mut retries_used, prior_losses) = match resume {
+            Some(r) => (r.next_epoch, r.alpha_scale, r.retries_used, r.losses),
+            None => (0, 1.0, 0, Vec::new()),
+        };
         let mut model = initial_model;
+        let mut last_good = model.clone();
+        let mut losses_so_far = prior_losses.clone();
         let mut stats = Vec::new();
         let mut cached_permutation: Option<Vec<usize>> = None;
-        let runner = EpochRunner::new(self.config.convergence);
-        let task = self.task;
-        let config = self.config;
-        let strategy = self.strategy;
+        let runner = EpochRunner::new(config.convergence);
 
-        let history = runner.run(|epoch| {
-            // Reorder if requested (timed, as in the sequential trainer).
-            let shuffle_start = Instant::now();
-            let permutation: Option<&[usize]> = match config.scan_order {
-                ScanOrder::Clustered => None,
-                ScanOrder::ShuffleOnce { .. } => {
-                    if cached_permutation.is_none() {
-                        cached_permutation = config.scan_order.permutation(table.len(), epoch);
+        let (history, aborted) =
+            runner.try_run_from(start_epoch, prior_records(&prior_losses), |epoch| {
+                let mut epoch_retries = 0u32;
+                let mut gradient_duration = Duration::ZERO;
+                loop {
+                    if stop_requested(config) {
+                        write_interrupt_checkpoint(
+                            task,
+                            config,
+                            epoch,
+                            &last_good,
+                            alpha_scale,
+                            retries_used,
+                            &losses_so_far,
+                        )?;
+                        return Err(EpochAbort::Interrupted);
                     }
-                    cached_permutation.as_deref()
-                }
-                ScanOrder::ShuffleAlways { .. } => {
-                    cached_permutation = config.scan_order.permutation(table.len(), epoch);
-                    cached_permutation.as_deref()
-                }
-            };
-            let shuffle_duration = if config.scan_order.shuffles_at(epoch) {
-                shuffle_start.elapsed()
-            } else {
-                Duration::ZERO
-            };
 
-            let alpha = config.step_size.at(epoch);
-            let gradient_start = Instant::now();
-            let current = std::mem::take(&mut model);
-            model = match strategy {
-                ParallelStrategy::PureUda { segments } => {
-                    run_pure_uda_epoch(task, table, current, alpha, segments)
+                    // Reorder if requested (timed, as in the sequential
+                    // trainer).
+                    let shuffle_start = Instant::now();
+                    let permutation: Option<&[usize]> = match config.scan_order {
+                        ScanOrder::Clustered => None,
+                        ScanOrder::ShuffleOnce { .. } => {
+                            if cached_permutation.is_none() {
+                                cached_permutation =
+                                    config.scan_order.permutation(table.len(), epoch);
+                            }
+                            cached_permutation.as_deref()
+                        }
+                        ScanOrder::ShuffleAlways { .. } => {
+                            cached_permutation = config.scan_order.permutation(table.len(), epoch);
+                            cached_permutation.as_deref()
+                        }
+                    };
+                    let shuffle_duration = if config.scan_order.shuffles_at(epoch) {
+                        shuffle_start.elapsed()
+                    } else {
+                        Duration::ZERO
+                    };
+
+                    let alpha = config.step_size.at(epoch) * alpha_scale;
+                    let gradient_start = Instant::now();
+                    let current = std::mem::take(&mut model);
+                    let pass = match strategy {
+                        ParallelStrategy::PureUda { segments } => {
+                            run_pure_uda_epoch(task, table, current, alpha, segments)
+                        }
+                        ParallelStrategy::SharedMemory {
+                            workers,
+                            discipline,
+                        } => run_shared_memory_epoch(
+                            task,
+                            table,
+                            permutation,
+                            current,
+                            alpha,
+                            workers,
+                            discipline,
+                        ),
+                    };
+                    gradient_duration += gradient_start.elapsed();
+                    match pass {
+                        Ok(new_model) => model = new_model,
+                        // A worker panic aborts the run: the epoch's partial
+                        // updates are gone (and under AIG/NoLock the shared
+                        // model may hold a half-applied epoch), so the only
+                        // trustworthy state is the last-good snapshot carried
+                        // by the error.
+                        Err(panic) => return Err(panic),
+                    }
+
+                    let mut loss = task.regularizer(&model);
+                    for tuple in table.scan() {
+                        loss += task.example_loss(&model, tuple);
+                    }
+
+                    let healthy = loss.is_finite() && model.iter().all(|v| v.is_finite());
+                    if !healthy {
+                        if retries_used < config.backoff.max_retries {
+                            retries_used += 1;
+                            epoch_retries += 1;
+                            alpha_scale *= config.backoff.factor;
+                            model.clear();
+                            model.extend_from_slice(&last_good);
+                            continue;
+                        }
+                        if config.backoff.max_retries > 0 {
+                            return Err(EpochAbort::Diverged {
+                                retries: retries_used,
+                            });
+                        }
+                    } else {
+                        last_good.clear();
+                        last_good.extend_from_slice(&model);
+                    }
+                    losses_so_far.push(loss);
+                    if healthy {
+                        maybe_write_checkpoint(
+                            task,
+                            config,
+                            epoch + 1,
+                            &model,
+                            alpha_scale,
+                            retries_used,
+                            &losses_so_far,
+                        )?;
+                    }
+                    stats.push(ParallelEpochStats {
+                        gradient_duration,
+                        retries: epoch_retries,
+                    });
+                    return Ok(EpochOutcome {
+                        loss,
+                        gradient_norm: None,
+                        shuffle_duration,
+                        retries: epoch_retries,
+                    });
                 }
-                ParallelStrategy::SharedMemory {
-                    workers,
-                    discipline,
-                } => run_shared_memory_epoch(
-                    task,
-                    table,
-                    permutation,
-                    current,
-                    alpha,
-                    workers,
-                    discipline,
-                ),
-            };
-            let gradient_duration = gradient_start.elapsed();
-            stats.push(ParallelEpochStats { gradient_duration });
+            });
 
-            let mut loss = task.regularizer(&model);
-            for tuple in table.scan() {
-                loss += task.example_loss(&model, tuple);
-            }
-            EpochOutcome {
-                loss,
-                gradient_norm: None,
-                shuffle_duration,
-            }
-        });
-
-        (
-            TrainedModel {
-                task_name: self.task.name(),
+        let task_name = task.name();
+        let result = match aborted {
+            None => Ok(TrainedModel {
+                task_name,
                 model,
                 history,
-            },
-            stats,
-        )
+            }),
+            Some((epoch, abort)) => Err(abort.into_train_error(
+                epoch,
+                TrainedModel {
+                    task_name,
+                    model: last_good,
+                    history,
+                },
+            )),
+        };
+        (result, stats)
     }
 }
 
 /// One pure-UDA (shared-nothing) epoch: segment-parallel aggregation with
 /// model-averaging merge. Segments see their rows in clustered order, which
-/// matches how a parallel engine distributes tuples to segments.
+/// matches how a parallel engine distributes tuples to segments. A worker
+/// panic is isolated by the segmented executor and surfaced as an abort.
 fn run_pure_uda_epoch<T: IgdTask>(
     task: &T,
     table: &Table,
     model: Vec<f64>,
     alpha: f64,
     segments: usize,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, EpochAbort> {
     let aggregate = IgdAggregate::new(task, alpha, model);
-    let state = run_segmented_parallel(&aggregate, table, segments.max(1));
-    state.model.into_vec()
+    match try_run_segmented_parallel(&aggregate, table, segments.max(1)) {
+        Ok(state) => Ok(state.model.into_vec()),
+        Err(panic) => Err(EpochAbort::WorkerPanic {
+            failed_workers: panic.failed_workers,
+            message: panic.message,
+        }),
+    }
+}
+
+/// Collect per-worker `catch_unwind` results, folding any panics into an
+/// [`EpochAbort::WorkerPanic`].
+fn collect_worker_outcomes(outcomes: Vec<std::thread::Result<()>>) -> Result<(), EpochAbort> {
+    let mut failed_workers = 0usize;
+    let mut message = String::new();
+    for outcome in outcomes {
+        if let Err(payload) = outcome {
+            failed_workers += 1;
+            if message.is_empty() {
+                message = panic_message(payload.as_ref());
+            }
+        }
+    }
+    if failed_workers > 0 {
+        Err(EpochAbort::WorkerPanic {
+            failed_workers,
+            message,
+        })
+    } else {
+        Ok(())
+    }
 }
 
 /// One shared-memory epoch with the chosen update discipline.
+///
+/// Each worker body runs under `catch_unwind` so one panicking
+/// `gradient_step` cannot take down the process; the surviving workers
+/// finish their tuples and the epoch reports the failure instead.
+///
+/// Unwind safety: the state the workers share is plain `f64` data — a
+/// `Vec<f64>` behind a `parking_lot::Mutex` (which does not poison; the
+/// guard is released during unwind) or `AtomicU64` cells in [`SharedModel`]
+/// — with no invariants coupling components. A caught panic can at worst
+/// leave a *partially updated* model, and the caller never uses a failed
+/// epoch's model: it restores the last-good snapshot carried by the error.
+/// That makes `AssertUnwindSafe` sound here.
 fn run_shared_memory_epoch<T: IgdTask>(
     task: &T,
     table: &Table,
@@ -221,7 +415,7 @@ fn run_shared_memory_epoch<T: IgdTask>(
     alpha: f64,
     workers: usize,
     discipline: UpdateDiscipline,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, EpochAbort> {
     let workers = workers.max(1);
     let n = table.len();
     let ranges = segment_ranges(permutation.map_or(n, <[usize]>::len), workers);
@@ -236,55 +430,82 @@ fn run_shared_memory_epoch<T: IgdTask>(
         })
         .collect();
 
-    let mut final_model = match discipline {
+    let final_model = match discipline {
         UpdateDiscipline::Lock => {
             let locked = Mutex::new(model);
-            std::thread::scope(|scope| {
-                for rows in &worker_rows {
-                    let locked = &locked;
-                    scope.spawn(move || {
-                        for &row in rows {
-                            let Ok(tuple) = table.get(row) else { continue };
-                            let mut guard = locked.lock();
-                            let mut store = SliceModelStore::new(guard.as_mut_slice());
-                            task.gradient_step(&mut store, tuple, alpha);
-                            if task.proximal_policy() == ProximalPolicy::PerStep {
-                                task.proximal_step(guard.as_mut_slice(), alpha);
-                            }
-                        }
-                    });
-                }
+            let outcomes = std::thread::scope(|scope| {
+                let handles: Vec<_> = worker_rows
+                    .iter()
+                    .map(|rows| {
+                        let locked = &locked;
+                        scope.spawn(move || {
+                            catch_unwind(AssertUnwindSafe(|| {
+                                for &row in rows {
+                                    let Ok(tuple) = table.get(row) else { continue };
+                                    let mut guard = locked.lock();
+                                    let mut store = SliceModelStore::new(guard.as_mut_slice());
+                                    task.gradient_step(&mut store, tuple, alpha);
+                                    if task.proximal_policy() == ProximalPolicy::PerStep {
+                                        task.proximal_step(guard.as_mut_slice(), alpha);
+                                    }
+                                }
+                            }))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join()
+                            .expect("worker threads only panic inside catch_unwind")
+                    })
+                    .collect::<Vec<_>>()
             });
+            collect_worker_outcomes(outcomes)?;
             locked.into_inner()
         }
         UpdateDiscipline::Aig | UpdateDiscipline::NoLock => {
             let shared = SharedModel::from_slice(&model);
-            std::thread::scope(|scope| {
-                for rows in &worker_rows {
-                    let shared = shared.clone();
-                    scope.spawn(move || match discipline {
-                        UpdateDiscipline::Aig => {
-                            let mut store = AigStore::new(shared);
-                            for &row in rows {
-                                if let Ok(tuple) = table.get(row) {
-                                    task.gradient_step(&mut store, tuple, alpha);
+            let outcomes = std::thread::scope(|scope| {
+                let handles: Vec<_> = worker_rows
+                    .iter()
+                    .map(|rows| {
+                        let shared = shared.clone();
+                        scope.spawn(move || {
+                            catch_unwind(AssertUnwindSafe(|| match discipline {
+                                UpdateDiscipline::Aig => {
+                                    let mut store = AigStore::new(shared);
+                                    for &row in rows {
+                                        if let Ok(tuple) = table.get(row) {
+                                            task.gradient_step(&mut store, tuple, alpha);
+                                        }
+                                    }
                                 }
-                            }
-                        }
-                        _ => {
-                            let mut store = NoLockStore::new(shared);
-                            for &row in rows {
-                                if let Ok(tuple) = table.get(row) {
-                                    task.gradient_step(&mut store, tuple, alpha);
+                                _ => {
+                                    let mut store = NoLockStore::new(shared);
+                                    for &row in rows {
+                                        if let Ok(tuple) = table.get(row) {
+                                            task.gradient_step(&mut store, tuple, alpha);
+                                        }
+                                    }
                                 }
-                            }
-                        }
-                    });
-                }
+                            }))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join()
+                            .expect("worker threads only panic inside catch_unwind")
+                    })
+                    .collect::<Vec<_>>()
             });
+            collect_worker_outcomes(outcomes)?;
             shared.snapshot()
         }
     };
+    let mut final_model = final_model;
 
     // Per-epoch proximal step (and, for the lock-free disciplines, the
     // per-step operator demoted to per-epoch as documented in `task`).
@@ -297,7 +518,7 @@ fn run_shared_memory_epoch<T: IgdTask>(
         }
         ProximalPolicy::None => {}
     }
-    final_model
+    Ok(final_model)
 }
 
 #[cfg(test)]
@@ -407,7 +628,7 @@ mod tests {
         let cfg = config(5).with_scan_order(ScanOrder::Clustered);
         let (par, _) = ParallelTrainer::new(
             &task,
-            cfg,
+            cfg.clone(),
             ParallelStrategy::SharedMemory {
                 workers: 1,
                 discipline: UpdateDiscipline::Lock,

@@ -1,4 +1,5 @@
-//! The sequential Bismarck trainer: epochs, data ordering and convergence.
+//! The sequential Bismarck trainer: epochs, data ordering, convergence and
+//! fault tolerance.
 //!
 //! This is the single-threaded path of Figure 2: each epoch runs the IGD
 //! aggregate over the table in the configured scan order, evaluates the loss,
@@ -6,18 +7,72 @@
 //! Section 3.2 (Clustered, ShuffleOnce, ShuffleAlways) differ only in which
 //! permutation — if any — is handed to the scan, and in how often the
 //! (timed) shuffle cost is paid.
+//!
+//! On top of the epoch loop sits a fault-tolerant runtime in the spirit of
+//! the RDBMS the trainer is meant to live inside: a panicking gradient pass
+//! is isolated ([`TrainError::WorkerPanic`]), a diverged epoch (non-finite
+//! model or loss) restores the last healthy snapshot and retries with a
+//! smaller step size ([`BackoffPolicy`]), progress can be persisted every N
+//! epochs ([`CheckpointPolicy`]) and picked back up with
+//! [`Trainer::resume_from`], and a cooperative stop flag interrupts the run
+//! at an epoch boundary. All of it stays off the per-tuple hot path: the
+//! extra work is one `catch_unwind` frame, one O(d) snapshot and one O(d)
+//! finiteness scan per *epoch*.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use bismarck_storage::checkpoint::CheckpointError;
 use bismarck_storage::{ScanOrder, Table};
-use bismarck_uda::{run_sequential, ConvergenceTest, EpochOutcome, EpochRunner, TrainingHistory};
+use bismarck_uda::{
+    panic_message, run_sequential, ConvergenceTest, EpochOutcome, EpochRecord, EpochRunner,
+    TrainingHistory,
+};
 
+use crate::checkpoint::TrainingCheckpoint;
+use crate::error::TrainError;
 use crate::igd::IgdAggregate;
 use crate::stepsize::StepSizeSchedule;
 use crate::task::IgdTask;
 
+/// Divergence-recovery policy: how many times a run may restore its
+/// last-good snapshot and shrink the step size after observing a non-finite
+/// model or loss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffPolicy {
+    /// Total recovery budget for the run. Zero (the default) disables the
+    /// machinery entirely: a diverged epoch is recorded as-is and the
+    /// convergence test stops the run, un-converged.
+    pub max_retries: u32,
+    /// Multiplier applied to the effective step size on each recovery
+    /// (`0.5` halves it, the classic backoff).
+    pub factor: f64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            max_retries: 0,
+            factor: 0.5,
+        }
+    }
+}
+
+/// When and where to persist training checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// File the checkpoint is (atomically) written to; each write replaces
+    /// the previous checkpoint.
+    pub path: PathBuf,
+    /// Write after every `every` completed epochs. Zero disables writing.
+    pub every: usize,
+}
+
 /// Configuration shared by the sequential and parallel trainers.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct TrainerConfig {
     /// Step-size schedule indexed by epoch.
     pub step_size: StepSizeSchedule,
@@ -25,6 +80,14 @@ pub struct TrainerConfig {
     pub scan_order: ScanOrder,
     /// Stopping condition.
     pub convergence: ConvergenceTest,
+    /// Divergence-recovery policy (disabled by default).
+    pub backoff: BackoffPolicy,
+    /// Periodic checkpointing policy (none by default).
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Cooperative interrupt: when the flag becomes `true`, the run stops at
+    /// the next epoch boundary with [`TrainError::Interrupted`] (after
+    /// writing a final checkpoint if a policy is configured).
+    pub stop_flag: Option<Arc<AtomicBool>>,
 }
 
 impl Default for TrainerConfig {
@@ -33,6 +96,9 @@ impl Default for TrainerConfig {
             step_size: StepSizeSchedule::default(),
             scan_order: ScanOrder::ShuffleOnce { seed: 42 },
             convergence: ConvergenceTest::paper_default(20),
+            backoff: BackoffPolicy::default(),
+            checkpoint: None,
+            stop_flag: None,
         }
     }
 }
@@ -53,6 +119,28 @@ impl TrainerConfig {
     /// Builder-style override of the convergence test.
     pub fn with_convergence(mut self, convergence: ConvergenceTest) -> Self {
         self.convergence = convergence;
+        self
+    }
+
+    /// Enable divergence recovery: up to `max_retries` restore-and-halve
+    /// retries per run (see [`BackoffPolicy`]).
+    pub fn with_backoff(mut self, max_retries: u32) -> Self {
+        self.backoff.max_retries = max_retries;
+        self
+    }
+
+    /// Persist a checkpoint to `path` after every `every` completed epochs.
+    pub fn with_checkpoints(mut self, path: impl Into<PathBuf>, every: usize) -> Self {
+        self.checkpoint = Some(CheckpointPolicy {
+            path: path.into(),
+            every,
+        });
+        self
+    }
+
+    /// Install a cooperative stop flag checked at every epoch boundary.
+    pub fn with_stop_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.stop_flag = Some(flag);
         self
     }
 }
@@ -108,66 +196,420 @@ impl<'a, T: IgdTask> Trainer<'a, T> {
     }
 
     /// Train on a table starting from the task's initial model.
+    ///
+    /// Infallible wrapper over [`Self::try_train`] preserving the historical
+    /// behavior: a failure (worker panic, exhausted divergence budget,
+    /// checkpoint I/O error) panics with the error message, exactly as the
+    /// pre-fault-tolerance trainer would have aborted. The one exception is a
+    /// cooperative interrupt, which returns the last completed epoch's model
+    /// — stopping on request is not a failure.
     pub fn train(&self, table: &Table) -> TrainedModel {
-        self.train_from(table, self.task.initial_model())
+        unwrap_trained(self.try_train(table))
     }
 
     /// Train on a table starting from a caller-provided model (the paper's
-    /// "a model returned by a previous run").
+    /// "a model returned by a previous run"). See [`Self::train`] for how
+    /// failures surface.
     pub fn train_from(&self, table: &Table, initial_model: Vec<f64>) -> TrainedModel {
-        let mut model = initial_model;
-        // ShuffleOnce reuses one permutation; cache it so its cost is paid
-        // exactly once and counted in epoch 0's shuffle time.
-        let mut cached_permutation: Option<Vec<usize>> = None;
-        let runner = EpochRunner::new(self.config.convergence);
+        unwrap_trained(self.try_train_from(table, initial_model))
+    }
+
+    /// Fallible training from the task's initial model.
+    pub fn try_train(&self, table: &Table) -> Result<TrainedModel, TrainError> {
+        self.try_train_from(table, self.task.initial_model())
+    }
+
+    /// Fallible training from a caller-provided model.
+    ///
+    /// On failure, the returned [`TrainError`] carries the model of the last
+    /// epoch that completed with a fully finite model and loss (the initial
+    /// model if none did), plus the history of the completed epochs.
+    pub fn try_train_from(
+        &self,
+        table: &Table,
+        initial_model: Vec<f64>,
+    ) -> Result<TrainedModel, TrainError> {
+        self.try_train_impl(table, initial_model, None)
+    }
+
+    /// Resume a checkpointed run, continuing bit-compatibly with an
+    /// uninterrupted one: the resumed run replays the same tuple order (scan
+    /// orders derive each epoch's permutation deterministically from their
+    /// persisted seed), the same step sizes, and the same convergence
+    /// decisions, so the final model is bitwise identical to a run that was
+    /// never interrupted.
+    ///
+    /// The checkpoint must match this trainer: same task name, model
+    /// dimension, scan order and step-size schedule; a mismatch reports
+    /// [`CheckpointError::Corrupt`] via [`TrainError::Checkpoint`].
+    pub fn resume_from(
+        &self,
+        table: &Table,
+        path: impl AsRef<Path>,
+    ) -> Result<TrainedModel, TrainError> {
+        let checkpoint = TrainingCheckpoint::read(path.as_ref())?;
+        validate_checkpoint(&checkpoint, self.task, &self.config)?;
+        let model = checkpoint.model.clone();
+        let resume = ResumeState {
+            next_epoch: checkpoint.next_epoch,
+            alpha_scale: checkpoint.alpha_scale,
+            retries_used: checkpoint.retries_used,
+            losses: checkpoint.losses,
+        };
+        self.try_train_impl(table, model, Some(resume))
+    }
+
+    fn try_train_impl(
+        &self,
+        table: &Table,
+        initial_model: Vec<f64>,
+        resume: Option<ResumeState>,
+    ) -> Result<TrainedModel, TrainError> {
         let task = self.task;
-        let config = self.config;
+        let config = &self.config;
+        let (start_epoch, mut alpha_scale, mut retries_used, prior_losses) = match resume {
+            Some(r) => (r.next_epoch, r.alpha_scale, r.retries_used, r.losses),
+            None => (0, 1.0, 0, Vec::new()),
+        };
+        let mut model = initial_model;
+        let mut last_good = model.clone();
+        let mut losses_so_far = prior_losses.clone();
+        // ShuffleOnce reuses one permutation; cache it so its cost is paid
+        // exactly once and counted in the first epoch's shuffle time.
+        let mut cached_permutation: Option<Vec<usize>> = None;
+        let runner = EpochRunner::new(config.convergence);
 
-        let history = runner.run(|epoch| {
-            // 1. Reorder the data if the policy asks for it (timed).
-            let shuffle_start = Instant::now();
-            let permutation: Option<&[usize]> = match config.scan_order {
-                ScanOrder::Clustered => None,
-                ScanOrder::ShuffleOnce { .. } => {
-                    if cached_permutation.is_none() {
-                        cached_permutation = config.scan_order.permutation(table.len(), epoch);
+        let (history, aborted) =
+            runner.try_run_from(start_epoch, prior_records(&prior_losses), |epoch| {
+                let mut epoch_retries = 0u32;
+                loop {
+                    if stop_requested(config) {
+                        write_interrupt_checkpoint(
+                            task,
+                            config,
+                            epoch,
+                            &last_good,
+                            alpha_scale,
+                            retries_used,
+                            &losses_so_far,
+                        )?;
+                        return Err(EpochAbort::Interrupted);
                     }
-                    cached_permutation.as_deref()
+
+                    // 1. Reorder the data if the policy asks for it (timed).
+                    let shuffle_start = Instant::now();
+                    let permutation: Option<&[usize]> = match config.scan_order {
+                        ScanOrder::Clustered => None,
+                        ScanOrder::ShuffleOnce { .. } => {
+                            if cached_permutation.is_none() {
+                                cached_permutation =
+                                    config.scan_order.permutation(table.len(), epoch);
+                            }
+                            cached_permutation.as_deref()
+                        }
+                        ScanOrder::ShuffleAlways { .. } => {
+                            cached_permutation = config.scan_order.permutation(table.len(), epoch);
+                            cached_permutation.as_deref()
+                        }
+                    };
+                    let shuffle_duration = if config.scan_order.shuffles_at(epoch) {
+                        shuffle_start.elapsed()
+                    } else {
+                        Duration::ZERO
+                    };
+
+                    // 2. One epoch of IGD as a UDA, isolated from panics.
+                    // Unwind safety: the closure owns the model it mutates
+                    // (moved in) and only reads `task`/`table`/`permutation`;
+                    // if it panics, the partially-updated model is discarded
+                    // and `last_good` takes its place, so no torn state is
+                    // ever observed afterwards.
+                    let alpha = config.step_size.at(epoch) * alpha_scale;
+                    let pass_model = std::mem::take(&mut model);
+                    let pass = catch_unwind(AssertUnwindSafe(move || {
+                        let aggregate = IgdAggregate::new(task, alpha, pass_model);
+                        let state = run_sequential(&aggregate, table, permutation);
+                        state.model.into_vec()
+                    }));
+                    match pass {
+                        Ok(new_model) => model = new_model,
+                        Err(payload) => {
+                            return Err(EpochAbort::WorkerPanic {
+                                failed_workers: 1,
+                                message: panic_message(payload.as_ref()),
+                            })
+                        }
+                    }
+
+                    // 3. Evaluate the objective for the convergence test.
+                    let mut loss = task.regularizer(&model);
+                    for tuple in table.scan() {
+                        loss += task.example_loss(&model, tuple);
+                    }
+
+                    // 4. Divergence scan + recovery.
+                    let healthy = loss.is_finite() && model.iter().all(|v| v.is_finite());
+                    if !healthy {
+                        if retries_used < config.backoff.max_retries {
+                            retries_used += 1;
+                            epoch_retries += 1;
+                            alpha_scale *= config.backoff.factor;
+                            model.clear();
+                            model.extend_from_slice(&last_good);
+                            continue;
+                        }
+                        if config.backoff.max_retries > 0 {
+                            return Err(EpochAbort::Diverged {
+                                retries: retries_used,
+                            });
+                        }
+                        // Backoff disabled: record the diverged epoch; the
+                        // convergence test stops the run, un-converged.
+                    } else {
+                        last_good.clear();
+                        last_good.extend_from_slice(&model);
+                    }
+                    losses_so_far.push(loss);
+
+                    // 5. Periodic checkpoint (healthy epochs only).
+                    if healthy {
+                        maybe_write_checkpoint(
+                            task,
+                            config,
+                            epoch + 1,
+                            &model,
+                            alpha_scale,
+                            retries_used,
+                            &losses_so_far,
+                        )?;
+                    }
+                    return Ok(EpochOutcome {
+                        loss,
+                        gradient_norm: None,
+                        shuffle_duration,
+                        retries: epoch_retries,
+                    });
                 }
-                ScanOrder::ShuffleAlways { .. } => {
-                    cached_permutation = config.scan_order.permutation(table.len(), epoch);
-                    cached_permutation.as_deref()
-                }
-            };
-            let shuffle_duration = if config.scan_order.shuffles_at(epoch) {
-                shuffle_start.elapsed()
-            } else {
-                Duration::ZERO
-            };
+            });
 
-            // 2. One epoch of IGD as a UDA.
-            let alpha = config.step_size.at(epoch);
-            let aggregate = IgdAggregate::new(task, alpha, std::mem::take(&mut model));
-            let state = run_sequential(&aggregate, table, permutation);
-            model = state.model.into_vec();
-
-            // 3. Evaluate the objective for the convergence test.
-            let mut loss = task.regularizer(&model);
-            for tuple in table.scan() {
-                loss += task.example_loss(&model, tuple);
-            }
-            EpochOutcome {
-                loss,
-                gradient_norm: None,
-                shuffle_duration,
-            }
-        });
-
-        TrainedModel {
-            task_name: self.task.name(),
-            model,
-            history,
+        let task_name = task.name();
+        match aborted {
+            None => Ok(TrainedModel {
+                task_name,
+                model,
+                history,
+            }),
+            Some((epoch, abort)) => Err(abort.into_train_error(
+                epoch,
+                TrainedModel {
+                    task_name,
+                    model: last_good,
+                    history,
+                },
+            )),
         }
+    }
+}
+
+/// Resume state threaded from a checkpoint into the epoch loop.
+pub(crate) struct ResumeState {
+    pub(crate) next_epoch: usize,
+    pub(crate) alpha_scale: f64,
+    pub(crate) retries_used: u32,
+    pub(crate) losses: Vec<f64>,
+}
+
+/// Internal abort reason raised inside the epoch closure; converted into a
+/// [`TrainError`] (which additionally carries the last-good model) once the
+/// partial history is available.
+pub(crate) enum EpochAbort {
+    WorkerPanic {
+        failed_workers: usize,
+        message: String,
+    },
+    Diverged {
+        retries: u32,
+    },
+    Checkpoint(CheckpointError),
+    Interrupted,
+}
+
+impl EpochAbort {
+    pub(crate) fn into_train_error(self, epoch: usize, last_good: TrainedModel) -> TrainError {
+        match self {
+            EpochAbort::WorkerPanic {
+                failed_workers,
+                message,
+            } => TrainError::WorkerPanic {
+                epoch,
+                failed_workers,
+                message,
+                last_good: Box::new(last_good),
+            },
+            EpochAbort::Diverged { retries } => TrainError::Diverged {
+                epoch,
+                retries,
+                last_good: Box::new(last_good),
+            },
+            EpochAbort::Checkpoint(e) => TrainError::Checkpoint(e),
+            EpochAbort::Interrupted => TrainError::Interrupted {
+                epoch,
+                last_good: Box::new(last_good),
+            },
+        }
+    }
+}
+
+/// Unwrap a training result for the infallible `train` entry points: failures
+/// panic (the historical behavior), a cooperative interrupt yields the last
+/// completed epoch's model.
+pub(crate) fn unwrap_trained(result: Result<TrainedModel, TrainError>) -> TrainedModel {
+    match result {
+        Ok(trained) => trained,
+        Err(TrainError::Interrupted { last_good, .. }) => *last_good,
+        Err(err) => panic!("training failed: {err}"),
+    }
+}
+
+/// Synthesize zero-duration records for epochs restored from a checkpoint
+/// (only losses are persisted; timings of the original run are not).
+pub(crate) fn prior_records(losses: &[f64]) -> Vec<EpochRecord> {
+    losses
+        .iter()
+        .enumerate()
+        .map(|(epoch, &loss)| EpochRecord {
+            epoch,
+            loss,
+            gradient_norm: None,
+            duration: Duration::ZERO,
+            shuffle_duration: Duration::ZERO,
+            cumulative: Duration::ZERO,
+            retries: 0,
+        })
+        .collect()
+}
+
+pub(crate) fn stop_requested(config: &TrainerConfig) -> bool {
+    config
+        .stop_flag
+        .as_ref()
+        .is_some_and(|flag| flag.load(Ordering::Relaxed))
+}
+
+/// Reject a checkpoint that was not produced by an equivalent run: resuming
+/// under a different task, dimension, scan order or step-size schedule would
+/// silently break bit-compatibility.
+pub(crate) fn validate_checkpoint<T: IgdTask>(
+    checkpoint: &TrainingCheckpoint,
+    task: &T,
+    config: &TrainerConfig,
+) -> Result<(), TrainError> {
+    let corrupt = |msg: String| TrainError::Checkpoint(CheckpointError::Corrupt(msg));
+    if checkpoint.task_name != task.name() {
+        return Err(corrupt(format!(
+            "checkpoint is for task '{}', trainer runs '{}'",
+            checkpoint.task_name,
+            task.name()
+        )));
+    }
+    if checkpoint.model.len() != task.dimension() {
+        return Err(corrupt(format!(
+            "checkpoint model has dimension {}, task expects {}",
+            checkpoint.model.len(),
+            task.dimension()
+        )));
+    }
+    if checkpoint.scan_order != config.scan_order {
+        return Err(corrupt(format!(
+            "checkpoint scan order {:?} differs from the trainer's {:?}",
+            checkpoint.scan_order, config.scan_order
+        )));
+    }
+    if checkpoint.step_size != config.step_size {
+        return Err(corrupt(format!(
+            "checkpoint step-size schedule {:?} differs from the trainer's {:?}",
+            checkpoint.step_size, config.step_size
+        )));
+    }
+    Ok(())
+}
+
+/// Write a checkpoint if the policy's cadence says this epoch boundary is due.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn maybe_write_checkpoint<T: IgdTask>(
+    task: &T,
+    config: &TrainerConfig,
+    next_epoch: usize,
+    model: &[f64],
+    alpha_scale: f64,
+    retries_used: u32,
+    losses: &[f64],
+) -> Result<(), EpochAbort> {
+    let Some(policy) = &config.checkpoint else {
+        return Ok(());
+    };
+    if policy.every == 0 || !next_epoch.is_multiple_of(policy.every) {
+        return Ok(());
+    }
+    build_checkpoint(
+        task,
+        config,
+        next_epoch,
+        model,
+        alpha_scale,
+        retries_used,
+        losses,
+    )
+    .write(&policy.path)
+    .map_err(EpochAbort::Checkpoint)
+}
+
+/// Write a checkpoint unconditionally at an interrupt point (if a policy is
+/// configured), so the interrupted run can be resumed without losing the
+/// epochs since the last periodic write.
+pub(crate) fn write_interrupt_checkpoint<T: IgdTask>(
+    task: &T,
+    config: &TrainerConfig,
+    next_epoch: usize,
+    model: &[f64],
+    alpha_scale: f64,
+    retries_used: u32,
+    losses: &[f64],
+) -> Result<(), EpochAbort> {
+    let Some(policy) = &config.checkpoint else {
+        return Ok(());
+    };
+    build_checkpoint(
+        task,
+        config,
+        next_epoch,
+        model,
+        alpha_scale,
+        retries_used,
+        losses,
+    )
+    .write(&policy.path)
+    .map_err(EpochAbort::Checkpoint)
+}
+
+fn build_checkpoint<T: IgdTask>(
+    task: &T,
+    config: &TrainerConfig,
+    next_epoch: usize,
+    model: &[f64],
+    alpha_scale: f64,
+    retries_used: u32,
+    losses: &[f64],
+) -> TrainingCheckpoint {
+    TrainingCheckpoint {
+        task_name: task.name().to_string(),
+        next_epoch,
+        model: model.to_vec(),
+        alpha_scale,
+        retries_used,
+        losses: losses.to_vec(),
+        scan_order: config.scan_order,
+        step_size: config.step_size,
     }
 }
 
@@ -251,7 +693,7 @@ mod tests {
             .with_convergence(ConvergenceTest::FixedEpochs(15));
 
         let clustered =
-            Trainer::new(&task, base.with_scan_order(ScanOrder::Clustered)).train(&table);
+            Trainer::new(&task, base.clone().with_scan_order(ScanOrder::Clustered)).train(&table);
         let shuffled = Trainer::new(
             &task,
             base.with_scan_order(ScanOrder::ShuffleOnce { seed: 5 }),
@@ -317,5 +759,157 @@ mod tests {
         let config = TrainerConfig::default();
         let trainer = Trainer::new(&task, config);
         assert_eq!(trainer.config().scan_order.label(), "ShuffleOnce");
+    }
+
+    fn temp_ckpt(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "bismarck-trainer-{}-{name}.ckpt",
+            std::process::id()
+        ));
+        p
+    }
+
+    #[test]
+    fn divergent_step_size_stops_early_without_backoff() {
+        // A wildly oversized constant step makes least squares blow up; the
+        // fixed convergence semantics stop the run at the first non-finite
+        // loss instead of spinning to the cap, and the run is not converged.
+        let table = classification_table(100, false, 21);
+        let task = LeastSquaresTask::new(0, 1, 3);
+        let config = TrainerConfig::default()
+            .with_step_size(StepSizeSchedule::Constant(1e12))
+            .with_convergence(ConvergenceTest::paper_default(500));
+        let trained = Trainer::new(&task, config).try_train(&table).unwrap();
+        assert!(trained.epochs() < 500, "must not spin to the cap");
+        assert!(!trained.history.converged());
+        assert!(!trained.final_loss().unwrap().is_finite());
+    }
+
+    #[test]
+    fn backoff_recovers_a_divergent_run() {
+        let table = classification_table(100, false, 21);
+        let task = LeastSquaresTask::new(0, 1, 3);
+        // Diverges at full step size; the backoff halves it until the run is
+        // stable, restoring the last-good (here: initial) model each time.
+        let config = TrainerConfig::default()
+            .with_step_size(StepSizeSchedule::Constant(20.0))
+            .with_convergence(ConvergenceTest::FixedEpochs(6))
+            .with_backoff(40);
+        let trained = Trainer::new(&task, config).try_train(&table).unwrap();
+        let final_loss = trained.final_loss().unwrap();
+        assert!(final_loss.is_finite());
+        assert!(trained.model.iter().all(|v| v.is_finite()));
+        let retries = trained.history.total_retries();
+        assert!(retries > 0, "the run must actually have backed off");
+        assert!(
+            trained.history.records().iter().any(|r| r.retries > 0),
+            "recoveries must be attributed to the epoch that needed them"
+        );
+    }
+
+    #[test]
+    fn exhausted_backoff_budget_reports_divergence_with_last_good_model() {
+        let table = classification_table(100, false, 21);
+        let task = LeastSquaresTask::new(0, 1, 3);
+        // A budget of 1 cannot save a step size this hot.
+        let config = TrainerConfig::default()
+            .with_step_size(StepSizeSchedule::Constant(1e30))
+            .with_convergence(ConvergenceTest::FixedEpochs(6))
+            .with_backoff(1);
+        let err = Trainer::new(&task, config)
+            .try_train(&table)
+            .expect_err("budget of 1 must be exhausted");
+        match &err {
+            TrainError::Diverged {
+                retries, last_good, ..
+            } => {
+                assert_eq!(*retries, 1);
+                assert!(last_good.model.iter().all(|v| v.is_finite()));
+            }
+            other => panic!("expected Diverged, got {other}"),
+        }
+    }
+
+    #[test]
+    fn stop_flag_interrupts_at_an_epoch_boundary() {
+        let table = classification_table(100, false, 9);
+        let task = LogisticRegressionTask::new(0, 1, 3);
+        let flag = Arc::new(AtomicBool::new(false));
+        let config = TrainerConfig::default()
+            .with_step_size(StepSizeSchedule::Constant(0.2))
+            .with_convergence(ConvergenceTest::FixedEpochs(50))
+            .with_stop_flag(flag.clone());
+        flag.store(true, Ordering::Relaxed);
+        let err = Trainer::new(&task, config)
+            .try_train(&table)
+            .expect_err("pre-set flag must interrupt immediately");
+        match err {
+            TrainError::Interrupted { epoch, last_good } => {
+                assert_eq!(epoch, 0);
+                assert_eq!(last_good.epochs(), 0);
+            }
+            other => panic!("expected Interrupted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn checkpoints_are_written_on_schedule_and_resume_continues() {
+        let path = temp_ckpt("on-schedule");
+        let table = classification_table(120, false, 13);
+        let task = LogisticRegressionTask::new(0, 1, 3);
+        let config = TrainerConfig::default()
+            .with_step_size(StepSizeSchedule::Constant(0.2))
+            .with_convergence(ConvergenceTest::FixedEpochs(10))
+            .with_checkpoints(&path, 4);
+        let trainer = Trainer::new(&task, config);
+        let full = trainer.try_train(&table).unwrap();
+
+        // The surviving checkpoint is the one written after epoch 8.
+        let cp = crate::checkpoint::TrainingCheckpoint::read(&path).unwrap();
+        assert_eq!(cp.next_epoch, 8);
+        assert_eq!(cp.losses.len(), 8);
+        assert_eq!(cp.task_name, "LR");
+
+        // Resuming runs epochs 8 and 9 and lands on the exact same model.
+        let resumed = trainer.resume_from(&table, &path).unwrap();
+        assert_eq!(resumed.epochs(), 10);
+        assert_eq!(
+            resumed.model, full.model,
+            "resume must be bit-compatible with the uninterrupted run"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_trainer() {
+        let path = temp_ckpt("mismatch");
+        let table = classification_table(60, false, 3);
+        let task = LogisticRegressionTask::new(0, 1, 3);
+        let config = TrainerConfig::default()
+            .with_step_size(StepSizeSchedule::Constant(0.1))
+            .with_convergence(ConvergenceTest::FixedEpochs(4))
+            .with_checkpoints(&path, 2);
+        Trainer::new(&task, config.clone())
+            .try_train(&table)
+            .unwrap();
+
+        // Different step size ⇒ the resumed run would not be bit-compatible.
+        let other = config.with_step_size(StepSizeSchedule::Constant(0.05));
+        let err = Trainer::new(&task, other)
+            .resume_from(&table, &path)
+            .expect_err("step-size mismatch must be rejected");
+        assert!(matches!(err, TrainError::Checkpoint(_)), "{err}");
+
+        // Different task ⇒ rejected by name before anything runs.
+        let svm = SvmTask::new(0, 1, 3);
+        let svm_config = TrainerConfig::default()
+            .with_step_size(StepSizeSchedule::Constant(0.1))
+            .with_convergence(ConvergenceTest::FixedEpochs(4));
+        let err = Trainer::new(&svm, svm_config)
+            .resume_from(&table, &path)
+            .expect_err("task mismatch must be rejected");
+        assert!(err.to_string().contains("task"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 }

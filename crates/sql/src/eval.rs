@@ -247,7 +247,10 @@ pub fn is_truthy(value: &Value) -> bool {
 fn apply_unary(op: UnaryOp, value: Value) -> Result<Value> {
     match op {
         UnaryOp::Neg => match value {
-            Value::Int(v) => Ok(Value::Int(-v)),
+            Value::Int(v) => v
+                .checked_neg()
+                .map(Value::Int)
+                .ok_or_else(|| SqlError::Evaluation("integer overflow in negation".into())),
             Value::Double(v) => Ok(Value::Double(-v)),
             Value::Null => Ok(Value::Null),
             other => Err(SqlError::Evaluation(format!("cannot negate {other:?}"))),
@@ -288,12 +291,16 @@ fn apply_binary(op: BinaryOp, left: Value, right: Value) -> Result<Value> {
             if left.is_null() || right.is_null() {
                 return Ok(Value::Null);
             }
-            // Integer arithmetic stays integral except for division.
+            // Integer arithmetic stays integral except for division, and is
+            // checked: overflow is a reportable evaluation error, not a
+            // panic (or a silent wrap in release builds).
             if let (Value::Int(a), Value::Int(b)) = (&left, &right) {
+                let overflow =
+                    || SqlError::Evaluation(format!("integer overflow in {a} {op:?} {b}"));
                 return match op {
-                    Add => Ok(Value::Int(a + b)),
-                    Sub => Ok(Value::Int(a - b)),
-                    Mul => Ok(Value::Int(a * b)),
+                    Add => a.checked_add(*b).map(Value::Int).ok_or_else(overflow),
+                    Sub => a.checked_sub(*b).map(Value::Int).ok_or_else(overflow),
+                    Mul => a.checked_mul(*b).map(Value::Int).ok_or_else(overflow),
                     Div => {
                         if *b == 0 {
                             Err(SqlError::Evaluation("division by zero".into()))
@@ -369,7 +376,10 @@ fn apply_scalar_function(name: &str, args: &[Value], ctx: &mut EvalContext) -> R
                 return Err(arity_error(1));
             }
             match &args[0] {
-                Value::Int(v) => Ok(Value::Int(v.abs())),
+                Value::Int(v) => v
+                    .checked_abs()
+                    .map(Value::Int)
+                    .ok_or_else(|| SqlError::Evaluation("integer overflow in ABS()".into())),
                 _ => Ok(Value::Double(numeric(0)?.abs())),
             }
         }
@@ -505,6 +515,29 @@ mod tests {
     fn division_by_zero_is_an_error() {
         let err = evaluate(&expr("1 / 0"), None, &mut ctx()).unwrap_err();
         assert!(err.to_string().contains("division by zero"));
+    }
+
+    #[test]
+    fn integer_overflow_is_an_error_not_a_panic() {
+        // `0 - MAX - 1` builds i64::MIN without needing a MIN literal (the
+        // lexer reads `-9223372036854775808` as unary minus of an
+        // out-of-range magnitude).
+        let max = i64::MAX;
+        for text in [
+            format!("{max} + 1"),
+            format!("0 - {max} - 2"),
+            format!("{max} * 2"),
+            format!("ABS(0 - {max} - 1)"),
+        ] {
+            let err = evaluate(&expr(&text), None, &mut ctx()).unwrap_err();
+            assert!(
+                matches!(&err, SqlError::Evaluation(msg) if msg.contains("overflow")),
+                "`{text}` should report overflow, got: {err}"
+            );
+        }
+        // The boundary cases themselves still evaluate.
+        assert_eq!(eval_text(&format!("{max} + 0")), Value::Int(i64::MAX));
+        assert_eq!(eval_text(&format!("ABS(0 - {max})")), Value::Int(i64::MAX));
     }
 
     #[test]

@@ -400,7 +400,7 @@ impl SqlSession {
             for arg in args {
                 arg_values.push(evaluate(arg, None, &mut self.ctx)?);
             }
-            return execute_analytics(&mut self.db, self.trainer_config, name, &arg_values);
+            return execute_analytics(&mut self.db, self.trainer_config.clone(), name, &arg_values);
         }
 
         let mut columns = Vec::with_capacity(select.items.len());
@@ -422,7 +422,11 @@ impl SqlSession {
     }
 
     fn run_table_select(&mut self, select: SelectStatement) -> Result<QueryResult> {
-        let table_name = select.from.as_deref().expect("checked by caller");
+        let Some(table_name) = select.from.as_deref() else {
+            return Err(SqlError::Analysis(
+                "SELECT over a table requires a FROM clause".into(),
+            ));
+        };
         // Split borrows: the table is read-only while the RNG in `ctx` is
         // mutated by RANDOM().
         let SqlSession { db, ctx, .. } = self;
@@ -642,32 +646,47 @@ fn order_by_is_random(order_by: &[OrderKey]) -> bool {
 mod tests {
     use super::*;
 
+    /// Run a statement that the test expects to succeed, panicking with the
+    /// offending SQL text (not just the error) when it does not.
+    fn exec(session: &mut SqlSession, sql: &str) -> QueryResult {
+        session
+            .execute(sql)
+            .unwrap_or_else(|e| panic!("SQL `{sql}` failed: {e}"))
+    }
+
+    /// `execute_script` counterpart of [`exec`].
+    fn exec_script(session: &mut SqlSession, sql: &str) -> Vec<QueryResult> {
+        session
+            .execute_script(sql)
+            .unwrap_or_else(|e| panic!("SQL script `{sql}` failed: {e}"))
+    }
+
     fn session_with_points() -> SqlSession {
         let mut session = SqlSession::with_seed(11);
-        session
-            .execute_script(
-                "CREATE TABLE points (id INT, x DOUBLE, label DOUBLE, name TEXT);
+        exec_script(
+            &mut session,
+            "CREATE TABLE points (id INT, x DOUBLE, label DOUBLE, name TEXT);
                  INSERT INTO points VALUES
                    (1, 0.5, 1.0, 'a'),
                    (2, -0.5, -1.0, 'b'),
                    (3, 1.5, 1.0, 'c'),
                    (4, -1.5, -1.0, 'd'),
                    (5, 2.5, 1.0, 'e');",
-            )
-            .unwrap();
+        );
         session
     }
 
     #[test]
     fn create_insert_select_roundtrip() {
         let mut session = session_with_points();
-        let result = session.execute("SELECT * FROM points").unwrap();
+        let result = exec(&mut session, "SELECT * FROM points");
         assert_eq!(result.columns, vec!["id", "x", "label", "name"]);
         assert_eq!(result.len(), 5);
 
-        let filtered = session
-            .execute("SELECT id, name FROM points WHERE label > 0 ORDER BY id DESC")
-            .unwrap();
+        let filtered = exec(
+            &mut session,
+            "SELECT id, name FROM points WHERE label > 0 ORDER BY id DESC",
+        );
         assert_eq!(filtered.len(), 3);
         assert_eq!(filtered.rows[0][0], Value::Int(5));
         assert_eq!(filtered.rows[2][0], Value::Int(1));
@@ -676,12 +695,11 @@ mod tests {
     #[test]
     fn insert_with_column_list_fills_missing_with_null() {
         let mut session = session_with_points();
-        session
-            .execute("INSERT INTO points (id, label) VALUES (6, 1.0)")
-            .unwrap();
-        let row = session
-            .execute("SELECT x FROM points WHERE id = 6")
-            .unwrap();
+        exec(
+            &mut session,
+            "INSERT INTO points (id, label) VALUES (6, 1.0)",
+        );
+        let row = exec(&mut session, "SELECT x FROM points WHERE id = 6");
         assert_eq!(row.rows[0][0], Value::Null);
     }
 
@@ -692,25 +710,22 @@ mod tests {
             .execute("INSERT INTO points (id, label) VALUES (7, 1.0, 2.0)")
             .unwrap_err();
         assert!(err.to_string().contains("2 named columns"));
-        let count = session.execute("SELECT COUNT(*) FROM points").unwrap();
+        let count = exec(&mut session, "SELECT COUNT(*) FROM points");
         assert_eq!(count.single_value(), Some(&Value::Int(5)));
     }
 
     #[test]
     fn aggregates_with_and_without_group_by() {
         let mut session = session_with_points();
-        let total = session
-            .execute("SELECT COUNT(*), AVG(x) FROM points")
-            .unwrap();
+        let total = exec(&mut session, "SELECT COUNT(*), AVG(x) FROM points");
         assert_eq!(total.rows[0][0], Value::Int(5));
         assert_eq!(total.rows[0][1], Value::Double(0.5));
 
-        let grouped = session
-            .execute(
-                "SELECT label, COUNT(*) AS n, MAX(x) AS biggest FROM points \
+        let grouped = exec(
+            &mut session,
+            "SELECT label, COUNT(*) AS n, MAX(x) AS biggest FROM points \
                  GROUP BY label ORDER BY label",
-            )
-            .unwrap();
+        );
         assert_eq!(grouped.len(), 2);
         assert_eq!(grouped.columns, vec!["label", "n", "biggest"]);
         assert_eq!(grouped.rows[0][0], Value::Double(-1.0));
@@ -721,8 +736,8 @@ mod tests {
     #[test]
     fn count_star_over_empty_table_is_zero() {
         let mut session = SqlSession::new();
-        session.execute("CREATE TABLE empty (x INT)").unwrap();
-        let result = session.execute("SELECT COUNT(*) FROM empty").unwrap();
+        exec(&mut session, "CREATE TABLE empty (x INT)");
+        let result = exec(&mut session, "SELECT COUNT(*) FROM empty");
         assert_eq!(result.single_value(), Some(&Value::Int(0)));
     }
 
@@ -730,15 +745,12 @@ mod tests {
     fn order_by_random_is_a_permutation_and_seed_dependent() {
         let run = |seed: u64| {
             let mut session = SqlSession::with_seed(seed);
-            session
-                .execute_script(
-                    "CREATE TABLE t (id INT);
+            exec_script(
+                &mut session,
+                "CREATE TABLE t (id INT);
                      INSERT INTO t VALUES (1),(2),(3),(4),(5),(6),(7),(8),(9),(10);",
-                )
-                .unwrap();
-            session
-                .execute("SELECT id FROM t ORDER BY RANDOM()")
-                .unwrap()
+            );
+            exec(&mut session, "SELECT id FROM t ORDER BY RANDOM()")
                 .rows
                 .iter()
                 .map(|r| r[0].as_int().unwrap())
@@ -756,9 +768,7 @@ mod tests {
     #[test]
     fn limit_caps_rows() {
         let mut session = session_with_points();
-        let result = session
-            .execute("SELECT id FROM points ORDER BY id LIMIT 2")
-            .unwrap();
+        let result = exec(&mut session, "SELECT id FROM points ORDER BY id LIMIT 2");
         assert_eq!(result.len(), 2);
         assert_eq!(result.rows[1][0], Value::Int(2));
     }
@@ -766,7 +776,7 @@ mod tests {
     #[test]
     fn tableless_select_evaluates_scalars() {
         let mut session = SqlSession::new();
-        let result = session.execute("SELECT 1 + 2 AS three, 'x'").unwrap();
+        let result = exec(&mut session, "SELECT 1 + 2 AS three, 'x'");
         assert_eq!(result.columns, vec!["three", "?column?"]);
         assert_eq!(result.rows[0][0], Value::Int(3));
     }
@@ -789,7 +799,7 @@ mod tests {
     #[test]
     fn drop_table_removes_it_from_the_catalog() {
         let mut session = session_with_points();
-        session.execute("DROP TABLE points").unwrap();
+        exec(&mut session, "DROP TABLE points");
         assert!(session.execute("SELECT * FROM points").is_err());
         assert!(!session.database().contains("points"));
     }
@@ -818,7 +828,7 @@ mod tests {
     #[test]
     fn type_mismatch_on_insert_is_a_storage_error() {
         let mut session = SqlSession::new();
-        session.execute("CREATE TABLE typed (x INT)").unwrap();
+        exec(&mut session, "CREATE TABLE typed (x INT)");
         let err = session
             .execute("INSERT INTO typed VALUES ('text')")
             .unwrap_err();
@@ -828,34 +838,70 @@ mod tests {
     #[test]
     fn end_to_end_svm_training_via_sql() {
         let mut session = SqlSession::with_seed(3);
-        session
-            .execute("CREATE TABLE LabeledPapers (id INT, vec DENSE_VEC, label DOUBLE)")
-            .unwrap();
+        exec(
+            &mut session,
+            "CREATE TABLE LabeledPapers (id INT, vec DENSE_VEC, label DOUBLE)",
+        );
         // 40 linearly separable examples.
         for i in 0..40 {
             let y = if i % 2 == 0 { 1.0 } else { -1.0 };
-            session
-                .execute(&format!(
+            exec(
+                &mut session,
+                &format!(
                     "INSERT INTO LabeledPapers VALUES ({i}, ARRAY[{}, {}], {y})",
                     y * 2.0,
                     -y
-                ))
-                .unwrap();
+                ),
+            );
         }
-        let summary = session
-            .execute("SELECT SVMTrain('myModel', 'LabeledPapers', 'vec', 'label', 0.2, 8)")
-            .unwrap();
+        let summary = exec(
+            &mut session,
+            "SELECT SVMTrain('myModel', 'LabeledPapers', 'vec', 'label', 0.2, 8)",
+        );
         assert_eq!(summary.len(), 1);
         assert!(session.database().contains("myModel"));
 
-        let predictions = session
-            .execute("SELECT SVMPredict('myModel', 'LabeledPapers', 'vec')")
-            .unwrap();
+        let predictions = exec(
+            &mut session,
+            "SELECT SVMPredict('myModel', 'LabeledPapers', 'vec')",
+        );
         assert_eq!(predictions.len(), 40);
 
         // The persisted model is an ordinary table we can query.
-        let coefs = session.execute("SELECT COUNT(*) FROM myModel").unwrap();
+        let coefs = exec(&mut session, "SELECT COUNT(*) FROM myModel");
         assert_eq!(coefs.single_value(), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn analytics_over_a_bad_column_is_an_error_not_a_panic() {
+        let mut session = session_with_points();
+        // `name` holds TEXT, not feature vectors; `nope` does not exist.
+        let err = session
+            .execute("SELECT SVMTrain('m', 'points', 'name', 'label')")
+            .unwrap_err();
+        assert!(matches!(err, SqlError::Analytics(_)), "got: {err}");
+        let err = session
+            .execute("SELECT SVMTrain('m', 'points', 'nope', 'label')")
+            .unwrap_err();
+        assert!(matches!(err, SqlError::Analytics(_)), "got: {err}");
+        // Nothing was persisted by the failed calls.
+        assert!(!session.database().contains("m"));
+    }
+
+    #[test]
+    fn scalar_function_arity_mismatch_is_an_analysis_error() {
+        let mut session = SqlSession::new();
+        let err = session.execute("SELECT ABS(1, 2)").unwrap_err();
+        assert!(matches!(err, SqlError::Analysis(_)), "got: {err}");
+        assert!(err.to_string().contains("argument"));
+    }
+
+    #[test]
+    fn arithmetic_over_a_non_numeric_cell_is_an_evaluation_error() {
+        let mut session = session_with_points();
+        let err = session.execute("SELECT name + 1 FROM points").unwrap_err();
+        assert!(matches!(err, SqlError::Evaluation(_)), "got: {err}");
+        assert!(err.to_string().contains("not numeric"));
     }
 
     #[test]
@@ -870,17 +916,16 @@ mod tests {
     #[test]
     fn create_table_as_select_materializes_the_papers_shuffle_once() {
         let mut session = session_with_points();
-        session
-            .execute("CREATE TABLE shuffled AS SELECT * FROM points ORDER BY RANDOM()")
-            .unwrap();
+        exec(
+            &mut session,
+            "CREATE TABLE shuffled AS SELECT * FROM points ORDER BY RANDOM()",
+        );
         // Same rows, same schema shape, independent of the source table.
-        let n = session.execute("SELECT COUNT(*) FROM shuffled").unwrap();
+        let n = exec(&mut session, "SELECT COUNT(*) FROM shuffled");
         assert_eq!(n.single_value(), Some(&Value::Int(5)));
-        let described = session.execute("DESCRIBE shuffled").unwrap();
+        let described = exec(&mut session, "DESCRIBE shuffled");
         assert_eq!(described.len(), 4);
-        let ids: Vec<i64> = session
-            .execute("SELECT id FROM shuffled ORDER BY id")
-            .unwrap()
+        let ids: Vec<i64> = exec(&mut session, "SELECT id FROM shuffled ORDER BY id")
             .rows
             .iter()
             .map(|r| r[0].as_int().unwrap())
@@ -889,13 +934,12 @@ mod tests {
 
         // A projection / aggregate result can be materialized too, with
         // integers widened to DOUBLE where the column mixes both.
-        session
-            .execute(
-                "CREATE TABLE class_sizes AS \
+        exec(
+            &mut session,
+            "CREATE TABLE class_sizes AS \
                  SELECT label, COUNT(*) AS n, AVG(x) AS mean_x FROM points GROUP BY label",
-            )
-            .unwrap();
-        let rows = session.execute("SELECT COUNT(*) FROM class_sizes").unwrap();
+        );
+        let rows = exec(&mut session, "SELECT COUNT(*) FROM class_sizes");
         assert_eq!(rows.single_value(), Some(&Value::Int(2)));
 
         // Creating over an existing name is rejected.
@@ -907,8 +951,8 @@ mod tests {
     #[test]
     fn show_tables_lists_names_and_row_counts() {
         let mut session = session_with_points();
-        session.execute("CREATE TABLE empty (x INT)").unwrap();
-        let tables = session.execute("SHOW TABLES").unwrap();
+        exec(&mut session, "CREATE TABLE empty (x INT)");
+        let tables = exec(&mut session, "SHOW TABLES");
         assert_eq!(tables.len(), 2);
         assert_eq!(tables.rows[0][0], Value::Text("empty".into()));
         assert_eq!(tables.rows[0][1], Value::Int(0));
@@ -919,7 +963,7 @@ mod tests {
     #[test]
     fn describe_reports_columns_types_and_nullability() {
         let mut session = session_with_points();
-        let described = session.execute("DESCRIBE points").unwrap();
+        let described = exec(&mut session, "DESCRIBE points");
         assert_eq!(described.columns, vec!["column", "type", "nullable"]);
         assert_eq!(described.rows[0][0], Value::Text("id".into()));
         assert_eq!(described.rows[0][1], Value::Text("INT".into()));
@@ -930,17 +974,13 @@ mod tests {
     #[test]
     fn shuffle_table_permutes_storage_order_deterministically_with_seed() {
         let mut session = session_with_points();
-        let before: Vec<i64> = session
-            .execute("SELECT id FROM points")
-            .unwrap()
+        let before: Vec<i64> = exec(&mut session, "SELECT id FROM points")
             .rows
             .iter()
             .map(|r| r[0].as_int().unwrap())
             .collect();
-        session.execute("SHUFFLE TABLE points SEED 9").unwrap();
-        let after: Vec<i64> = session
-            .execute("SELECT id FROM points")
-            .unwrap()
+        exec(&mut session, "SHUFFLE TABLE points SEED 9");
+        let after: Vec<i64> = exec(&mut session, "SELECT id FROM points")
             .rows
             .iter()
             .map(|r| r[0].as_int().unwrap())
@@ -952,10 +992,8 @@ mod tests {
 
         // Re-running with the same seed from a fresh copy gives the same order.
         let mut session2 = session_with_points();
-        session2.execute("SHUFFLE TABLE points SEED 9").unwrap();
-        let after2: Vec<i64> = session2
-            .execute("SELECT id FROM points")
-            .unwrap()
+        exec(&mut session2, "SHUFFLE TABLE points SEED 9");
+        let after2: Vec<i64> = exec(&mut session2, "SELECT id FROM points")
             .rows
             .iter()
             .map(|r| r[0].as_int().unwrap())
@@ -966,10 +1004,8 @@ mod tests {
     #[test]
     fn cluster_table_sorts_storage_order() {
         let mut session = session_with_points();
-        session.execute("CLUSTER TABLE points BY x DESC").unwrap();
-        let xs: Vec<f64> = session
-            .execute("SELECT x FROM points")
-            .unwrap()
+        exec(&mut session, "CLUSTER TABLE points BY x DESC");
+        let xs: Vec<f64> = exec(&mut session, "SELECT x FROM points")
             .rows
             .iter()
             .map(|r| r[0].as_double().unwrap())
@@ -981,10 +1017,7 @@ mod tests {
         // Clustering by a missing column is rejected and leaves the table intact.
         assert!(session.execute("CLUSTER TABLE points BY missing").is_err());
         assert_eq!(
-            session
-                .execute("SELECT COUNT(*) FROM points")
-                .unwrap()
-                .single_value(),
+            exec(&mut session, "SELECT COUNT(*) FROM points").single_value(),
             Some(&Value::Int(5))
         );
     }
@@ -996,24 +1029,19 @@ mod tests {
         let path_str = path.to_str().unwrap().to_string();
 
         let mut session = session_with_points();
-        let exported = session
-            .execute(&format!("COPY points TO '{path_str}'"))
-            .unwrap();
+        let exported = exec(&mut session, &format!("COPY points TO '{path_str}'"));
         assert_eq!(exported.status, "COPY 5");
 
         // Append the exported rows into a second table with the same schema.
-        session
-            .execute("CREATE TABLE points2 (id INT, x DOUBLE, label DOUBLE, name TEXT)")
-            .unwrap();
-        let imported = session
-            .execute(&format!("COPY points2 FROM '{path_str}'"))
-            .unwrap();
+        exec(
+            &mut session,
+            "CREATE TABLE points2 (id INT, x DOUBLE, label DOUBLE, name TEXT)",
+        );
+        let imported = exec(&mut session, &format!("COPY points2 FROM '{path_str}'"));
         assert_eq!(imported.status, "COPY 5");
-        let n = session.execute("SELECT COUNT(*) FROM points2").unwrap();
+        let n = exec(&mut session, "SELECT COUNT(*) FROM points2");
         assert_eq!(n.single_value(), Some(&Value::Int(5)));
-        let avg_match = session
-            .execute("SELECT AVG(x) FROM points2")
-            .unwrap()
+        let avg_match = exec(&mut session, "SELECT AVG(x) FROM points2")
             .single_value()
             .unwrap()
             .as_double()
@@ -1030,32 +1058,33 @@ mod tests {
             .execute("COPY points FROM '/definitely/not/here.csv'")
             .unwrap_err();
         assert!(matches!(err, SqlError::Evaluation(_)));
-        let n = session.execute("SELECT COUNT(*) FROM points").unwrap();
+        let n = exec(&mut session, "SELECT COUNT(*) FROM points");
         assert_eq!(n.single_value(), Some(&Value::Int(5)));
     }
 
     #[test]
     fn svm_loss_via_sql_after_training() {
         let mut session = SqlSession::with_seed(13);
-        session
-            .execute("CREATE TABLE d (id INT, vec DENSE_VEC, label DOUBLE)")
-            .unwrap();
+        exec(
+            &mut session,
+            "CREATE TABLE d (id INT, vec DENSE_VEC, label DOUBLE)",
+        );
         for i in 0..30 {
             let y = if i % 2 == 0 { 1.0 } else { -1.0 };
-            session
-                .execute(&format!(
+            exec(
+                &mut session,
+                &format!(
                     "INSERT INTO d VALUES ({i}, ARRAY[{}, {}], {y})",
                     y,
                     -y * 0.5
-                ))
-                .unwrap();
+                ),
+            );
         }
-        session
-            .execute("SELECT SVMTrain('m', 'd', 'vec', 'label', 0.2, 10)")
-            .unwrap();
-        let loss = session
-            .execute("SELECT SVMLoss('m', 'd', 'vec', 'label')")
-            .unwrap();
+        exec(
+            &mut session,
+            "SELECT SVMTrain('m', 'd', 'vec', 'label', 0.2, 10)",
+        );
+        let loss = exec(&mut session, "SELECT SVMLoss('m', 'd', 'vec', 'label')");
         let value = loss.single_value().unwrap().as_double().unwrap();
         assert!(value.is_finite() && value >= 0.0);
         // A well-separated toy problem should reach a small hinge loss.
@@ -1065,7 +1094,7 @@ mod tests {
     #[test]
     fn random_scalar_function_varies_per_row() {
         let mut session = session_with_points();
-        let result = session.execute("SELECT RANDOM() AS r FROM points").unwrap();
+        let result = exec(&mut session, "SELECT RANDOM() AS r FROM points");
         let values: Vec<f64> = result
             .rows
             .iter()

@@ -1,0 +1,230 @@
+//! Versioned, checksummed checkpoint container.
+//!
+//! Long-running in-RDBMS analytics must survive faults mid-flight — the
+//! durability stance of the engines Bismarck targets. This module provides
+//! the *container* half of checkpointing: an opaque payload wrapped in a
+//! fixed header (magic, format version, payload length) and trailed by a
+//! checksum, written atomically via a temp file + rename so a crash during
+//! the write can never leave a torn file under the checkpoint path. The
+//! trainer-level payload layout (model vector, epoch counter, step-size and
+//! scan-order state) lives in `bismarck-core`; this layer only guarantees
+//! that what is read back is exactly what was written.
+//!
+//! On-disk layout, all integers little-endian:
+//!
+//! ```text
+//! [0..4)    magic  b"BMCK"
+//! [4..8)    format version (u32), currently 1
+//! [8..16)   payload length in bytes (u64)
+//! [16..16+n) payload
+//! [..+8)    FNV-1a 64-bit checksum of the payload (u64)
+//! ```
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Magic bytes identifying a Bismarck checkpoint file.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"BMCK";
+
+/// Current container format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Why a checkpoint could not be written or read back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// An underlying filesystem operation failed (message includes the path).
+    Io(String),
+    /// The file does not start with [`CHECKPOINT_MAGIC`].
+    BadMagic,
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The file is shorter than its header claims.
+    Truncated,
+    /// The payload checksum does not match — the file is corrupt.
+    ChecksumMismatch,
+    /// The payload decoded, but its contents are internally inconsistent
+    /// (e.g. a model of the wrong dimension for the task).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(msg) => write!(f, "checkpoint I/O error: {msg}"),
+            CheckpointError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint format version {v}")
+            }
+            CheckpointError::Truncated => write!(f, "checkpoint file is truncated"),
+            CheckpointError::ChecksumMismatch => {
+                write!(f, "checkpoint checksum mismatch (file is corrupt)")
+            }
+            CheckpointError::Corrupt(msg) => write!(f, "checkpoint is corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// FNV-1a 64-bit hash — small, dependency-free, and plenty to detect the
+/// torn writes and bit rot a checkpoint checksum exists for (this is an
+/// integrity check, not a cryptographic one).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Atomically write `payload` as a checkpoint at `path`.
+///
+/// The bytes are first written to `<path>.tmp` in the same directory, flushed,
+/// and then renamed over `path`, so readers either see the previous complete
+/// checkpoint or the new complete one — never a partial file.
+pub fn write_checkpoint(path: &Path, payload: &[u8]) -> Result<(), CheckpointError> {
+    let io_err =
+        |op: &str, e: std::io::Error| CheckpointError::Io(format!("{op} {}: {e}", path.display()));
+    let mut bytes = Vec::with_capacity(24 + payload.len());
+    bytes.extend_from_slice(&CHECKPOINT_MAGIC);
+    bytes.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    bytes.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = fs::File::create(&tmp).map_err(|e| io_err("create", e))?;
+        file.write_all(&bytes).map_err(|e| io_err("write", e))?;
+        file.sync_all().map_err(|e| io_err("sync", e))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| io_err("rename", e))
+}
+
+/// Read and validate a checkpoint, returning its payload bytes.
+pub fn read_checkpoint(path: &Path) -> Result<Vec<u8>, CheckpointError> {
+    let bytes =
+        fs::read(path).map_err(|e| CheckpointError::Io(format!("read {}: {e}", path.display())))?;
+    if bytes.len() < 16 {
+        return Err(if bytes.starts_with(&CHECKPOINT_MAGIC) || bytes.len() < 4 {
+            CheckpointError::Truncated
+        } else {
+            CheckpointError::BadMagic
+        });
+    }
+    if bytes[0..4] != CHECKPOINT_MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice"));
+    if version != CHECKPOINT_VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice")) as usize;
+    let Some(expected_total) = len.checked_add(24) else {
+        return Err(CheckpointError::Truncated);
+    };
+    if bytes.len() < expected_total {
+        return Err(CheckpointError::Truncated);
+    }
+    let payload = &bytes[16..16 + len];
+    let stored = u64::from_le_bytes(
+        bytes[16 + len..16 + len + 8]
+            .try_into()
+            .expect("8-byte slice"),
+    );
+    if fnv1a64(payload) != stored {
+        return Err(CheckpointError::ChecksumMismatch);
+    }
+    Ok(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bismarck-ckpt-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_payload() {
+        let path = temp_path("roundtrip");
+        let payload = b"hello checkpoint".to_vec();
+        write_checkpoint(&path, &payload).unwrap();
+        assert_eq!(read_checkpoint(&path).unwrap(), payload);
+        // Overwrite with a different payload: the rename replaces atomically.
+        write_checkpoint(&path, b"second").unwrap();
+        assert_eq!(read_checkpoint(&path).unwrap(), b"second");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let path = temp_path("empty");
+        write_checkpoint(&path, &[]).unwrap();
+        assert_eq!(read_checkpoint(&path).unwrap(), Vec::<u8>::new());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn detects_bad_magic() {
+        let path = temp_path("magic");
+        fs::write(&path, b"NOPExxxxxxxxxxxxxxxxxxxxxxxx").unwrap();
+        assert_eq!(read_checkpoint(&path), Err(CheckpointError::BadMagic));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn detects_unsupported_version() {
+        let path = temp_path("version");
+        let payload = b"data";
+        write_checkpoint(&path, payload).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(
+            read_checkpoint(&path),
+            Err(CheckpointError::UnsupportedVersion(99))
+        );
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn detects_flipped_payload_bit() {
+        let path = temp_path("bitflip");
+        write_checkpoint(&path, b"sensitive model bytes").unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[20] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(
+            read_checkpoint(&path),
+            Err(CheckpointError::ChecksumMismatch)
+        );
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let path = temp_path("truncated");
+        write_checkpoint(&path, b"some payload that will be cut").unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        assert_eq!(read_checkpoint(&path), Err(CheckpointError::Truncated));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let path = temp_path("missing-never-created");
+        match read_checkpoint(&path) {
+            Err(CheckpointError::Io(msg)) => assert!(msg.contains("read")),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+}

@@ -21,6 +21,7 @@
 //! small, deterministic and easy to test.
 
 pub mod catalog;
+pub mod checkpoint;
 pub mod csv;
 pub mod error;
 pub mod null_agg;
@@ -33,6 +34,7 @@ pub mod tuple;
 pub mod value;
 
 pub use crate::catalog::Database;
+pub use crate::checkpoint::{read_checkpoint, write_checkpoint, CheckpointError};
 pub use crate::error::StorageError;
 pub use crate::null_agg::NullAggregate;
 pub use crate::reservoir::ReservoirSampler;

@@ -51,7 +51,26 @@ impl ConvergenceTest {
     /// Decide whether to stop after `epoch` (0-based) given the loss history
     /// so far (`losses[e]` is the loss measured after epoch `e`) and the
     /// latest gradient norm if the task tracks one.
+    ///
+    /// # Non-finite losses
+    ///
+    /// A non-finite *current* loss (`NaN`/`±inf`) means the run has diverged:
+    /// no later epoch can recover on its own, so every loss-based test treats
+    /// it as a stop signal rather than "keep training" (which would spin
+    /// uselessly until `max_epochs`). Callers distinguish divergence from
+    /// convergence by inspecting the final loss — [`crate::EpochRunner`] never
+    /// marks a run with a non-finite final loss as converged. A non-finite
+    /// *previous* loss with a finite current one (e.g. after a divergence
+    /// recovery restored an earlier model) keeps training: the relative-drop
+    /// ratio is meaningless across that boundary.
     pub fn should_stop(&self, epoch: usize, losses: &[f64], gradient_norm: Option<f64>) -> bool {
+        // Divergence short-circuit for every loss-based test (FixedEpochs
+        // runs its count regardless; the caller still sees the NaN loss).
+        if !matches!(self, ConvergenceTest::FixedEpochs(_))
+            && losses.last().is_some_and(|l| !l.is_finite())
+        {
+            return true;
+        }
         match *self {
             ConvergenceTest::FixedEpochs(n) => epoch + 1 >= n,
             ConvergenceTest::RelativeLossDecrease {
@@ -66,7 +85,9 @@ impl ConvergenceTest {
                 }
                 let prev = losses[losses.len() - 2];
                 let curr = losses[losses.len() - 1];
-                if !prev.is_finite() || !curr.is_finite() {
+                if !prev.is_finite() {
+                    // Recovered from a bad epoch; the drop ratio is undefined,
+                    // so keep training.
                     return false;
                 }
                 let denom = prev.abs().max(1e-12);
@@ -150,6 +171,35 @@ mod tests {
         };
         assert!(!t.should_stop(1, &[f64::INFINITY, 5.0], None));
         assert!(!t.should_stop(1, &[f64::NAN, 5.0], None));
+    }
+
+    #[test]
+    fn non_finite_current_loss_is_a_stop_signal() {
+        // A diverged run must stop immediately instead of spinning to the cap.
+        let rel = ConvergenceTest::RelativeLossDecrease {
+            tolerance: 1e-3,
+            max_epochs: 1000,
+        };
+        assert!(rel.should_stop(1, &[5.0, f64::NAN], None));
+        assert!(rel.should_stop(1, &[5.0, f64::INFINITY], None));
+        assert!(rel.should_stop(0, &[f64::NAN], None));
+
+        let below = ConvergenceTest::LossBelow {
+            target: 1.0,
+            max_epochs: 1000,
+        };
+        assert!(below.should_stop(1, &[5.0, f64::NAN], None));
+        assert!(below.should_stop(1, &[5.0, f64::INFINITY], None));
+
+        let grad = ConvergenceTest::GradientNormBelow {
+            tolerance: 1e-9,
+            max_epochs: 1000,
+        };
+        assert!(grad.should_stop(1, &[5.0, f64::NAN], Some(1.0)));
+
+        // FixedEpochs runs its full count regardless.
+        let fixed = ConvergenceTest::FixedEpochs(5);
+        assert!(!fixed.should_stop(1, &[5.0, f64::NAN], None));
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub struct EpochOutcome {
     pub gradient_norm: Option<f64>,
     /// Time spent reordering (shuffling) the data before this epoch.
     pub shuffle_duration: Duration,
+    /// Divergence recoveries (restore + step-size backoff) consumed while
+    /// producing this epoch. Zero on the fault-free path.
+    pub retries: u32,
 }
 
 impl EpochOutcome {
@@ -31,6 +34,7 @@ impl EpochOutcome {
             loss,
             gradient_norm: None,
             shuffle_duration: Duration::ZERO,
+            retries: 0,
         }
     }
 }
@@ -50,6 +54,9 @@ pub struct EpochRecord {
     pub shuffle_duration: Duration,
     /// Cumulative wall-clock time since training started.
     pub cumulative: Duration,
+    /// Divergence recoveries (restore + step-size backoff) consumed while
+    /// producing this epoch. Zero on the fault-free path.
+    pub retries: u32,
 }
 
 /// Loss/timing history of a full training run.
@@ -99,20 +106,28 @@ impl TrainingHistory {
     }
 
     /// Number of epochs needed to first reach a loss at or below `target`,
-    /// if it was ever reached.
+    /// if it was ever reached. Non-finite losses (`NaN`/`±inf` from a
+    /// diverged epoch) are skipped: they can never match a finite target and
+    /// must not be counted as progress.
     pub fn epochs_to_reach(&self, target: f64) -> Option<usize> {
         self.records
             .iter()
-            .find(|r| r.loss <= target)
+            .find(|r| r.loss.is_finite() && r.loss <= target)
             .map(|r| r.epoch + 1)
     }
 
     /// Cumulative time needed to first reach a loss at or below `target`.
+    /// Non-finite losses are skipped, as in [`Self::epochs_to_reach`].
     pub fn time_to_reach(&self, target: f64) -> Option<Duration> {
         self.records
             .iter()
-            .find(|r| r.loss <= target)
+            .find(|r| r.loss.is_finite() && r.loss <= target)
             .map(|r| r.cumulative)
+    }
+
+    /// Total divergence recoveries (step-size backoffs) across the run.
+    pub fn total_retries(&self) -> u32 {
+        self.records.iter().map(|r| r.retries).sum()
     }
 
     /// Record one epoch (exposed for trainers that manage their own loop).
@@ -147,13 +162,54 @@ impl EpochRunner {
     where
         F: FnMut(usize) -> EpochOutcome,
     {
+        let (history, err) = self.try_run_from(0, Vec::new(), |epoch| {
+            Ok::<EpochOutcome, std::convert::Infallible>(run_epoch(epoch))
+        });
+        match err {
+            None => history,
+            Some((_, infallible)) => match infallible {},
+        }
+    }
+
+    /// Fallible variant of [`Self::run`]: the epoch closure may abort the
+    /// loop by returning `Err`. Returns the history of the epochs that
+    /// completed, together with the epoch number and error that stopped the
+    /// run (or `None` if it ran to convergence or the cap).
+    pub fn try_run<F, E>(&self, run_epoch: F) -> (TrainingHistory, Option<(usize, E)>)
+    where
+        F: FnMut(usize) -> Result<EpochOutcome, E>,
+    {
+        self.try_run_from(0, Vec::new(), run_epoch)
+    }
+
+    /// Resume-aware fallible epoch loop. `prior` holds records for epochs
+    /// `0..start_epoch` that already ran (e.g. restored from a checkpoint);
+    /// the loop continues at `start_epoch` and the convergence test sees the
+    /// combined loss history, so stopping decisions match an uninterrupted
+    /// run. Durations of new epochs are measured from this call — prior
+    /// records keep whatever timings they carry.
+    pub fn try_run_from<F, E>(
+        &self,
+        start_epoch: usize,
+        prior: Vec<EpochRecord>,
+        mut run_epoch: F,
+    ) -> (TrainingHistory, Option<(usize, E)>)
+    where
+        F: FnMut(usize) -> Result<EpochOutcome, E>,
+    {
         let mut history = TrainingHistory::default();
-        let mut losses = Vec::new();
+        let mut losses: Vec<f64> = prior.iter().map(|r| r.loss).collect();
+        for record in prior {
+            history.push(record);
+        }
         let started = Instant::now();
         let cap = self.convergence.epoch_cap();
-        for epoch in 0..cap {
+        for epoch in start_epoch..cap {
             let epoch_start = Instant::now();
-            let outcome = run_epoch(epoch);
+            let outcome = match run_epoch(epoch) {
+                Ok(outcome) => outcome,
+                Err(err) => return (history, Some((epoch, err))),
+            };
             let duration = epoch_start.elapsed();
             losses.push(outcome.loss);
             history.push(EpochRecord {
@@ -163,16 +219,20 @@ impl EpochRunner {
                 duration,
                 shuffle_duration: outcome.shuffle_duration,
                 cumulative: started.elapsed(),
+                retries: outcome.retries,
             });
             if self
                 .convergence
                 .should_stop(epoch, &losses, outcome.gradient_norm)
             {
-                history.set_converged(epoch + 1 < cap || self.is_satisfied(epoch, &losses));
+                // A run whose final loss is non-finite stopped because it
+                // diverged; never report that as convergence.
+                let satisfied = epoch + 1 < cap || self.is_satisfied(epoch, &losses);
+                history.set_converged(satisfied && outcome.loss.is_finite());
                 break;
             }
         }
-        history
+        (history, None)
     }
 
     fn is_satisfied(&self, epoch: usize, losses: &[f64]) -> bool {
@@ -269,12 +329,90 @@ mod tests {
             loss: 1.0,
             gradient_norm: Some(0.1),
             shuffle_duration: Duration::from_micros(5),
+            retries: 0,
         });
         assert_eq!(history.records().len(), 3);
         assert!(history.total_shuffle_duration() >= Duration::from_micros(15));
         assert!(history.total_duration() >= history.records()[0].duration);
         let cumulative: Vec<_> = history.records().iter().map(|r| r.cumulative).collect();
         assert!(cumulative.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn epochs_to_reach_skips_non_finite_losses() {
+        // A NaN epoch can't match a finite target and must not be counted as
+        // progress; the first FINITE loss at or below target wins.
+        let runner = EpochRunner::new(ConvergenceTest::FixedEpochs(5));
+        let losses = [10.0, f64::NAN, f64::INFINITY, 4.0, 3.0];
+        let history = runner.run(|epoch| EpochOutcome::with_loss(losses[epoch]));
+        assert_eq!(history.epochs_to_reach(5.0), Some(4));
+        assert_eq!(history.epochs_to_reach(3.5), Some(5));
+        assert_eq!(history.epochs_to_reach(1.0), None);
+        assert!(history.time_to_reach(5.0).is_some());
+        assert!(history.time_to_reach(1.0).is_none());
+        // All-NaN history reaches nothing.
+        let runner = EpochRunner::new(ConvergenceTest::FixedEpochs(2));
+        let bad = runner.run(|_| EpochOutcome::with_loss(f64::NAN));
+        assert_eq!(bad.epochs_to_reach(f64::INFINITY), None);
+        assert!(bad.time_to_reach(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn diverged_run_stops_early_and_is_not_converged() {
+        let runner = EpochRunner::new(ConvergenceTest::RelativeLossDecrease {
+            tolerance: 1e-3,
+            max_epochs: 100,
+        });
+        let history = runner.run(|epoch| {
+            EpochOutcome::with_loss(if epoch < 2 {
+                10.0 - epoch as f64
+            } else {
+                f64::NAN
+            })
+        });
+        assert_eq!(history.epochs(), 3, "stops at the first NaN, not the cap");
+        assert!(!history.converged());
+    }
+
+    #[test]
+    fn try_run_surfaces_epoch_error_with_partial_history() {
+        let runner = EpochRunner::new(ConvergenceTest::FixedEpochs(10));
+        let (history, err) = runner.try_run(|epoch| {
+            if epoch == 3 {
+                Err("boom")
+            } else {
+                Ok(EpochOutcome::with_loss(10.0 - epoch as f64))
+            }
+        });
+        assert_eq!(history.epochs(), 3);
+        assert_eq!(err, Some((3, "boom")));
+        assert!(!history.converged());
+    }
+
+    #[test]
+    fn try_run_from_continues_a_prior_history() {
+        let runner = EpochRunner::new(ConvergenceTest::FixedEpochs(6));
+        let (first, err) = runner.try_run(|epoch| {
+            if epoch == 3 {
+                Err(())
+            } else {
+                Ok(EpochOutcome::with_loss(10.0 - epoch as f64))
+            }
+        });
+        assert_eq!(err, Some((3, ())));
+        let prior = first.records().to_vec();
+        let (resumed, err) = runner.try_run_from(3, prior, |epoch| {
+            Ok::<_, ()>(EpochOutcome::with_loss(10.0 - epoch as f64))
+        });
+        assert!(err.is_none());
+        assert_eq!(resumed.epochs(), 6);
+        assert_eq!(
+            resumed.losses(),
+            vec![10.0, 9.0, 8.0, 7.0, 6.0, 5.0],
+            "combined history matches an uninterrupted run"
+        );
+        assert!(resumed.converged());
+        assert_eq!(resumed.total_retries(), 0);
     }
 
     #[test]

@@ -61,12 +61,67 @@ pub fn run_segmented<A: Aggregate>(agg: &A, table: &Table, segments: usize) -> A
 /// identical to the sequential segmented plan whenever `merge` is
 /// deterministic.
 ///
+/// Panics if any worker panics; use [`try_run_segmented_parallel`] to turn a
+/// worker panic into an error instead.
+///
 /// The number of OS threads is capped at
 /// [`std::thread::available_parallelism`]: asking for 100 segments on an
 /// 8-core box runs 100 logical segments on at most 8 workers (each worker
 /// takes a contiguous block of segments and aggregates them independently),
 /// instead of paying 100 thread spawns for no extra parallelism.
 pub fn run_segmented_parallel<A>(agg: &A, table: &Table, segments: usize) -> A::Output
+where
+    A: Aggregate + Sync,
+    A::State: Send,
+{
+    try_run_segmented_parallel(agg, table, segments)
+        .unwrap_or_else(|p| panic!("segment worker panicked: {}", p.message))
+}
+
+/// One or more worker threads of a parallel segmented run panicked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentPanic {
+    /// Number of workers that panicked.
+    pub failed_workers: usize,
+    /// Panic payload of the first failed worker, if it carried a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for SegmentPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} segment worker(s) panicked: {}",
+            self.failed_workers, self.message
+        )
+    }
+}
+
+impl std::error::Error for SegmentPanic {}
+
+/// Render a panic payload (from `catch_unwind` or `JoinHandle::join`) as a
+/// human-readable message.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Fallible variant of [`run_segmented_parallel`]: a panicking worker is
+/// isolated instead of aborting the process. Each worker's panic is caught by
+/// joining its handle and inspecting the `Err` payload (joining a handle
+/// consumes the panic, so `std::thread::scope` does not re-raise it); the
+/// partial states of panicked workers are discarded and the run reports
+/// [`SegmentPanic`] rather than a (meaningless) merged output.
+pub fn try_run_segmented_parallel<A>(
+    agg: &A,
+    table: &Table,
+    segments: usize,
+) -> Result<A::Output, SegmentPanic>
 where
     A: Aggregate + Sync,
     A::State: Send,
@@ -82,6 +137,8 @@ where
     let per_worker = ranges.len().div_ceil(workers);
 
     let mut partials: Vec<A::State> = Vec::with_capacity(ranges.len());
+    let mut failed_workers = 0usize;
+    let mut message = String::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for block in ranges.chunks(per_worker) {
@@ -99,16 +156,30 @@ where
             }));
         }
         for handle in handles {
-            partials.extend(handle.join().expect("segment worker panicked"));
+            match handle.join() {
+                Ok(states) => partials.extend(states),
+                Err(payload) => {
+                    failed_workers += 1;
+                    if message.is_empty() {
+                        message = panic_message(payload.as_ref());
+                    }
+                }
+            }
         }
     });
+    if failed_workers > 0 {
+        return Err(SegmentPanic {
+            failed_workers,
+            message,
+        });
+    }
 
     let mut iter = partials.into_iter();
     let mut merged = iter.next().unwrap_or_else(|| agg.initialize());
     for partial in iter {
         agg.merge(&mut merged, partial);
     }
-    agg.terminate(merged)
+    Ok(agg.terminate(merged))
 }
 
 #[cfg(test)]
@@ -180,6 +251,44 @@ mod tests {
                 "segments={segments}"
             );
         }
+    }
+
+    /// Counts tuples but panics when it sees a configured `id` value.
+    struct PanicOnId(i64);
+
+    impl Aggregate for PanicOnId {
+        type State = u64;
+        type Output = u64;
+
+        fn initialize(&self) -> u64 {
+            0
+        }
+
+        fn transition(&self, state: &mut u64, tuple: &bismarck_storage::Tuple) {
+            if tuple.get_int(0) == Some(self.0) {
+                panic!("injected fault at id {}", self.0);
+            }
+            *state += 1;
+        }
+
+        fn merge(&self, left: &mut u64, right: u64) {
+            *left += right;
+        }
+
+        fn terminate(&self, state: u64) -> u64 {
+            state
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_isolated_into_an_error() {
+        let t = table(100);
+        let err = try_run_segmented_parallel(&PanicOnId(17), &t, 4)
+            .expect_err("a worker must have panicked");
+        assert!(err.failed_workers >= 1);
+        assert!(err.message.contains("injected fault at id 17"), "{err}");
+        // The same plan without the poisoned tuple still succeeds.
+        assert_eq!(try_run_segmented_parallel(&PanicOnId(-1), &t, 4), Ok(100));
     }
 
     #[test]

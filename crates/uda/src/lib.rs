@@ -26,5 +26,8 @@ pub mod loss;
 pub use crate::aggregate::Aggregate;
 pub use crate::convergence::ConvergenceTest;
 pub use crate::epoch::{EpochOutcome, EpochRecord, EpochRunner, TrainingHistory};
-pub use crate::executor::{run_segmented, run_segmented_parallel, run_sequential};
+pub use crate::executor::{
+    panic_message, run_segmented, run_segmented_parallel, run_sequential,
+    try_run_segmented_parallel, SegmentPanic,
+};
 pub use crate::loss::sum_over_table;

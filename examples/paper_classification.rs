@@ -48,7 +48,7 @@ fn main() {
         ("ShuffleOnce ", ScanOrder::ShuffleOnce { seed: 9 }),
         ("ShuffleAlways", ScanOrder::ShuffleAlways { seed: 9 }),
     ] {
-        let trained = Trainer::new(&task, base.with_scan_order(order)).train(&table);
+        let trained = Trainer::new(&task, base.clone().with_scan_order(order)).train(&table);
         let nonzero = trained.model.iter().filter(|w| w.abs() > 1e-9).count();
         println!(
             "  {label}  epochs={:2}  objective={:8.2}  wall-clock={:6.3}s  shuffle={:6.3}s  nonzero weights={}",

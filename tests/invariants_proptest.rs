@@ -3,8 +3,9 @@
 use bismarck_core::igd::IgdAggregate;
 use bismarck_core::task::IgdTask;
 use bismarck_core::tasks::{LeastSquaresTask, LogisticRegressionTask, PortfolioTask, SvmTask};
+use bismarck_core::{StepSizeSchedule, Trainer, TrainerConfig};
 use bismarck_storage::{Column, DataType, ScanOrder, Schema, Table, Value};
-use bismarck_uda::{run_segmented, run_sequential};
+use bismarck_uda::{run_segmented, run_sequential, ConvergenceTest};
 use proptest::prelude::*;
 
 /// Build a small dense classification table from generated rows.
@@ -117,5 +118,64 @@ proptest! {
         let out = run_segmented(&agg, &table, segments);
         prop_assert_eq!(out.steps as usize, table.len());
         prop_assert!(out.model.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    /// Checkpoint/resume is bit-compatible: for any split point, checkpoint
+    /// cadence, scan order and step-size schedule, a run stopped after
+    /// `split` epochs and resumed from its checkpoint produces exactly the
+    /// model (and loss trajectory) of an uninterrupted run.
+    #[test]
+    fn checkpoint_resume_is_bit_compatible(
+        rows in rows_strategy(3, 40),
+        seed in 0u64..500,
+        split in 1usize..6,
+        every in 1usize..4,
+        order_kind in 0usize..3,
+        schedule_kind in 0usize..3,
+    ) {
+        let table = table_from_rows(&rows);
+        let task = LogisticRegressionTask::new(0, 1, 3);
+        let total = 7usize;
+        let split = split.min(total - 1);
+        // Only cadences that actually produce a checkpoint at `split` allow
+        // an exact cut there.
+        let every = if split % every == 0 { every } else { 1 };
+        let order = match order_kind {
+            0 => ScanOrder::Clustered,
+            1 => ScanOrder::ShuffleOnce { seed },
+            _ => ScanOrder::ShuffleAlways { seed },
+        };
+        let schedule = match schedule_kind {
+            0 => StepSizeSchedule::Constant(0.05),
+            1 => StepSizeSchedule::Diminishing { initial: 0.1 },
+            _ => StepSizeSchedule::Geometric { initial: 0.1, decay: 0.8 },
+        };
+        let base = TrainerConfig::default()
+            .with_step_size(schedule)
+            .with_scan_order(order);
+
+        let full = Trainer::new(&task, base.clone().with_convergence(ConvergenceTest::FixedEpochs(total)))
+            .train(&table);
+
+        let path = std::env::temp_dir().join(format!(
+            "bismarck_prop_{}_{seed}_{split}_{every}_{order_kind}_{schedule_kind}.ckpt",
+            std::process::id()
+        ));
+        Trainer::new(
+            &task,
+            base.clone()
+                .with_convergence(ConvergenceTest::FixedEpochs(split))
+                .with_checkpoints(&path, every),
+        )
+        .train(&table);
+        let resumed = Trainer::new(
+            &task,
+            base.with_convergence(ConvergenceTest::FixedEpochs(total)),
+        )
+        .resume_from(&table, &path);
+        let _ = std::fs::remove_file(&path);
+        let resumed = resumed.expect("resume from checkpoint");
+        prop_assert_eq!(resumed.model, full.model);
+        prop_assert_eq!(resumed.history.losses(), full.history.losses());
     }
 }

@@ -66,7 +66,7 @@ fn all_parallel_schemes_agree_with_sequential_on_final_quality() {
     let task = SvmTask::new(1, 2, dim);
     let epochs = 6;
     let cfg = config(epochs, ScanOrder::ShuffleOnce { seed: 4 });
-    let trainer = Trainer::new(&task, cfg);
+    let trainer = Trainer::new(&task, cfg.clone());
     let initial = trainer.objective(&task.initial_model(), &table);
     let sequential = trainer.train(&table).final_loss().unwrap();
 
@@ -85,7 +85,7 @@ fn all_parallel_schemes_agree_with_sequential_on_final_quality() {
             discipline: UpdateDiscipline::NoLock,
         },
     ] {
-        let (trained, stats) = ParallelTrainer::new(&task, cfg, strategy).train(&table);
+        let (trained, stats) = ParallelTrainer::new(&task, cfg.clone(), strategy).train(&table);
         let loss = trained.final_loss().unwrap();
         // Every scheme must make substantial progress from the zero model
         // (model averaging is allowed to lag, exactly as in Figure 9(A)).
@@ -153,8 +153,12 @@ fn pure_uda_convergence_is_no_better_than_nolock_shared_memory() {
     let dim = bismarck_core::frontend::infer_dimension(&table, 1);
     let task = LogisticRegressionTask::new(1, 2, dim);
     let cfg = config(4, ScanOrder::ShuffleOnce { seed: 2 });
-    let (pure, _) =
-        ParallelTrainer::new(&task, cfg, ParallelStrategy::PureUda { segments: 8 }).train(&table);
+    let (pure, _) = ParallelTrainer::new(
+        &task,
+        cfg.clone(),
+        ParallelStrategy::PureUda { segments: 8 },
+    )
+    .train(&table);
     let (nolock, _) = ParallelTrainer::new(
         &task,
         cfg,

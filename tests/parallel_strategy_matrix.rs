@@ -79,7 +79,7 @@ fn every_parallel_strategy_reduces_logistic_loss_across_epochs() {
     };
 
     for strategy in every_strategy() {
-        let trainer = ParallelTrainer::new(&task, config, strategy);
+        let trainer = ParallelTrainer::new(&task, config.clone(), strategy);
         let (trained, stats) = trainer.train(&table);
         let label = format!("{} ({} workers)", strategy.label(), strategy.workers());
 

@@ -204,8 +204,8 @@ fn developer_effort_is_small_across_tasks() {
     let ls = LeastSquaresTask::new(1, 2, 8);
     let cfg = config(3, StepSizeSchedule::Constant(0.1));
     for trained in [
-        Trainer::new(&lr, cfg).train(&table),
-        Trainer::new(&svm, cfg).train(&table),
+        Trainer::new(&lr, cfg.clone()).train(&table),
+        Trainer::new(&svm, cfg.clone()).train(&table),
         Trainer::new(&ls, cfg).train(&table),
     ] {
         assert_eq!(trained.epochs(), 3);
