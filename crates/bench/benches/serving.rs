@@ -1,0 +1,175 @@
+//! Sustained prediction throughput through a [`ModelHandle`], idle and under
+//! concurrent training.
+//!
+//! The serving layer's promise is that reads are wait-free in the common
+//! case: a reader clones one `Arc` per batch and then scores through the
+//! same `dot_view` kernels the trainer uses, so prediction throughput should
+//! barely move when a [`ParallelTrainer`] is publishing a fresh snapshot
+//! into the handle every epoch. This bench measures batched-predict
+//! throughput (tuples/sec) on a dense LR model twice — with the handle idle,
+//! and with a NoLock (Hogwild!) trainer hammering the same handle from
+//! background threads — and records both, plus the retained fraction, in
+//! `BENCH_serving.json` at the workspace root. Run with
+//! `cargo bench -p bismarck-bench --bench serving` (release profile).
+
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bismarck_core::serving::{ModelHandle, ServingTask};
+use bismarck_core::tasks::LogisticRegressionTask;
+use bismarck_core::{
+    IgdTask, ParallelStrategy, ParallelTrainer, StepSizeSchedule, TrainerConfig, UpdateDiscipline,
+};
+use bismarck_datagen::{
+    dense_classification, DenseClassificationConfig, CLASSIFICATION_FEATURES_COL,
+    CLASSIFICATION_LABEL_COL,
+};
+use bismarck_linalg::FeatureVectorRef;
+use bismarck_storage::Table;
+use bismarck_uda::ConvergenceTest;
+
+const DIM: usize = 54;
+const BATCH: usize = 256;
+const SAMPLES: usize = 20;
+
+/// Score every batch of `features` once through the handle; returns the
+/// elapsed seconds for one full pass.
+fn scoring_pass(handle: &ModelHandle, batches: &[Vec<FeatureVectorRef<'_>>]) -> f64 {
+    let mut out = Vec::with_capacity(BATCH);
+    let start = Instant::now();
+    for batch in batches {
+        let snapshot = handle.predict_batch(batch, &mut out);
+        black_box(&out);
+        black_box(snapshot.version());
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Best-of-N sustained throughput in tuples/sec over the prepared batches.
+fn measure_throughput(handle: &ModelHandle, batches: &[Vec<FeatureVectorRef<'_>>]) -> f64 {
+    let tuples: usize = batches.iter().map(Vec::len).sum();
+    // Warm-up passes: fault pages, warm caches, settle the branch predictor.
+    for _ in 0..3 {
+        scoring_pass(handle, batches);
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        best = best.min(scoring_pass(handle, batches));
+    }
+    tuples as f64 / best
+}
+
+fn main() {
+    eprintln!("batched prediction throughput through a ModelHandle (best pass of many)");
+
+    let table = dense_classification(
+        "serving_bench",
+        DenseClassificationConfig {
+            examples: 20_000,
+            dimension: DIM,
+            ..Default::default()
+        },
+    );
+    let task =
+        LogisticRegressionTask::new(CLASSIFICATION_FEATURES_COL, CLASSIFICATION_LABEL_COL, DIM);
+
+    // The scoring workload: every feature vector of the table, in batches,
+    // borrowed zero-copy from storage exactly as the SQL layer would.
+    let views: Vec<FeatureVectorRef<'_>> = table
+        .scan()
+        .filter_map(|tuple| tuple.feature_view(CLASSIFICATION_FEATURES_COL))
+        .collect();
+    let batches: Vec<Vec<FeatureVectorRef<'_>>> = views.chunks(BATCH).map(<[_]>::to_vec).collect();
+    let tuples: usize = views.len();
+
+    let handle = ModelHandle::with_initial(ServingTask::Logistic, task.initial_model())
+        .expect("zero model is finite");
+
+    // Idle: no writer anywhere near the handle.
+    let idle_tps = measure_throughput(&handle, &batches);
+    eprintln!("  idle: {:.0} tuples/sec", idle_tps);
+
+    // Concurrent: a Hogwild! trainer loops epochs on the same table and
+    // publishes into the same handle until the measurement is done.
+    let stop = Arc::new(AtomicBool::new(false));
+    let concurrent_tps = std::thread::scope(|scope| {
+        let trainer_stop = Arc::clone(&stop);
+        let trainer_handle = handle.clone();
+        let trainer_task = &task;
+        let trainer_table: &Table = &table;
+        scope.spawn(move || {
+            let config = TrainerConfig::default()
+                .with_step_size(StepSizeSchedule::Constant(0.01))
+                .with_convergence(ConvergenceTest::FixedEpochs(4))
+                .with_serving(trainer_handle);
+            let strategy = ParallelStrategy::SharedMemory {
+                workers: 2,
+                discipline: UpdateDiscipline::NoLock,
+            };
+            while !trainer_stop.load(Ordering::Acquire) {
+                let trainer = ParallelTrainer::new(trainer_task, config.clone(), strategy);
+                black_box(trainer.train(trainer_table));
+            }
+        });
+        let tps = measure_throughput(&handle, &batches);
+        stop.store(true, Ordering::Release);
+        tps
+    });
+    eprintln!(
+        "  concurrent with training: {:.0} tuples/sec",
+        concurrent_tps
+    );
+
+    let retained = concurrent_tps / idle_tps;
+    let final_version = handle.snapshot().version();
+    eprintln!(
+        "  retained {:.1}% of idle throughput; {final_version} snapshots published",
+        retained * 100.0
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serving\",\n",
+            "  \"description\": \"batched PREDICT throughput through a ModelHandle, ",
+            "idle vs concurrent with a NoLock training loop publishing every epoch\",\n",
+            "  \"profile\": \"{}\",\n",
+            "  \"task\": \"LR\",\n",
+            "  \"dimension\": {},\n",
+            "  \"batch_size\": {},\n",
+            "  \"tuples_per_pass\": {},\n",
+            "  \"idle_tuples_per_sec\": {:.0},\n",
+            "  \"concurrent_tuples_per_sec\": {:.0},\n",
+            "  \"throughput_retained\": {:.3},\n",
+            "  \"snapshots_published\": {}\n",
+            "}}\n"
+        ),
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        },
+        DIM,
+        BATCH,
+        tuples,
+        idle_tps,
+        concurrent_tps,
+        retained,
+        final_version,
+    );
+
+    // crates/bench -> workspace root.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_serving.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => eprintln!("wrote {}", out.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+    print!("{json}");
+}

@@ -9,6 +9,7 @@
 
 use bismarck_storage::CheckpointError;
 
+use crate::serving::PublishError;
 use crate::trainer::TrainedModel;
 
 /// Why a training run stopped before completing normally.
@@ -43,6 +44,11 @@ pub enum TrainError {
     },
     /// A checkpoint could not be written or read back.
     Checkpoint(CheckpointError),
+    /// The serving handle configured via
+    /// [`crate::trainer::TrainerConfig::with_serving`] cannot accept this
+    /// run's models (its dimension differs from the task's). Detected before
+    /// the first epoch, so no training work is lost.
+    Serving(PublishError),
     /// The run observed its stop flag (see
     /// [`crate::trainer::TrainerConfig::with_stop_flag`]) and exited at an
     /// epoch boundary.
@@ -61,7 +67,7 @@ impl TrainError {
             TrainError::WorkerPanic { last_good, .. }
             | TrainError::Diverged { last_good, .. }
             | TrainError::Interrupted { last_good, .. } => Some(last_good),
-            TrainError::Checkpoint(_) => None,
+            TrainError::Checkpoint(_) | TrainError::Serving(_) => None,
         }
     }
 
@@ -71,7 +77,7 @@ impl TrainError {
             TrainError::WorkerPanic { last_good, .. }
             | TrainError::Diverged { last_good, .. }
             | TrainError::Interrupted { last_good, .. } => Some(*last_good),
-            TrainError::Checkpoint(_) => None,
+            TrainError::Checkpoint(_) | TrainError::Serving(_) => None,
         }
     }
 
@@ -81,7 +87,7 @@ impl TrainError {
             TrainError::WorkerPanic { epoch, .. }
             | TrainError::Diverged { epoch, .. }
             | TrainError::Interrupted { epoch, .. } => Some(*epoch),
-            TrainError::Checkpoint(_) => None,
+            TrainError::Checkpoint(_) | TrainError::Serving(_) => None,
         }
     }
 }
@@ -103,6 +109,7 @@ impl std::fmt::Display for TrainError {
                 "training diverged at epoch {epoch} after {retries} step-size backoff(s)"
             ),
             TrainError::Checkpoint(e) => write!(f, "{e}"),
+            TrainError::Serving(e) => write!(f, "serving handle rejected the run: {e}"),
             TrainError::Interrupted { epoch, .. } => {
                 write!(f, "training interrupted before epoch {epoch}")
             }
@@ -114,8 +121,15 @@ impl std::error::Error for TrainError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TrainError::Checkpoint(e) => Some(e),
+            TrainError::Serving(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<PublishError> for TrainError {
+    fn from(e: PublishError) -> Self {
+        TrainError::Serving(e)
     }
 }
 

@@ -26,7 +26,12 @@
 //!   shuffled (Section 3.4);
 //! * [`frontend`] — `SVMTrain`-style entry points that read a training table
 //!   from a [`bismarck_storage::Database`] and persist the model back as a
-//!   table, mimicking the MADlib-style SQL interface of Section 2.1.
+//!   table, mimicking the MADlib-style SQL interface of Section 2.1;
+//! * [`serving`] — the concurrent read path: epoch-versioned model
+//!   snapshots published by the trainers ([`TrainerConfig::with_serving`])
+//!   and batched prediction against them while training runs.
+
+#![warn(missing_docs)]
 
 pub mod checkpoint;
 pub mod error;
@@ -39,6 +44,7 @@ pub mod metrics;
 pub mod model;
 pub mod mrs;
 pub mod parallel;
+pub mod serving;
 pub mod stepsize;
 pub mod task;
 pub mod tasks;
@@ -52,6 +58,7 @@ pub use crate::igd::{IgdAggregate, IgdState};
 pub use crate::model::{AigStore, DenseModelStore, ModelStore, NoLockStore};
 pub use crate::mrs::{MrsConfig, MrsTrainer};
 pub use crate::parallel::{ParallelStrategy, ParallelTrainer, UpdateDiscipline};
+pub use crate::serving::{Link, ModelHandle, ModelSnapshot, PublishError, ServingTask};
 pub use crate::stepsize::StepSizeSchedule;
 pub use crate::task::{IgdTask, ProximalPolicy};
 pub use crate::trainer::{BackoffPolicy, CheckpointPolicy, TrainedModel, Trainer, TrainerConfig};

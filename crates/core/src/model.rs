@@ -27,6 +27,21 @@ use bismarck_storage::SharedModel;
 /// view. Private dense stores override them with single vectorizable slice
 /// loops; the shared NoLock/AIG stores keep the per-coordinate defaults,
 /// which preserve their racy / compare-and-swap update semantics.
+///
+/// A full gradient step is two kernel calls:
+///
+/// ```
+/// use bismarck_core::model::{DenseModelStore, ModelStore};
+/// use bismarck_linalg::FeatureVectorRef;
+///
+/// let mut w = DenseModelStore::new(vec![1.0, 0.0, -1.0]);
+/// let x = FeatureVectorRef::Dense(&[2.0, 0.0, 1.0]);
+///
+/// let score = w.dot_view(x); // Dot_Product
+/// assert_eq!(score, 1.0);
+/// w.axpy_view(x, 0.5); // Scale_And_Add: w += 0.5 * x
+/// assert_eq!(w.snapshot(), vec![2.0, 0.0, -0.5]);
+/// ```
 pub trait ModelStore {
     /// Number of model components.
     fn len(&self) -> usize;

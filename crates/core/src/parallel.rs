@@ -27,8 +27,9 @@ use crate::igd::IgdAggregate;
 use crate::model::{AigStore, NoLockStore, SliceModelStore};
 use crate::task::{IgdTask, ProximalPolicy};
 use crate::trainer::{
-    maybe_write_checkpoint, prior_records, stop_requested, unwrap_trained, validate_checkpoint,
-    write_interrupt_checkpoint, EpochAbort, ResumeState, TrainedModel, TrainerConfig,
+    maybe_write_checkpoint, prior_records, publish_serving, stop_requested, unwrap_trained,
+    validate_checkpoint, validate_serving, write_interrupt_checkpoint, EpochAbort, ResumeState,
+    TrainedModel, TrainerConfig,
 };
 
 /// How shared-memory workers update the model.
@@ -54,6 +55,24 @@ impl UpdateDiscipline {
 }
 
 /// Which parallelization scheme to run.
+///
+/// The two families of Section 3.3: shared-nothing model averaging
+/// ([`PureUda`](Self::PureUda), portable to any engine with UDA `merge`) and
+/// shared-memory concurrent updates ([`SharedMemory`](Self::SharedMemory),
+/// whose [`UpdateDiscipline`] trades contention against staleness).
+///
+/// ```
+/// use bismarck_core::{ParallelStrategy, UpdateDiscipline};
+///
+/// let averaging = ParallelStrategy::PureUda { segments: 4 };
+/// let hogwild = ParallelStrategy::SharedMemory {
+///     workers: 4,
+///     discipline: UpdateDiscipline::NoLock,
+/// };
+/// assert_eq!(averaging.label(), "PureUDA");
+/// assert_eq!(hogwild.label(), "NoLock");
+/// assert_eq!(averaging.workers(), hogwild.workers());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ParallelStrategy {
     /// Shared-nothing model averaging through the UDA `merge` function.
@@ -100,6 +119,37 @@ pub struct ParallelEpochStats {
 }
 
 /// Trainer that runs each epoch's gradient pass in parallel.
+///
+/// A drop-in parallel counterpart to [`crate::Trainer`]: same
+/// [`TrainerConfig`], same epoch loop, but each epoch's gradient pass is
+/// spread across worker threads according to the chosen
+/// [`ParallelStrategy`]:
+///
+/// ```
+/// use bismarck_core::tasks::LogisticRegressionTask;
+/// use bismarck_core::{ParallelStrategy, ParallelTrainer, TrainerConfig};
+/// use bismarck_storage::{Column, DataType, Schema, Table, Value};
+/// use bismarck_uda::ConvergenceTest;
+///
+/// let schema = Schema::new(vec![
+///     Column::new("vec", DataType::DenseVec),
+///     Column::new("label", DataType::Double),
+/// ])?;
+/// let mut table = Table::new("points", schema);
+/// for (x, y) in [([2.0, 0.5], 1.0), ([-1.5, 0.8], -1.0), ([1.0, 1.0], 1.0)] {
+///     table.insert(vec![Value::from(x.to_vec()), Value::Double(y)])?;
+/// }
+///
+/// let task = LogisticRegressionTask::new(0, 1, 2);
+/// let config = TrainerConfig::default()
+///     .with_convergence(ConvergenceTest::FixedEpochs(5));
+/// let strategy = ParallelStrategy::PureUda { segments: 2 };
+/// let (trained, stats) = ParallelTrainer::new(&task, config, strategy).train(&table);
+///
+/// assert_eq!(trained.epochs(), 5);
+/// assert_eq!(stats.len(), 5); // per-epoch parallel-pass measurements
+/// # Ok::<(), bismarck_storage::StorageError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct ParallelTrainer<'a, T: IgdTask> {
     task: &'a T,
@@ -203,6 +253,9 @@ impl<'a, T: IgdTask> ParallelTrainer<'a, T> {
             None => (0, 1.0, 0, Vec::new()),
         };
         let mut model = initial_model;
+        if let Err(e) = validate_serving(config, model.len()) {
+            return (Err(e), Vec::new());
+        }
         let mut last_good = model.clone();
         let mut losses_so_far = prior_losses.clone();
         let mut stats = Vec::new();
@@ -294,6 +347,9 @@ impl<'a, T: IgdTask> ParallelTrainer<'a, T> {
                             alpha_scale *= config.backoff.factor;
                             model.clear();
                             model.extend_from_slice(&last_good);
+                            // Keep serving the restored finite model while
+                            // the retry runs.
+                            publish_serving(config, &model);
                             continue;
                         }
                         if config.backoff.max_retries > 0 {
@@ -304,6 +360,7 @@ impl<'a, T: IgdTask> ParallelTrainer<'a, T> {
                     } else {
                         last_good.clear();
                         last_good.extend_from_slice(&model);
+                        publish_serving(config, &model);
                     }
                     losses_so_far.push(loss);
                     if healthy {

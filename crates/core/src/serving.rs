@@ -1,0 +1,533 @@
+//! Concurrent model serving: epoch-versioned snapshots and batched
+//! prediction while training runs.
+//!
+//! The paper's architecture lives *inside* an RDBMS, where queries score
+//! tuples against models while training continues in the background. This
+//! module is that read path: a [`ModelHandle`] is a publication point the
+//! trainer pushes a fresh [`ModelSnapshot`] through after every healthy
+//! epoch (see [`crate::TrainerConfig::with_serving`]), and any number of
+//! reader threads pull the latest snapshot and score feature vectors against
+//! it — through the same [`ModelStore::dot_view`] slice kernels the gradient
+//! hot path uses.
+//!
+//! # Publication protocol
+//!
+//! The handle keeps **two** snapshot slots and an atomic index saying which
+//! one is live. A publish writes the new `Arc<ModelSnapshot>` into the
+//! *inactive* slot, flips the index, then advances the published-version
+//! counter; readers therefore never wait on an in-progress publish — the
+//! slot they read is by construction not the one being written. The per-slot
+//! mutex guards nothing but the `Arc` pointer swap (a few instructions), and
+//! a reader that catches a torn view of the index (seeing the version
+//! counter advance past the slot it just read) simply retries, which
+//! guarantees each reader observes **monotonically non-decreasing
+//! versions**.
+//!
+//! Only finite models can be published: [`ModelHandle::publish`] rejects any
+//! weight vector containing a NaN or infinity, and the trainers only publish
+//! epochs that passed their divergence scan — so a served model is never
+//! non-finite, even while a run is mid-backoff.
+//!
+//! # Example
+//!
+//! ```
+//! use bismarck_core::serving::{ModelHandle, ServingTask};
+//! use bismarck_linalg::FeatureVectorRef;
+//!
+//! let handle = ModelHandle::new(ServingTask::Logistic, 3);
+//! handle.publish(&[0.5, -0.25, 0.0]).unwrap();
+//!
+//! let batch = [
+//!     FeatureVectorRef::Dense(&[1.0, 0.0, 2.0]),
+//!     FeatureVectorRef::Dense(&[0.0, 4.0, 0.0]),
+//! ];
+//! let mut probs = Vec::new();
+//! let snapshot = handle.predict_batch(&batch, &mut probs);
+//! assert_eq!(snapshot.version(), 1);
+//! assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+//! ```
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use bismarck_linalg::{sigmoid, FeatureVectorRef};
+use parking_lot::Mutex;
+
+use crate::model::{DenseModelStore, ModelStore};
+
+/// Link function mapping a raw linear score `wᵀx` to a prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Link {
+    /// The raw score itself (least-squares value, SVM margin).
+    Identity,
+    /// `1 / (1 + e^{-wᵀx})` — logistic-regression class-1 probability.
+    Sigmoid,
+    /// `sign(wᵀx)` as ±1 (0 stays 0) — SVM class label.
+    Sign,
+}
+
+impl Link {
+    /// Apply the link to a raw score.
+    #[inline]
+    pub fn apply(self, score: f64) -> f64 {
+        match self {
+            Link::Identity => score,
+            Link::Sigmoid => sigmoid(score),
+            Link::Sign => {
+                if score > 0.0 {
+                    1.0
+                } else if score < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// Which task family a served model belongs to; determines the default link
+/// applied by [`ModelSnapshot::predict`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServingTask {
+    /// Logistic regression: predictions are class-1 probabilities.
+    Logistic,
+    /// SVM classification: predictions are the class sign (±1); use
+    /// [`ModelSnapshot::predict_with`] with [`Link::Identity`] for the raw
+    /// margin.
+    Svm,
+    /// Least squares / generic linear models: predictions are the raw value.
+    LeastSquares,
+}
+
+impl ServingTask {
+    /// The link [`ModelSnapshot::predict`] applies for this task.
+    pub fn default_link(self) -> Link {
+        match self {
+            ServingTask::Logistic => Link::Sigmoid,
+            ServingTask::Svm => Link::Sign,
+            ServingTask::LeastSquares => Link::Identity,
+        }
+    }
+
+    /// Human-readable task name (`"LR"`, `"SVM"`, `"LS"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ServingTask::Logistic => "LR",
+            ServingTask::Svm => "SVM",
+            ServingTask::LeastSquares => "LS",
+        }
+    }
+}
+
+/// An immutable, versioned copy of a model as published to a
+/// [`ModelHandle`].
+///
+/// Snapshots are shared via `Arc`, so holding one is cheap and never blocks
+/// the trainer: a reader scoring a long batch keeps scoring against the
+/// version it acquired while newer epochs publish concurrently.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSnapshot {
+    version: u64,
+    task: ServingTask,
+    store: DenseModelStore,
+}
+
+impl ModelSnapshot {
+    /// A free-standing snapshot not tied to any handle (version 0) — used
+    /// for models loaded back from persisted tables.
+    pub fn detached(task: ServingTask, weights: Vec<f64>) -> Self {
+        ModelSnapshot {
+            version: 0,
+            task,
+            store: DenseModelStore::new(weights),
+        }
+    }
+
+    /// Publication version: 0 for the handle's initial model, incremented on
+    /// every successful [`ModelHandle::publish`].
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The task family the snapshot serves.
+    pub fn task(&self) -> ServingTask {
+        self.task
+    }
+
+    /// Model dimension.
+    pub fn dimension(&self) -> usize {
+        self.store.len()
+    }
+
+    /// The model weights.
+    pub fn weights(&self) -> &[f64] {
+        self.store.as_slice()
+    }
+
+    /// Raw linear score `wᵀx`, computed through the dense slice kernel
+    /// ([`ModelStore::dot_view`]); entries past the model dimension
+    /// contribute zero.
+    #[inline]
+    pub fn score(&self, x: FeatureVectorRef<'_>) -> f64 {
+        self.store.dot_view(x)
+    }
+
+    /// Score one feature vector through the task's default link
+    /// (LR → probability, SVM → ±1 class, LS → raw value).
+    #[inline]
+    pub fn predict(&self, x: FeatureVectorRef<'_>) -> f64 {
+        self.task.default_link().apply(self.score(x))
+    }
+
+    /// Score one feature vector through an explicit link (e.g.
+    /// [`Link::Identity`] for an SVM margin).
+    #[inline]
+    pub fn predict_with(&self, x: FeatureVectorRef<'_>, link: Link) -> f64 {
+        link.apply(self.score(x))
+    }
+}
+
+/// Why a [`ModelHandle::publish`] was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PublishError {
+    /// The weight vector contains a NaN or infinity. Serving a non-finite
+    /// model is never acceptable; the trainer-side divergence scan should
+    /// have caught this before publishing.
+    NonFinite,
+    /// The weight vector's length does not match the handle's dimension.
+    DimensionMismatch {
+        /// Dimension the handle was created with.
+        expected: usize,
+        /// Length of the rejected weight vector.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for PublishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PublishError::NonFinite => {
+                write!(f, "refusing to publish a model with non-finite weights")
+            }
+            PublishError::DimensionMismatch { expected, got } => write!(
+                f,
+                "model has {got} weights, the serving handle expects {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PublishError {}
+
+/// The slots-plus-index state shared by all clones of a handle.
+#[derive(Debug)]
+struct HandleShared {
+    task: ServingTask,
+    dimension: usize,
+    /// Version of the most recently *completed* publish. Stored with
+    /// `Release` after the active-slot flip, so a reader that observes
+    /// version `v` is guaranteed to find a snapshot with version `>= v`
+    /// behind the active index.
+    version: AtomicU64,
+    /// Index of the live slot (0 or 1).
+    active: AtomicUsize,
+    /// Double-buffered snapshots: publishes write the inactive slot, so a
+    /// reader never waits on a publish in progress.
+    slots: [Mutex<Arc<ModelSnapshot>>; 2],
+    /// Serializes writers (multiple publishers would otherwise race the
+    /// read-modify-write of `active`/`version`). Readers never take this.
+    publish: Mutex<()>,
+}
+
+/// The publication point connecting one trainer to any number of prediction
+/// readers.
+///
+/// Cloning a handle is cheap (an `Arc` clone) and every clone addresses the
+/// same underlying slots: hand one clone to
+/// [`crate::TrainerConfig::with_serving`] and keep others on the serving
+/// threads. See the [module docs](self) for the publication protocol and its
+/// guarantees.
+#[derive(Debug, Clone)]
+pub struct ModelHandle {
+    shared: Arc<HandleShared>,
+}
+
+impl ModelHandle {
+    /// A handle serving a zero model of dimension `dimension` at version 0
+    /// (predictions are well-defined before the first publish: a zero model
+    /// scores every vector as 0).
+    pub fn new(task: ServingTask, dimension: usize) -> Self {
+        let initial = Arc::new(ModelSnapshot {
+            version: 0,
+            task,
+            store: DenseModelStore::zeros(dimension),
+        });
+        ModelHandle {
+            shared: Arc::new(HandleShared {
+                task,
+                dimension,
+                version: AtomicU64::new(0),
+                active: AtomicUsize::new(0),
+                slots: [Mutex::new(Arc::clone(&initial)), Mutex::new(initial)],
+                publish: Mutex::new(()),
+            }),
+        }
+    }
+
+    /// A handle whose version-0 snapshot is `initial` (e.g. a task's
+    /// [`crate::task::IgdTask::initial_model`], or a model loaded from a
+    /// checkpoint). Rejects non-finite weights.
+    pub fn with_initial(task: ServingTask, initial: Vec<f64>) -> Result<Self, PublishError> {
+        if !initial.iter().all(|v| v.is_finite()) {
+            return Err(PublishError::NonFinite);
+        }
+        let dimension = initial.len();
+        let snapshot = Arc::new(ModelSnapshot {
+            version: 0,
+            task,
+            store: DenseModelStore::new(initial),
+        });
+        Ok(ModelHandle {
+            shared: Arc::new(HandleShared {
+                task,
+                dimension,
+                version: AtomicU64::new(0),
+                active: AtomicUsize::new(0),
+                slots: [Mutex::new(Arc::clone(&snapshot)), Mutex::new(snapshot)],
+                publish: Mutex::new(()),
+            }),
+        })
+    }
+
+    /// The task family this handle serves.
+    pub fn task(&self) -> ServingTask {
+        self.shared.task
+    }
+
+    /// Model dimension every published weight vector must match.
+    pub fn dimension(&self) -> usize {
+        self.shared.dimension
+    }
+
+    /// Version of the most recently published snapshot (0 until the first
+    /// publish).
+    pub fn version(&self) -> u64 {
+        self.shared.version.load(Ordering::Acquire)
+    }
+
+    /// Publish a new model, returning its version.
+    ///
+    /// Rejects non-finite weights ([`PublishError::NonFinite`]) and length
+    /// mismatches ([`PublishError::DimensionMismatch`]); on `Err` the served
+    /// snapshot is unchanged. Readers concurrently calling
+    /// [`Self::snapshot`] see either the previous snapshot or the new one,
+    /// never a torn mix.
+    pub fn publish(&self, weights: &[f64]) -> Result<u64, PublishError> {
+        if weights.len() != self.shared.dimension {
+            return Err(PublishError::DimensionMismatch {
+                expected: self.shared.dimension,
+                got: weights.len(),
+            });
+        }
+        if !weights.iter().all(|v| v.is_finite()) {
+            return Err(PublishError::NonFinite);
+        }
+        let _writer = self.shared.publish.lock();
+        let version = self.shared.version.load(Ordering::Relaxed) + 1;
+        let snapshot = Arc::new(ModelSnapshot {
+            version,
+            task: self.shared.task,
+            store: DenseModelStore::new(weights.to_vec()),
+        });
+        // Write the inactive slot, flip, then advance the version counter.
+        // The Release store on `version` orders both prior writes, so a
+        // reader acquiring version v also sees the flip that published v.
+        let inactive = 1 - self.shared.active.load(Ordering::Relaxed);
+        *self.shared.slots[inactive].lock() = snapshot;
+        self.shared.active.store(inactive, Ordering::Release);
+        self.shared.version.store(version, Ordering::Release);
+        Ok(version)
+    }
+
+    /// Acquire the latest published snapshot.
+    ///
+    /// Never blocks on a publish in progress (publishes write the slot this
+    /// call is *not* reading). Retries on the narrow race where the active
+    /// index is observed before a concurrent flip completes, which makes the
+    /// versions observed by any single reader monotonically non-decreasing.
+    pub fn snapshot(&self) -> Arc<ModelSnapshot> {
+        loop {
+            let version = self.shared.version.load(Ordering::Acquire);
+            let active = self.shared.active.load(Ordering::Acquire);
+            let snapshot = Arc::clone(&self.shared.slots[active].lock());
+            if snapshot.version >= version {
+                return snapshot;
+            }
+        }
+    }
+
+    /// Score a batch of feature vectors against one consistent snapshot,
+    /// using the task's default link; amortizes snapshot acquisition across
+    /// the whole batch and reuses `out`'s allocation.
+    ///
+    /// Returns the snapshot the batch was scored against, so callers can
+    /// report which model version produced the predictions.
+    pub fn predict_batch(
+        &self,
+        features: &[FeatureVectorRef<'_>],
+        out: &mut Vec<f64>,
+    ) -> Arc<ModelSnapshot> {
+        let snapshot = self.snapshot();
+        out.clear();
+        out.extend(features.iter().map(|&x| snapshot.predict(x)));
+        snapshot
+    }
+
+    /// [`Self::predict_batch`] with an explicit link (e.g. SVM margins via
+    /// [`Link::Identity`]).
+    pub fn predict_batch_with(
+        &self,
+        features: &[FeatureVectorRef<'_>],
+        link: Link,
+        out: &mut Vec<f64>,
+    ) -> Arc<ModelSnapshot> {
+        let snapshot = self.snapshot();
+        out.clear();
+        out.extend(features.iter().map(|&x| snapshot.predict_with(x, link)));
+        snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_handle_serves_version_zero() {
+        let handle = ModelHandle::new(ServingTask::LeastSquares, 3);
+        assert_eq!(handle.version(), 0);
+        assert_eq!(handle.dimension(), 3);
+        let snap = handle.snapshot();
+        assert_eq!(snap.version(), 0);
+        assert_eq!(snap.weights(), &[0.0, 0.0, 0.0]);
+        assert_eq!(snap.predict(FeatureVectorRef::Dense(&[5.0, 5.0, 5.0])), 0.0);
+    }
+
+    #[test]
+    fn publish_bumps_version_and_swaps_the_snapshot() {
+        let handle = ModelHandle::new(ServingTask::LeastSquares, 2);
+        let before = handle.snapshot();
+        assert_eq!(handle.publish(&[1.0, 2.0]).unwrap(), 1);
+        assert_eq!(handle.publish(&[3.0, 4.0]).unwrap(), 2);
+        let after = handle.snapshot();
+        assert_eq!(after.version(), 2);
+        assert_eq!(after.weights(), &[3.0, 4.0]);
+        // The old snapshot is immutable: holders keep scoring against it.
+        assert_eq!(before.weights(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn publish_rejects_non_finite_and_wrong_dimension() {
+        let handle = ModelHandle::new(ServingTask::Logistic, 2);
+        assert_eq!(
+            handle.publish(&[1.0, f64::NAN]),
+            Err(PublishError::NonFinite)
+        );
+        assert_eq!(
+            handle.publish(&[1.0, f64::INFINITY]),
+            Err(PublishError::NonFinite)
+        );
+        assert_eq!(
+            handle.publish(&[1.0]),
+            Err(PublishError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+        // Rejected publishes leave the served snapshot untouched.
+        assert_eq!(handle.version(), 0);
+        assert_eq!(handle.snapshot().weights(), &[0.0, 0.0]);
+        assert!(ModelHandle::with_initial(ServingTask::Svm, vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn links_apply_per_task() {
+        let weights = vec![1.0, -1.0];
+        let x = FeatureVectorRef::Dense(&[2.0, 0.0]); // score 2.0
+        let lr = ModelSnapshot::detached(ServingTask::Logistic, weights.clone());
+        assert!((lr.predict(x) - sigmoid(2.0)).abs() < 1e-15);
+        let svm = ModelSnapshot::detached(ServingTask::Svm, weights.clone());
+        assert_eq!(svm.predict(x), 1.0);
+        assert_eq!(svm.predict_with(x, Link::Identity), 2.0);
+        let ls = ModelSnapshot::detached(ServingTask::LeastSquares, weights);
+        assert_eq!(ls.predict(x), 2.0);
+        assert_eq!(Link::Sign.apply(0.0), 0.0);
+        assert_eq!(Link::Sign.apply(-3.5), -1.0);
+    }
+
+    #[test]
+    fn batched_predict_scores_against_one_version() {
+        let handle = ModelHandle::with_initial(ServingTask::Svm, vec![1.0, 0.0]).unwrap();
+        handle.publish(&[1.0, -2.0]).unwrap();
+        let batch = [
+            FeatureVectorRef::Dense(&[1.0, 0.0]),
+            FeatureVectorRef::Dense(&[0.0, 1.0]),
+            FeatureVectorRef::Sparse {
+                indices: &[1],
+                values: &[1.0],
+            },
+        ];
+        let mut out = vec![999.0; 1];
+        let snap = handle.predict_batch(&batch, &mut out);
+        assert_eq!(snap.version(), 1);
+        assert_eq!(out, vec![1.0, -1.0, -1.0]);
+        let mut margins = Vec::new();
+        handle.predict_batch_with(&batch, Link::Identity, &mut margins);
+        assert_eq!(margins, vec![1.0, -2.0, -2.0]);
+    }
+
+    #[test]
+    fn sparse_features_past_the_dimension_contribute_zero() {
+        let snap = ModelSnapshot::detached(ServingTask::LeastSquares, vec![2.0, 3.0]);
+        let ragged = FeatureVectorRef::Sparse {
+            indices: &[0, 7],
+            values: &[1.0, 100.0],
+        };
+        assert_eq!(snap.predict(ragged), 2.0);
+    }
+
+    #[test]
+    fn concurrent_publishes_and_reads_keep_versions_monotone() {
+        let handle = ModelHandle::new(ServingTask::LeastSquares, 4);
+        let publishes = 500u64;
+        std::thread::scope(|scope| {
+            let writer = handle.clone();
+            scope.spawn(move || {
+                for v in 1..=publishes {
+                    writer.publish(&[v as f64; 4]).unwrap();
+                }
+            });
+            for _ in 0..4 {
+                let reader = handle.clone();
+                scope.spawn(move || {
+                    let mut last = 0u64;
+                    while last < publishes {
+                        let snap = reader.snapshot();
+                        assert!(
+                            snap.version() >= last,
+                            "version went backwards: {} after {last}",
+                            snap.version()
+                        );
+                        // A snapshot is internally consistent: its weights
+                        // are exactly the ones published under its version.
+                        let expected = snap.version() as f64;
+                        assert!(snap.weights().iter().all(|&w| w == expected));
+                        last = snap.version();
+                    }
+                });
+            }
+        });
+        assert_eq!(handle.version(), publishes);
+    }
+}

@@ -35,6 +35,7 @@ use bismarck_uda::{
 use crate::checkpoint::TrainingCheckpoint;
 use crate::error::TrainError;
 use crate::igd::IgdAggregate;
+use crate::serving::{ModelHandle, PublishError};
 use crate::stepsize::StepSizeSchedule;
 use crate::task::IgdTask;
 
@@ -72,6 +73,27 @@ pub struct CheckpointPolicy {
 }
 
 /// Configuration shared by the sequential and parallel trainers.
+///
+/// Built with [`TrainerConfig::default`] plus the `with_*` builder methods,
+/// each of which consumes and returns the config:
+///
+/// ```
+/// use bismarck_core::trainer::TrainerConfig;
+/// use bismarck_core::stepsize::StepSizeSchedule;
+/// use bismarck_uda::ConvergenceTest;
+///
+/// let config = TrainerConfig::default()
+///     .with_step_size(StepSizeSchedule::Constant(0.1))
+///     .with_convergence(ConvergenceTest::FixedEpochs(5));
+/// ```
+///
+/// `TrainerConfig` is `Clone` but — since the fault-tolerance work — **no
+/// longer `Copy`**: the checkpoint policy owns a `PathBuf`, the stop flag is
+/// an `Arc<AtomicBool>`, and the serving handle is an `Arc`-backed
+/// [`ModelHandle`]. Code that used to copy a config implicitly must
+/// `.clone()` it (cheap: the `Arc`s are reference-counted, not deep-copied;
+/// note a cloned config *shares* its stop flag and serving handle with the
+/// original).
 #[derive(Debug, Clone)]
 pub struct TrainerConfig {
     /// Step-size schedule indexed by epoch.
@@ -88,6 +110,11 @@ pub struct TrainerConfig {
     /// the next epoch boundary with [`TrainError::Interrupted`] (after
     /// writing a final checkpoint if a policy is configured).
     pub stop_flag: Option<Arc<AtomicBool>>,
+    /// Serving publication point: when set, the trainer publishes the model
+    /// to this handle after every healthy epoch and re-asserts the last-good
+    /// model after every divergence recovery, so concurrent readers never
+    /// observe a non-finite model (none by default).
+    pub serving: Option<ModelHandle>,
 }
 
 impl Default for TrainerConfig {
@@ -99,6 +126,7 @@ impl Default for TrainerConfig {
             backoff: BackoffPolicy::default(),
             checkpoint: None,
             stop_flag: None,
+            serving: None,
         }
     }
 }
@@ -124,12 +152,30 @@ impl TrainerConfig {
 
     /// Enable divergence recovery: up to `max_retries` restore-and-halve
     /// retries per run (see [`BackoffPolicy`]).
+    ///
+    /// ```
+    /// use bismarck_core::trainer::TrainerConfig;
+    ///
+    /// let config = TrainerConfig::default().with_backoff(5);
+    /// assert_eq!(config.backoff.max_retries, 5);
+    /// assert_eq!(config.backoff.factor, 0.5); // each retry halves the step
+    /// ```
     pub fn with_backoff(mut self, max_retries: u32) -> Self {
         self.backoff.max_retries = max_retries;
         self
     }
 
     /// Persist a checkpoint to `path` after every `every` completed epochs.
+    ///
+    /// ```
+    /// use bismarck_core::trainer::TrainerConfig;
+    ///
+    /// let path = std::env::temp_dir().join("bismarck-doc-example.ckpt");
+    /// let config = TrainerConfig::default().with_checkpoints(&path, 10);
+    /// let policy = config.checkpoint.as_ref().unwrap();
+    /// assert_eq!(policy.path, path);
+    /// assert_eq!(policy.every, 10);
+    /// ```
     pub fn with_checkpoints(mut self, path: impl Into<PathBuf>, every: usize) -> Self {
         self.checkpoint = Some(CheckpointPolicy {
             path: path.into(),
@@ -139,8 +185,44 @@ impl TrainerConfig {
     }
 
     /// Install a cooperative stop flag checked at every epoch boundary.
+    ///
+    /// Setting the flag makes the run stop with [`TrainError::Interrupted`],
+    /// which carries the last completed epoch's model:
+    ///
+    /// ```
+    /// use std::sync::atomic::{AtomicBool, Ordering};
+    /// use std::sync::Arc;
+    /// use bismarck_core::trainer::TrainerConfig;
+    ///
+    /// let stop = Arc::new(AtomicBool::new(false));
+    /// let config = TrainerConfig::default().with_stop_flag(stop.clone());
+    /// // ... hand `config` to a trainer on another thread, then:
+    /// stop.store(true, Ordering::Relaxed);
+    /// # assert!(config.stop_flag.is_some());
+    /// ```
     pub fn with_stop_flag(mut self, flag: Arc<AtomicBool>) -> Self {
         self.stop_flag = Some(flag);
+        self
+    }
+
+    /// Publish every healthy epoch's model to `handle`, making it available
+    /// to concurrent [`crate::serving`] readers while the run progresses.
+    ///
+    /// The handle's dimension must match the task's model dimension; the
+    /// trainers check this once at the start of a run and report a mismatch
+    /// as a failed run rather than publishing garbage.
+    ///
+    /// ```
+    /// use bismarck_core::serving::{ModelHandle, ServingTask};
+    /// use bismarck_core::trainer::TrainerConfig;
+    ///
+    /// let handle = ModelHandle::new(ServingTask::Logistic, 3);
+    /// let config = TrainerConfig::default().with_serving(handle.clone());
+    /// // `handle.snapshot()` on any thread now tracks the training run.
+    /// # assert!(config.serving.is_some());
+    /// ```
+    pub fn with_serving(mut self, handle: ModelHandle) -> Self {
+        self.serving = Some(handle);
         self
     }
 }
@@ -169,6 +251,37 @@ impl TrainedModel {
 }
 
 /// The sequential trainer.
+///
+/// Owns the epoch loop of Figure 2: scan the table in the configured
+/// [`ScanOrder`], take one gradient step per tuple, evaluate the loss, and
+/// consult the convergence test. End to end on a tiny separable problem:
+///
+/// ```
+/// use bismarck_core::tasks::LogisticRegressionTask;
+/// use bismarck_core::{StepSizeSchedule, Trainer, TrainerConfig};
+/// use bismarck_storage::{Column, DataType, Schema, Table, Value};
+/// use bismarck_uda::ConvergenceTest;
+///
+/// let schema = Schema::new(vec![
+///     Column::new("vec", DataType::DenseVec),
+///     Column::new("label", DataType::Double),
+/// ])?;
+/// let mut table = Table::new("points", schema);
+/// for (x, y) in [([2.0, 0.5], 1.0), ([-1.5, 0.8], -1.0), ([1.0, 1.0], 1.0)] {
+///     table.insert(vec![Value::from(x.to_vec()), Value::Double(y)])?;
+/// }
+///
+/// let task = LogisticRegressionTask::new(0, 1, 2); // features col, label col, dim
+/// let config = TrainerConfig::default()
+///     .with_step_size(StepSizeSchedule::Constant(0.5))
+///     .with_convergence(ConvergenceTest::FixedEpochs(20));
+/// let trained = Trainer::new(&task, config).train(&table);
+///
+/// assert_eq!(trained.epochs(), 20);
+/// assert!(trained.final_loss().unwrap() < 1.0);
+/// assert!(trained.model[0] > 0.0); // label follows the first coordinate
+/// # Ok::<(), bismarck_storage::StorageError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct Trainer<'a, T: IgdTask> {
     task: &'a T,
@@ -272,6 +385,7 @@ impl<'a, T: IgdTask> Trainer<'a, T> {
             None => (0, 1.0, 0, Vec::new()),
         };
         let mut model = initial_model;
+        validate_serving(config, model.len())?;
         let mut last_good = model.clone();
         let mut losses_so_far = prior_losses.clone();
         // ShuffleOnce reuses one permutation; cache it so its cost is paid
@@ -356,6 +470,10 @@ impl<'a, T: IgdTask> Trainer<'a, T> {
                             alpha_scale *= config.backoff.factor;
                             model.clear();
                             model.extend_from_slice(&last_good);
+                            // Re-assert the restored model to the serving
+                            // handle: readers keep seeing a finite model
+                            // while the retry runs.
+                            publish_serving(config, &model);
                             continue;
                         }
                         if config.backoff.max_retries > 0 {
@@ -368,6 +486,7 @@ impl<'a, T: IgdTask> Trainer<'a, T> {
                     } else {
                         last_good.clear();
                         last_good.extend_from_slice(&model);
+                        publish_serving(config, &model);
                     }
                     losses_so_far.push(loss);
 
@@ -494,6 +613,30 @@ pub(crate) fn stop_requested(config: &TrainerConfig) -> bool {
         .stop_flag
         .as_ref()
         .is_some_and(|flag| flag.load(Ordering::Relaxed))
+}
+
+/// Reject a run whose serving handle cannot accept the task's models before
+/// any epoch runs, so the in-loop publishes cannot fail.
+pub(crate) fn validate_serving(config: &TrainerConfig, dimension: usize) -> Result<(), TrainError> {
+    match &config.serving {
+        Some(handle) if handle.dimension() != dimension => {
+            Err(TrainError::Serving(PublishError::DimensionMismatch {
+                expected: handle.dimension(),
+                got: dimension,
+            }))
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Publish a healthy (finite, dimension-checked) model to the serving
+/// handle, if one is configured.
+pub(crate) fn publish_serving(config: &TrainerConfig, model: &[f64]) {
+    if let Some(handle) = &config.serving {
+        handle
+            .publish(model)
+            .expect("dimension validated at run start and only finite models are published");
+    }
 }
 
 /// Reject a checkpoint that was not produced by an equivalent run: resuming

@@ -11,6 +11,8 @@
 //! the transition function runs once per tuple per epoch, so it is the hot
 //! loop of the whole system.
 
+#![warn(missing_docs)]
+
 pub mod dense;
 pub mod factor;
 pub mod ops;
@@ -124,6 +126,24 @@ impl FeatureVector {
 /// `Dot_Product` / `Scale_And_Add` kernels read directly from the stored
 /// tuple. The owned [`FeatureVector`] remains for call sites that genuinely
 /// need to keep a vector beyond the tuple's lifetime.
+///
+/// The view is `Copy` (two words), so passing it by value is free, and both
+/// layouts run through one kernel API:
+///
+/// ```
+/// use bismarck_linalg::FeatureVectorRef;
+///
+/// let dense = FeatureVectorRef::Dense(&[2.0, 0.0, -1.0]);
+/// let sparse = FeatureVectorRef::Sparse {
+///     indices: &[0, 2],
+///     values: &[2.0, -1.0],
+/// };
+/// let mut w = vec![1.0, 5.0, 3.0];
+///
+/// assert_eq!(dense.dot(&w), sparse.dot(&w)); // same logical vector
+/// sparse.scale_and_add_into(&mut w, 2.0); // w += 2 * x
+/// assert_eq!(w, vec![5.0, 5.0, 1.0]);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FeatureVectorRef<'a> {
     /// Dense feature values, index `i` holds feature `i`.

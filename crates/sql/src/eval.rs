@@ -7,20 +7,42 @@
 //! three-valued logic collapsed to two values).
 
 use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::Arc;
 
+use bismarck_core::serving::ModelSnapshot;
 use bismarck_linalg::{DenseVector, SparseVector};
 use bismarck_storage::{Schema, Value};
 use rand::rngs::StdRng;
 use rand::Rng;
+use rand::SeedableRng;
 
 use crate::ast::{is_aggregate_function, BinaryOp, Expr, Literal, UnaryOp};
 use crate::error::{Result, SqlError};
 
 /// Mutable evaluation context shared across a statement: the deterministic
-/// RNG backing `RANDOM()`.
+/// RNG backing `RANDOM()` and the per-statement model cache backing
+/// `PREDICT()`.
 pub struct EvalContext {
     /// Session RNG; seeded so scripts are reproducible.
     pub rng: StdRng,
+    /// Model snapshots resolved for `PREDICT()` calls, keyed by model name.
+    /// The executor acquires each referenced model **once per statement**
+    /// before evaluation starts, so every row of a `SELECT` is scored
+    /// against the same snapshot even while training publishes new versions
+    /// concurrently.
+    pub models: HashMap<String, Arc<ModelSnapshot>>,
+}
+
+impl EvalContext {
+    /// A context whose RNG stream is seeded with `seed` and whose model
+    /// cache starts empty.
+    pub fn with_seed(seed: u64) -> Self {
+        EvalContext {
+            rng: StdRng::seed_from_u64(seed),
+            models: HashMap::new(),
+        }
+    }
 }
 
 /// A row visible to column references during evaluation.
@@ -468,6 +490,47 @@ fn apply_scalar_function(name: &str, args: &[Value], ctx: &mut EvalContext) -> R
             let dense_b = b.to_dense(dim);
             Ok(Value::Double(a.dot(dense_b.as_slice())))
         }
+        // PREDICT('model', features) | PREDICT('model', x1, x2, ...):
+        // score features against a model resolved once per statement (a live
+        // serving handle's latest snapshot, or a persisted model table).
+        "PREDICT" => {
+            if args.len() < 2 {
+                return Err(SqlError::Analysis(format!(
+                    "PREDICT() expects a model name and features, got {} argument(s)",
+                    args.len()
+                )));
+            }
+            let Value::Text(model_name) = &args[0] else {
+                return Err(SqlError::Analysis(
+                    "the first argument of PREDICT() must be a model name literal".into(),
+                ));
+            };
+            let snapshot = ctx.models.get(model_name).cloned().ok_or_else(|| {
+                SqlError::Evaluation(format!(
+                    "unknown model '{model_name}': PREDICT() needs a registered \
+                     serving handle or a persisted model table of that name"
+                ))
+            })?;
+            let score = if args.len() == 2 {
+                let x = args[1].feature_view().ok_or_else(|| {
+                    SqlError::Evaluation(
+                        "the second argument of PREDICT() must be a feature vector \
+                         (or pass the features as individual numbers)"
+                            .into(),
+                    )
+                })?;
+                snapshot.predict(x)
+            } else {
+                let mut dense = Vec::with_capacity(args.len() - 1);
+                for (i, value) in args[1..].iter().enumerate() {
+                    dense.push(value.as_double().ok_or_else(|| {
+                        SqlError::Evaluation(format!("PREDICT() feature {} is not numeric", i + 1))
+                    })?);
+                }
+                snapshot.predict(bismarck_linalg::FeatureVectorRef::Dense(&dense))
+            };
+            Ok(Value::Double(score))
+        }
         other => Err(SqlError::Analysis(format!("unknown function {other}()"))),
     }
 }
@@ -478,12 +541,9 @@ mod tests {
     use crate::ast::{SelectItem, Statement};
     use crate::parser::parse_statement;
     use bismarck_storage::{Column, DataType};
-    use rand::SeedableRng;
 
     fn ctx() -> EvalContext {
-        EvalContext {
-            rng: StdRng::seed_from_u64(7),
-        }
+        EvalContext::with_seed(7)
     }
 
     /// Parse `SELECT <expr>` and return the expression.
@@ -574,6 +634,38 @@ mod tests {
             panic!()
         };
         assert!((0.0..1.0).contains(&r));
+    }
+
+    #[test]
+    fn predict_scores_through_the_cached_snapshot() {
+        use bismarck_core::serving::ServingTask;
+        let mut ctx = ctx();
+        ctx.models.insert(
+            "m".into(),
+            Arc::new(ModelSnapshot::detached(
+                ServingTask::LeastSquares,
+                vec![2.0, -1.0],
+            )),
+        );
+        assert_eq!(
+            evaluate(&expr("PREDICT('m', ARRAY[3.0, 4.0])"), None, &mut ctx).unwrap(),
+            Value::Double(2.0)
+        );
+        // Variadic dense form and sparse features both work.
+        assert_eq!(
+            evaluate(&expr("PREDICT('m', 3.0, 4.0)"), None, &mut ctx).unwrap(),
+            Value::Double(2.0)
+        );
+        assert_eq!(
+            evaluate(&expr("PREDICT('m', {0: 1.0})"), None, &mut ctx).unwrap(),
+            Value::Double(2.0)
+        );
+        let err = evaluate(&expr("PREDICT('missing', 1.0)"), None, &mut ctx).unwrap_err();
+        assert!(err.to_string().contains("unknown model"), "{err}");
+        let err = evaluate(&expr("PREDICT('m')"), None, &mut ctx).unwrap_err();
+        assert!(err.to_string().contains("model name and features"), "{err}");
+        let err = evaluate(&expr("PREDICT(1, 2.0)"), None, &mut ctx).unwrap_err();
+        assert!(err.to_string().contains("model name literal"), "{err}");
     }
 
     #[test]

@@ -1,6 +1,11 @@
 //! Statement execution: a [`SqlSession`] owns a [`Database`] and runs parsed
 //! statements against it.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bismarck_core::frontend::load_model;
+use bismarck_core::serving::{ModelHandle, ModelSnapshot, ServingTask};
 use bismarck_core::TrainerConfig;
 use bismarck_storage::{Column, DataType, Database, Schema, Table, Value};
 use rand::rngs::StdRng;
@@ -8,7 +13,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::analytics::{execute_analytics, is_analytics_function};
-use crate::ast::{CopyDirection, Expr, OrderKey, SelectItem, SelectStatement, Statement};
+use crate::ast::{CopyDirection, Expr, Literal, OrderKey, SelectItem, SelectStatement, Statement};
 use crate::error::{Result, SqlError};
 use crate::eval::{compare_values, evaluate, evaluate_grouped, is_truthy, EvalContext, RowContext};
 use crate::parser::{parse_script, parse_statement};
@@ -19,11 +24,15 @@ use crate::result::QueryResult;
 const DEFAULT_SEED: u64 = 0xB15_AA5C;
 
 /// An interactive SQL session: a catalog of tables plus the trainer
-/// configuration used by analytics calls and the RNG behind `RANDOM()`.
+/// configuration used by analytics calls, the RNG behind `RANDOM()`, and the
+/// serving registry behind `PREDICT()`.
 pub struct SqlSession {
     db: Database,
     trainer_config: TrainerConfig,
     ctx: EvalContext,
+    /// Live serving handles addressable by `PREDICT('name', ...)`; resolved
+    /// ahead of persisted model tables of the same name.
+    serving: HashMap<String, ModelHandle>,
 }
 
 impl Default for SqlSession {
@@ -44,9 +53,8 @@ impl SqlSession {
         SqlSession {
             db: Database::new(),
             trainer_config: TrainerConfig::default(),
-            ctx: EvalContext {
-                rng: StdRng::seed_from_u64(seed),
-            },
+            ctx: EvalContext::with_seed(seed),
+            serving: HashMap::new(),
         }
     }
 
@@ -79,6 +87,21 @@ impl SqlSession {
         self.db.register_table(table);
     }
 
+    /// Register a live serving handle under `name`, making
+    /// `PREDICT('name', ...)` score against the handle's **latest**
+    /// snapshot — including while a trainer configured with the same handle
+    /// (via [`TrainerConfig::with_serving`]) publishes epochs from another
+    /// thread. Replaces any handle previously registered under the name and
+    /// shadows a persisted model table of the same name.
+    pub fn register_model_handle(&mut self, name: impl Into<String>, handle: ModelHandle) {
+        self.serving.insert(name.into(), handle);
+    }
+
+    /// The serving handle registered under `name`, if any.
+    pub fn model_handle(&self, name: &str) -> Option<&ModelHandle> {
+        self.serving.get(name)
+    }
+
     /// Execute a single statement.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
         let statement = parse_statement(sql)?;
@@ -97,6 +120,7 @@ impl SqlSession {
     }
 
     fn run_statement(&mut self, statement: Statement) -> Result<QueryResult> {
+        self.prime_predict_models(&statement)?;
         match statement {
             Statement::CreateTable { name, columns } => self.run_create_table(name, columns),
             Statement::DropTable { name } => {
@@ -604,6 +628,34 @@ impl SqlSession {
         Ok((columns, keyed_rows))
     }
 
+    /// Resolve every model named by a `PREDICT()` call in the statement into
+    /// the evaluation context's snapshot cache, **once per statement**: a
+    /// registered serving handle yields its latest snapshot (scored through
+    /// the handle task's link function), a persisted model table is loaded
+    /// as a raw-score (identity link) model. Acquiring the snapshot up front
+    /// both amortizes its cost across the statement's rows and guarantees
+    /// all rows are scored against the same model version. Unknown names are
+    /// left unresolved and error at evaluation time.
+    fn prime_predict_models(&mut self, statement: &Statement) -> Result<()> {
+        self.ctx.models.clear();
+        let mut names = Vec::new();
+        collect_statement_predict_models(statement, &mut names);
+        for name in names {
+            if let Some(handle) = self.serving.get(&name) {
+                self.ctx.models.insert(name, handle.snapshot());
+            } else if self.db.contains(&name) {
+                let weights = load_model(&self.db, &name).map_err(|e| {
+                    SqlError::Evaluation(format!("cannot load model '{name}': {e}"))
+                })?;
+                self.ctx.models.insert(
+                    name,
+                    Arc::new(ModelSnapshot::detached(ServingTask::LeastSquares, weights)),
+                );
+            }
+        }
+        Ok(())
+    }
+
     fn order_keys_scalar(
         &mut self,
         order_by: &[OrderKey],
@@ -631,6 +683,77 @@ enum Reorder {
         /// Sort direction.
         ascending: bool,
     },
+}
+
+/// Append the model names referenced by `PREDICT()` calls anywhere in the
+/// statement to `out` (deduplicated). Only text *literals* are collected —
+/// the model must be known before row-by-row evaluation starts, so a
+/// computed model name cannot be resolved and errors at evaluation time.
+fn collect_statement_predict_models(statement: &Statement, out: &mut Vec<String>) {
+    match statement {
+        Statement::Select(select) => collect_select_predict_models(select, out),
+        Statement::CreateTableAs { query, .. } => collect_select_predict_models(query, out),
+        Statement::Insert { rows, .. } => {
+            for row in rows {
+                for expr in row {
+                    collect_expr_predict_models(expr, out);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn collect_select_predict_models(select: &SelectStatement, out: &mut Vec<String>) {
+    for item in &select.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect_expr_predict_models(expr, out);
+        }
+    }
+    if let Some(filter) = &select.filter {
+        collect_expr_predict_models(filter, out);
+    }
+    for expr in &select.group_by {
+        collect_expr_predict_models(expr, out);
+    }
+    for key in &select.order_by {
+        collect_expr_predict_models(&key.expr, out);
+    }
+}
+
+fn collect_expr_predict_models(expr: &Expr, out: &mut Vec<String>) {
+    match expr {
+        Expr::Function { name, args } => {
+            if name.eq_ignore_ascii_case("predict") {
+                if let Some(Expr::Literal(Literal::Text(model))) = args.first() {
+                    if !out.contains(model) {
+                        out.push(model.clone());
+                    }
+                }
+            }
+            for arg in args {
+                collect_expr_predict_models(arg, out);
+            }
+        }
+        Expr::Unary { expr, .. } => collect_expr_predict_models(expr, out),
+        Expr::Binary { left, right, .. } => {
+            collect_expr_predict_models(left, out);
+            collect_expr_predict_models(right, out);
+        }
+        Expr::IsNull { expr, .. } => collect_expr_predict_models(expr, out),
+        Expr::ArrayLiteral(items) => {
+            for item in items {
+                collect_expr_predict_models(item, out);
+            }
+        }
+        Expr::SparseLiteral(pairs) => {
+            for (index, value) in pairs {
+                collect_expr_predict_models(index, out);
+                collect_expr_predict_models(value, out);
+            }
+        }
+        Expr::Literal(_) | Expr::Column(_) | Expr::Wildcard => {}
+    }
 }
 
 /// True when the `ORDER BY` clause is the paper's `ORDER BY RANDOM()` shuffle.
@@ -870,6 +993,84 @@ mod tests {
         // The persisted model is an ordinary table we can query.
         let coefs = exec(&mut session, "SELECT COUNT(*) FROM myModel");
         assert_eq!(coefs.single_value(), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn predict_over_a_persisted_model_table_gives_raw_scores() {
+        let mut session = SqlSession::with_seed(3);
+        exec(
+            &mut session,
+            "CREATE TABLE d (id INT, vec DENSE_VEC, label DOUBLE)",
+        );
+        for i in 0..40 {
+            let y = if i % 2 == 0 { 1.0 } else { -1.0 };
+            exec(
+                &mut session,
+                &format!(
+                    "INSERT INTO d VALUES ({i}, ARRAY[{}, {}], {y})",
+                    y * 2.0,
+                    -y
+                ),
+            );
+        }
+        exec(
+            &mut session,
+            "SELECT SVMTrain('m', 'd', 'vec', 'label', 0.2, 8)",
+        );
+
+        // Join predictions against the training table: a persisted model
+        // serves the raw linear score, whose sign matches the label.
+        let scored = exec(
+            &mut session,
+            "SELECT label, PREDICT('m', vec) AS score FROM d",
+        );
+        assert_eq!(scored.len(), 40);
+        for row in &scored.rows {
+            let label = row[0].as_double().unwrap();
+            let score = row[1].as_double().unwrap();
+            assert!(score.is_finite());
+            assert!(label * score > 0.0, "label {label} vs score {score}");
+        }
+
+        // PREDICT also works in predicates and tableless form.
+        let positives = exec(
+            &mut session,
+            "SELECT COUNT(*) FROM d WHERE PREDICT('m', vec) > 0",
+        );
+        assert_eq!(positives.single_value(), Some(&Value::Int(20)));
+        let one = exec(&mut session, "SELECT PREDICT('m', 2.0, -1.0)");
+        assert!(one.rows[0][0].as_double().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn predict_against_a_registered_handle_applies_the_task_link() {
+        let mut session = session_with_points();
+        let handle = ModelHandle::new(ServingTask::Logistic, 2);
+        handle.publish(&[1.0, 0.0]).unwrap();
+        session.register_model_handle("live", handle.clone());
+
+        // The logistic handle serves probabilities in (0, 1).
+        let probs = exec(
+            &mut session,
+            "SELECT PREDICT('live', x, 0.0) AS p FROM points ORDER BY id",
+        );
+        assert_eq!(probs.len(), 5);
+        for row in &probs.rows {
+            let p = row[0].as_double().unwrap();
+            assert!((0.0..=1.0).contains(&p), "not a probability: {p}");
+        }
+
+        // A publish between statements is visible to the next statement.
+        handle.publish(&[-1.0, 0.0]).unwrap();
+        let flipped = exec(&mut session, "SELECT PREDICT('live', 10.0, 0.0)");
+        assert!(flipped.rows[0][0].as_double().unwrap() < 0.5);
+        assert!(session.model_handle("live").is_some());
+
+        // Unknown model names surface a helpful evaluation error.
+        let err = session
+            .execute("SELECT PREDICT('nope', 1.0, 2.0)")
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown model"), "{err}");
     }
 
     #[test]

@@ -9,6 +9,29 @@ use bismarck_storage::Tuple;
 /// commercial engines in the paper use analogous names. Implementations hold
 /// the per-task configuration (step size, regularization, column positions)
 /// in `&self`; everything that changes during aggregation lives in `State`.
+///
+/// The four phases compose like so (here with the bundled [`CountAggregate`],
+/// `COUNT(*)` as a UDA — an IGD task is the same shape with the model as
+/// `State`):
+///
+/// ```
+/// use bismarck_storage::{Tuple, Value};
+/// use bismarck_uda::{Aggregate, CountAggregate};
+///
+/// let agg = CountAggregate;
+/// let tuple = Tuple::new(vec![Value::Int(7)]);
+///
+/// // Two shared-nothing segments aggregate independently...
+/// let mut left = agg.initialize();
+/// agg.transition(&mut left, &tuple);
+/// let mut right = agg.initialize();
+/// agg.transition(&mut right, &tuple);
+/// agg.transition(&mut right, &tuple);
+///
+/// // ...and their states merge before terminate produces the output.
+/// agg.merge(&mut left, right);
+/// assert_eq!(agg.terminate(left), 3);
+/// ```
 pub trait Aggregate {
     /// The aggregation context (for IGD: the model plus step counters).
     type State;

@@ -17,13 +17,15 @@
 //!   consult a [`ConvergenceTest`], repeat — together with per-epoch
 //!   bookkeeping used by the experiments.
 
+#![warn(missing_docs)]
+
 pub mod aggregate;
 pub mod convergence;
 pub mod epoch;
 pub mod executor;
 pub mod loss;
 
-pub use crate::aggregate::Aggregate;
+pub use crate::aggregate::{Aggregate, CountAggregate};
 pub use crate::convergence::ConvergenceTest;
 pub use crate::epoch::{EpochOutcome, EpochRecord, EpochRunner, TrainingHistory};
 pub use crate::executor::{
