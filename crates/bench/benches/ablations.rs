@@ -158,14 +158,14 @@ fn bench_sql_interface_overhead(c: &mut Criterion) {
     group.bench_function("rust_frontend", |b| {
         b.iter(|| {
             let mut db = Database::new();
-            db.register_table(table.clone());
+            db.register_table(table.clone()).unwrap();
             black_box(svm_train(&mut db, "m", "dblife", "vec", "label", config.clone()).unwrap())
         })
     });
     group.bench_function("sql_statement", |b| {
         b.iter(|| {
             let mut session = SqlSession::with_seed(6).with_trainer_config(config.clone());
-            session.register_table(table.clone());
+            session.register_table(table.clone()).unwrap();
             black_box(
                 session
                     .execute("SELECT SVMTrain('m', 'dblife', 'vec', 'label')")

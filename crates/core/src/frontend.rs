@@ -97,7 +97,7 @@ pub fn persist_model(
     for (i, &w) in model.iter().enumerate() {
         table.insert(vec![Value::Int(i as i64), Value::Double(w)])?;
     }
-    db.register_table(table);
+    db.register_table(table)?;
     Ok(())
 }
 
@@ -469,7 +469,7 @@ mod tests {
                 .insert(vec![Value::Int(i as i64), Value::from(x), Value::Double(y)])
                 .unwrap();
         }
-        db.register_table(table);
+        db.register_table(table).unwrap();
         db
     }
 
@@ -549,7 +549,7 @@ mod tests {
                     .unwrap();
             }
         }
-        db.register_table(table);
+        db.register_table(table).unwrap();
         let summary = lmf_train(
             &mut db,
             "factors",
@@ -636,7 +636,7 @@ mod tests {
                 .insert(vec![Value::Int(i), Value::Sequence(seq)])
                 .unwrap();
         }
-        db.register_table(table);
+        db.register_table(table).unwrap();
 
         let summary = crf_train(
             &mut db,
@@ -703,7 +703,7 @@ mod tests {
                 1,
             )])])
             .unwrap();
-        db.register_table(table);
+        db.register_table(table).unwrap();
         persist_model(&mut db, "tiny", &[0.1, 0.2, 0.3]).unwrap();
         let err = crf_predict(&db, "tiny", "S", "seq").unwrap_err();
         assert!(matches!(err, FrontendError::InvalidInput(_)));
@@ -746,7 +746,7 @@ mod tests {
             Column::new("label", DataType::Double),
         ])
         .unwrap();
-        db.register_table(Table::new("Empty", schema));
+        db.register_table(Table::new("Empty", schema)).unwrap();
         let err = svm_train(&mut db, "m", "Empty", "vec", "label", fast_config()).unwrap_err();
         assert!(matches!(err, FrontendError::InvalidInput(_)));
         assert!(err.to_string().contains("empty"));

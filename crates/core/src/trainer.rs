@@ -65,11 +65,74 @@ impl Default for BackoffPolicy {
 /// When and where to persist training checkpoints.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckpointPolicy {
-    /// File the checkpoint is (atomically) written to; each write replaces
-    /// the previous checkpoint.
+    /// File the checkpoint is (atomically and durably) written to; each
+    /// write replaces the previous checkpoint, so this path always holds the
+    /// newest one.
     pub path: PathBuf,
     /// Write after every `every` completed epochs. Zero disables writing.
     pub every: usize,
+    /// How many checkpoints to retain (minimum 1). With `keep == 1` only
+    /// [`CheckpointPolicy::path`] exists. With `keep > 1`, each write also
+    /// produces an epoch-stamped sibling `<path>.e<N>` (so `path` always
+    /// aliases the newest stamp), and stamps older than the newest `keep`
+    /// are deleted — strictly *after* the newest write has been durably
+    /// synced, so retention can never reduce the set of good checkpoints
+    /// below `keep`.
+    pub keep: usize,
+}
+
+impl CheckpointPolicy {
+    /// Write `checkpoint` as the newest checkpoint, then apply retention.
+    pub(crate) fn write(&self, checkpoint: &TrainingCheckpoint) -> Result<(), CheckpointError> {
+        checkpoint.write(&self.path)?;
+        if self.keep > 1 {
+            checkpoint.write(&generation_path(&self.path, checkpoint.next_epoch))?;
+            // Both writes above are durable (atomic temp → fsync → rename →
+            // dir fsync), so pruning older generations is now safe. Pruning
+            // itself is best-effort: a failure leaves extra checkpoints, not
+            // missing ones.
+            prune_generations(&self.path, self.keep);
+        }
+        Ok(())
+    }
+}
+
+/// Epoch-stamped sibling of a checkpoint path: `model.ckpt` → `model.ckpt.e7`.
+fn generation_path(path: &Path, epoch: usize) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(format!(".e{epoch}"));
+    path.with_file_name(name)
+}
+
+/// The epoch stamp of `candidate` if it is a generation sibling of `path`.
+fn generation_epoch(path: &Path, candidate: &Path) -> Option<usize> {
+    let base = path.file_name()?.to_str()?;
+    let name = candidate.file_name()?.to_str()?;
+    name.strip_prefix(base)?.strip_prefix(".e")?.parse().ok()
+}
+
+/// Delete all but the newest `keep_generations` epoch-stamped siblings.
+fn prune_generations(path: &Path, keep_generations: usize) {
+    let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) else {
+        return;
+    };
+    let Ok(entries) = std::fs::read_dir(parent) else {
+        return;
+    };
+    let mut generations: Vec<(usize, PathBuf)> = entries
+        .flatten()
+        .filter_map(|entry| {
+            let p = entry.path();
+            generation_epoch(path, &p).map(|epoch| (epoch, p))
+        })
+        .collect();
+    generations.sort_by_key(|g| std::cmp::Reverse(g.0));
+    for (_, old) in generations.into_iter().skip(keep_generations) {
+        let _ = std::fs::remove_file(old);
+    }
 }
 
 /// Configuration shared by the sequential and parallel trainers.
@@ -180,6 +243,33 @@ impl TrainerConfig {
         self.checkpoint = Some(CheckpointPolicy {
             path: path.into(),
             every,
+            keep: 1,
+        });
+        self
+    }
+
+    /// Like [`TrainerConfig::with_checkpoints`], but retains the `keep`
+    /// newest checkpoints instead of only the latest: each write also leaves
+    /// an epoch-stamped `<path>.e<N>` sibling, and older siblings are pruned
+    /// only after the newest write is durably on disk.
+    ///
+    /// ```
+    /// use bismarck_core::trainer::TrainerConfig;
+    ///
+    /// let path = std::env::temp_dir().join("bismarck-doc-retention.ckpt");
+    /// let config = TrainerConfig::default().with_checkpoint_retention(&path, 10, 3);
+    /// assert_eq!(config.checkpoint.as_ref().unwrap().keep, 3);
+    /// ```
+    pub fn with_checkpoint_retention(
+        mut self,
+        path: impl Into<PathBuf>,
+        every: usize,
+        keep: usize,
+    ) -> Self {
+        self.checkpoint = Some(CheckpointPolicy {
+            path: path.into(),
+            every,
+            keep: keep.max(1),
         });
         self
     }
@@ -694,17 +784,17 @@ pub(crate) fn maybe_write_checkpoint<T: IgdTask>(
     if policy.every == 0 || !next_epoch.is_multiple_of(policy.every) {
         return Ok(());
     }
-    build_checkpoint(
-        task,
-        config,
-        next_epoch,
-        model,
-        alpha_scale,
-        retries_used,
-        losses,
-    )
-    .write(&policy.path)
-    .map_err(EpochAbort::Checkpoint)
+    policy
+        .write(&build_checkpoint(
+            task,
+            config,
+            next_epoch,
+            model,
+            alpha_scale,
+            retries_used,
+            losses,
+        ))
+        .map_err(EpochAbort::Checkpoint)
 }
 
 /// Write a checkpoint unconditionally at an interrupt point (if a policy is
@@ -722,17 +812,17 @@ pub(crate) fn write_interrupt_checkpoint<T: IgdTask>(
     let Some(policy) = &config.checkpoint else {
         return Ok(());
     };
-    build_checkpoint(
-        task,
-        config,
-        next_epoch,
-        model,
-        alpha_scale,
-        retries_used,
-        losses,
-    )
-    .write(&policy.path)
-    .map_err(EpochAbort::Checkpoint)
+    policy
+        .write(&build_checkpoint(
+            task,
+            config,
+            next_epoch,
+            model,
+            alpha_scale,
+            retries_used,
+            losses,
+        ))
+        .map_err(EpochAbort::Checkpoint)
 }
 
 fn build_checkpoint<T: IgdTask>(
@@ -1022,6 +1112,49 @@ mod tests {
             "resume must be bit-compatible with the uninterrupted run"
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_retention_keeps_last_k_generations() {
+        let dir = std::env::temp_dir().join(format!(
+            "bismarck-ckpt-retention-test-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        let table = classification_table(120, false, 13);
+        let task = LogisticRegressionTask::new(0, 1, 3);
+        let config = TrainerConfig::default()
+            .with_step_size(StepSizeSchedule::Constant(0.2))
+            .with_convergence(ConvergenceTest::FixedEpochs(10))
+            .with_checkpoint_retention(&path, 2, 3);
+        Trainer::new(&task, config).try_train(&table).unwrap();
+
+        // Writes happened after epochs 2, 4, 6, 8 and 10; with keep = 3 the
+        // three newest stamps survive (path aliases the newest) and the
+        // epoch-2 and epoch-4 stamps are pruned.
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        assert_eq!(
+            names,
+            vec![
+                "model.ckpt".to_string(),
+                "model.ckpt.e10".to_string(),
+                "model.ckpt.e6".to_string(),
+                "model.ckpt.e8".to_string(),
+            ]
+        );
+        // Every retained generation is independently readable.
+        for name in ["model.ckpt.e6", "model.ckpt.e8", "model.ckpt.e10"] {
+            let cp = crate::checkpoint::TrainingCheckpoint::read(&dir.join(name)).unwrap();
+            assert_eq!(cp.task_name, "LR");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -286,7 +286,7 @@ mod tests {
                 ])
                 .unwrap();
         }
-        db.register_table(table);
+        db.register_table(table).unwrap();
         db
     }
 

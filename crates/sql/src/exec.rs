@@ -2,12 +2,13 @@
 //! statements against it.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 
 use bismarck_core::frontend::load_model;
 use bismarck_core::serving::{ModelHandle, ModelSnapshot, ServingTask};
 use bismarck_core::TrainerConfig;
-use bismarck_storage::{Column, DataType, Database, Schema, Table, Value};
+use bismarck_storage::{Column, DataType, Database, RecoveryReport, Schema, Table, Value};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -33,6 +34,9 @@ pub struct SqlSession {
     /// Live serving handles addressable by `PREDICT('name', ...)`; resolved
     /// ahead of persisted model tables of the same name.
     serving: HashMap<String, ModelHandle>,
+    /// What [`SqlSession::open`] recovered from disk; `None` for in-memory
+    /// sessions.
+    recovery: Option<RecoveryReport>,
 }
 
 impl Default for SqlSession {
@@ -55,7 +59,32 @@ impl SqlSession {
             trainer_config: TrainerConfig::default(),
             ctx: EvalContext::with_seed(seed),
             serving: HashMap::new(),
+            recovery: None,
         }
+    }
+
+    /// Open a **durable** session bound to directory `dir`: every catalog
+    /// mutation (CREATE/DROP TABLE, INSERT, COPY FROM, trained-model
+    /// persistence) is write-ahead logged there, and reopening the same
+    /// directory reconstructs the catalog — so a `train → exit → reopen →
+    /// PREDICT` sequence works across process restarts.
+    ///
+    /// The recovery diagnostics are logged to stderr and kept available via
+    /// [`SqlSession::recovery_report`].
+    pub fn open(dir: impl AsRef<Path>) -> Result<SqlSession> {
+        let (db, report) = Database::open(dir)?;
+        eprintln!("[bismarck recovery] {report}");
+        let mut session = SqlSession::new();
+        session.db = db;
+        session.recovery = Some(report);
+        Ok(session)
+    }
+
+    /// What [`SqlSession::open`] reconstructed from disk (tables restored,
+    /// WAL records replayed, torn-tail bytes discarded); `None` for
+    /// in-memory sessions.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// Override the trainer configuration used by analytics functions
@@ -82,9 +111,11 @@ impl SqlSession {
     }
 
     /// Register an already-built table (e.g. from `bismarck-datagen`),
-    /// replacing any table of the same name.
-    pub fn register_table(&mut self, table: Table) {
-        self.db.register_table(table);
+    /// replacing any table of the same name. On a durable session (see
+    /// [`SqlSession::open`]) the table contents are write-ahead logged.
+    pub fn register_table(&mut self, table: Table) -> Result<()> {
+        self.db.register_table(table)?;
+        Ok(())
     }
 
     /// Register a live serving handle under `name`, making
@@ -205,7 +236,7 @@ impl SqlSession {
                 .collect();
             table.insert(coerced)?;
         }
-        self.db.register_table(table);
+        self.db.register_table(table)?;
         Ok(QueryResult::status_only(format!(
             "CREATE TABLE AS ({count} rows)"
         )))
@@ -260,11 +291,9 @@ impl SqlSession {
                 // Parse into a staging table first so a malformed file never
                 // leaves a half-loaded target behind.
                 let staged = bismarck_storage::csv::table_from_str("staged", schema, &text)?;
-                let count = staged.len();
-                let target = self.db.table_mut(&table_name)?;
-                for tuple in staged.scan() {
-                    target.insert(tuple.values().to_vec())?;
-                }
+                let rows: Vec<Vec<Value>> =
+                    staged.scan().map(|tuple| tuple.values().to_vec()).collect();
+                let count = self.db.insert_rows(&table_name, rows)?;
                 Ok(QueryResult::status_only(format!("COPY {count}")))
             }
             CopyDirection::ToFile => {
@@ -311,7 +340,7 @@ impl SqlSession {
         for row in rows {
             rebuilt.insert(row)?;
         }
-        self.db.register_table(rebuilt);
+        self.db.register_table(rebuilt)?;
         Ok(QueryResult::status_only(status))
     }
 
@@ -379,11 +408,7 @@ impl SqlSession {
             materialized.push(full_row);
         }
 
-        let table = self.db.table_mut(&table_name)?;
-        let count = materialized.len();
-        for row in materialized {
-            table.insert(row)?;
-        }
+        let count = self.db.insert_rows(&table_name, materialized)?;
         Ok(QueryResult::status_only(format!("INSERT {count}")))
     }
 

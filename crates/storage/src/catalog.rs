@@ -1,10 +1,82 @@
-//! The database catalog: a named collection of tables.
+//! The database catalog: a named collection of tables, optionally durable.
+//!
+//! A catalog created with [`Database::new`] is purely in-memory, exactly as
+//! before. A catalog created with [`Database::open`] is bound to a directory
+//! and **write-ahead logged**: every `CREATE TABLE`, `DROP TABLE`, row batch
+//! insert and table registration is appended (and fsynced) to
+//! `catalog.wal` *before* it is applied in memory, and a size-triggered
+//! compaction periodically folds the log into an atomically-written
+//! `catalog.snap` snapshot. Reopening the directory replays snapshot + log
+//! and reconstructs the exact catalog the last successful operation left —
+//! including persisted model tables, which is what lets a training session
+//! survive a process restart.
 
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 
+use crate::codec::{push_row, push_schema, push_string, read_row, read_schema, Reader};
+use crate::durable;
 use crate::error::StorageError;
 use crate::schema::Schema;
+use crate::snapshot;
 use crate::table::Table;
+use crate::value::Value;
+use crate::wal::{self, WalWriter};
+
+/// File name of the write-ahead log inside a durable catalog directory.
+pub const WAL_FILE: &str = "catalog.wal";
+
+/// File name of the catalog snapshot inside a durable catalog directory.
+pub const SNAPSHOT_FILE: &str = "catalog.snap";
+
+/// Default WAL size (bytes) that triggers a compaction into a snapshot.
+pub const DEFAULT_COMPACT_THRESHOLD: u64 = 1 << 20;
+
+const OP_CREATE: u8 = 1;
+const OP_DROP: u8 = 2;
+const OP_INSERT: u8 = 3;
+const OP_REGISTER: u8 = 4;
+
+/// What [`Database::open`] reconstructed from disk — surfaced up through
+/// `SqlSession::open` so operators can see what a restart recovered.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Number of tables in the catalog after recovery.
+    pub tables_restored: usize,
+    /// WAL records applied on top of the snapshot (0 on a fresh directory
+    /// or when the snapshot already covered the whole log).
+    pub records_replayed: usize,
+    /// Bytes dropped from the log's torn tail (non-zero only after a crash
+    /// mid-append; the interrupted operation was never acknowledged).
+    pub bytes_truncated: u64,
+    /// Whether a snapshot file was loaded as the replay base.
+    pub snapshot_loaded: bool,
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "recovered {} table(s): {} WAL record(s) replayed on top of {}, \
+             {} byte(s) of torn tail discarded",
+            self.tables_restored,
+            self.records_replayed,
+            if self.snapshot_loaded {
+                "a snapshot"
+            } else {
+                "an empty catalog"
+            },
+            self.bytes_truncated,
+        )
+    }
+}
+
+#[derive(Debug)]
+struct DurabilityState {
+    wal: WalWriter,
+    snapshot_path: PathBuf,
+    compact_threshold: u64,
+}
 
 /// An in-process database: a catalog of heap tables.
 ///
@@ -15,15 +87,145 @@ use crate::table::Table;
 #[derive(Debug, Default)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
+    durability: Option<DurabilityState>,
 }
 
 impl Database {
-    /// An empty database.
+    /// An empty, purely in-memory database (nothing is persisted).
     pub fn new() -> Self {
         Database::default()
     }
 
+    /// Open (or create) a durable database in `dir`.
+    ///
+    /// Recovery order: load `catalog.snap` if present, then replay
+    /// `catalog.wal` records with LSNs above the snapshot's, truncating a
+    /// torn tail left by a crash mid-append. Damage that no crash can
+    /// explain — a checksum-corrupt record *followed by* valid data, a
+    /// corrupt snapshot, replayed operations that contradict the catalog —
+    /// is a hard [`StorageError::Corrupt`], never silently repaired.
+    pub fn open(dir: impl AsRef<Path>) -> Result<(Database, RecoveryReport), StorageError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)
+            .map_err(|e| StorageError::Io(format!("create {}: {e}", dir.display())))?;
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        let wal_path = dir.join(WAL_FILE);
+
+        let mut tables = BTreeMap::new();
+        let mut snap_lsn = 0;
+        let mut snapshot_loaded = false;
+        if let Some(snap) = snapshot::read(&snapshot_path)? {
+            snap_lsn = snap.last_lsn;
+            snapshot_loaded = true;
+            for table in snap.tables {
+                tables.insert(table.name().to_string(), table);
+            }
+        }
+
+        let mut records_replayed = 0;
+        let mut bytes_truncated = 0;
+        let wal = match durable::read_file(&wal_path) {
+            Ok(bytes) => {
+                let replayed = wal::replay(&bytes)?;
+                bytes_truncated = replayed.truncated_bytes;
+                let next_lsn = replayed.next_lsn().max(snap_lsn + 1);
+                for record in &replayed.records {
+                    if record.lsn <= snap_lsn {
+                        continue; // already folded into the snapshot
+                    }
+                    apply_op(&mut tables, &record.op)?;
+                    records_replayed += 1;
+                }
+                WalWriter::open(&wal_path, replayed.valid_len, next_lsn)?
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                // Fresh directory, or a snapshot whose post-compaction state
+                // never got a new log (both are consistent states).
+                let mut writer = WalWriter::create(&wal_path)?;
+                if snap_lsn > 0 {
+                    writer = WalWriter::open(&wal_path, wal::WAL_HEADER_LEN, snap_lsn + 1)?;
+                }
+                writer
+            }
+            Err(e) => {
+                return Err(StorageError::Io(format!(
+                    "read WAL {}: {e}",
+                    wal_path.display()
+                )))
+            }
+        };
+
+        let report = RecoveryReport {
+            tables_restored: tables.len(),
+            records_replayed,
+            bytes_truncated,
+            snapshot_loaded,
+        };
+        Ok((
+            Database {
+                tables,
+                durability: Some(DurabilityState {
+                    wal,
+                    snapshot_path,
+                    compact_threshold: DEFAULT_COMPACT_THRESHOLD,
+                }),
+            },
+            report,
+        ))
+    }
+
+    /// Whether this catalog is backed by a durable directory.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Override the WAL size at which a compaction is attempted (durable
+    /// catalogs only; no-op otherwise). Mainly for tests.
+    pub fn set_compact_threshold(&mut self, bytes: u64) {
+        if let Some(d) = self.durability.as_mut() {
+            d.compact_threshold = bytes;
+        }
+    }
+
+    /// Append one operation to the WAL (fsynced) before it is applied.
+    fn log_op(&mut self, op: &[u8]) -> Result<(), StorageError> {
+        match self.durability.as_mut() {
+            Some(d) => d.wal.append(op).map(|_lsn| ()),
+            None => Ok(()),
+        }
+    }
+
+    /// Compact if the log has outgrown its threshold. Best-effort: a failed
+    /// compaction leaves both the log and the snapshot in their previous
+    /// consistent states, so the error is not worth failing the (already
+    /// durable) triggering operation for.
+    fn maybe_compact(&mut self) {
+        let Some(d) = self.durability.as_mut() else {
+            return;
+        };
+        if d.wal.size_bytes() >= d.compact_threshold {
+            let _ = compact_state(d, &self.tables);
+        }
+    }
+
+    /// Fold the current catalog into a fresh snapshot and truncate the WAL.
+    ///
+    /// Crash-safe in both directions: the snapshot is written atomically, and
+    /// because it records the last LSN it incorporates, a crash *between* the
+    /// snapshot rename and the log truncation only leaves stale records that
+    /// the next [`Database::open`] skips by LSN.
+    pub fn compact(&mut self) -> Result<(), StorageError> {
+        match self.durability.as_mut() {
+            Some(d) => compact_state(d, &self.tables),
+            None => Ok(()),
+        }
+    }
+
     /// Create a table with the given schema; fails if the name is taken.
+    ///
+    /// On a durable catalog, note that mutating the returned `&mut Table`
+    /// directly bypasses the log — use [`Database::insert_rows`] for logged
+    /// row ingest.
     pub fn create_table(
         &mut self,
         name: impl Into<String>,
@@ -33,14 +235,49 @@ impl Database {
         if self.tables.contains_key(&name) {
             return Err(StorageError::TableExists(name));
         }
+        self.log_op(&encode_create(&name, &schema))?;
         let table = Table::new(name.clone(), schema);
-        Ok(self.tables.entry(name).or_insert(table))
+        self.tables.insert(name.clone(), table);
+        self.maybe_compact();
+        Ok(self.tables.get_mut(&name).expect("table was just inserted"))
     }
 
-    /// Register an already-built table (e.g. from a dataset generator);
-    /// replaces any table of the same name, mirroring `CREATE OR REPLACE`.
-    pub fn register_table(&mut self, table: Table) {
+    /// Register an already-built table (e.g. from a dataset generator or a
+    /// trained model); replaces any table of the same name, mirroring
+    /// `CREATE OR REPLACE`. On a durable catalog the full table contents are
+    /// logged, which is how trained models survive restarts.
+    pub fn register_table(&mut self, table: Table) -> Result<(), StorageError> {
+        self.log_op(&encode_register(&table))?;
         self.tables.insert(table.name().to_string(), table);
+        self.maybe_compact();
+        Ok(())
+    }
+
+    /// Validate and append a batch of rows to a table, write-ahead logging
+    /// the batch as one record. Either every row is accepted or none is.
+    pub fn insert_rows(
+        &mut self,
+        name: &str,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<usize, StorageError> {
+        let table = self
+            .tables
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
+        for row in &rows {
+            table.schema().validate(row)?;
+        }
+        if rows.is_empty() {
+            return Ok(0);
+        }
+        self.log_op(&encode_insert(name, &rows))?;
+        let table = self.tables.get_mut(name).expect("existence checked above");
+        let count = rows.len();
+        for row in rows {
+            table.insert(row).expect("row was validated above");
+        }
+        self.maybe_compact();
+        Ok(count)
     }
 
     /// Look up a table by name.
@@ -50,7 +287,9 @@ impl Database {
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
     }
 
-    /// Mutable lookup by name.
+    /// Mutable lookup by name. On a durable catalog, mutations made through
+    /// this reference bypass the log; prefer [`Database::insert_rows`] /
+    /// [`Database::register_table`] for changes that must survive a restart.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StorageError> {
         self.tables
             .get_mut(name)
@@ -59,9 +298,13 @@ impl Database {
 
     /// Remove a table; returns it if present.
     pub fn drop_table(&mut self, name: &str) -> Result<Table, StorageError> {
-        self.tables
-            .remove(name)
-            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+        if !self.tables.contains_key(name) {
+            return Err(StorageError::UnknownTable(name.to_string()));
+        }
+        self.log_op(&encode_drop(name))?;
+        let table = self.tables.remove(name).expect("existence checked above");
+        self.maybe_compact();
+        Ok(table)
     }
 
     /// Whether a table exists.
@@ -85,6 +328,112 @@ impl Database {
     }
 }
 
+fn compact_state(
+    d: &mut DurabilityState,
+    tables: &BTreeMap<String, Table>,
+) -> Result<(), StorageError> {
+    let last_lsn = d.wal.next_lsn() - 1;
+    snapshot::write(&d.snapshot_path, last_lsn, tables.values())?;
+    d.wal.reset()
+}
+
+fn encode_create(name: &str, schema: &Schema) -> Vec<u8> {
+    let mut op = vec![OP_CREATE];
+    push_string(&mut op, name);
+    push_schema(&mut op, schema);
+    op
+}
+
+fn encode_drop(name: &str) -> Vec<u8> {
+    let mut op = vec![OP_DROP];
+    push_string(&mut op, name);
+    op
+}
+
+fn encode_insert(name: &str, rows: &[Vec<Value>]) -> Vec<u8> {
+    let mut op = vec![OP_INSERT];
+    push_string(&mut op, name);
+    op.extend_from_slice(&(rows.len() as u64).to_le_bytes());
+    for row in rows {
+        push_row(&mut op, row);
+    }
+    op
+}
+
+fn encode_register(table: &Table) -> Vec<u8> {
+    let mut op = vec![OP_REGISTER];
+    push_string(&mut op, table.name());
+    push_schema(&mut op, table.schema());
+    op.extend_from_slice(&(table.len() as u64).to_le_bytes());
+    for tuple in table.scan() {
+        push_row(&mut op, tuple.values());
+    }
+    op
+}
+
+/// Apply one replayed WAL operation. Inconsistencies (creating a table that
+/// exists, dropping or inserting into one that does not) mean the log and
+/// the catalog disagree — hard corruption, since the log was the only writer.
+fn apply_op(tables: &mut BTreeMap<String, Table>, op: &[u8]) -> Result<(), StorageError> {
+    let corrupt = |msg: String| StorageError::Corrupt(msg);
+    let mut r = Reader::new(op);
+    match r.u8()? {
+        OP_CREATE => {
+            let name = r.string()?;
+            let schema = read_schema(&mut r)?;
+            r.finish()?;
+            if tables.contains_key(&name) {
+                return Err(corrupt(format!(
+                    "replayed CREATE TABLE for already-existing table '{name}'"
+                )));
+            }
+            tables.insert(name.clone(), Table::new(name, schema));
+        }
+        OP_DROP => {
+            let name = r.string()?;
+            r.finish()?;
+            if tables.remove(&name).is_none() {
+                return Err(corrupt(format!(
+                    "replayed DROP TABLE for unknown table '{name}'"
+                )));
+            }
+        }
+        OP_INSERT => {
+            let name = r.string()?;
+            let count = r.len_prefix(8)?;
+            let mut rows = Vec::with_capacity(count);
+            for _ in 0..count {
+                rows.push(read_row(&mut r)?);
+            }
+            r.finish()?;
+            let table = tables
+                .get_mut(&name)
+                .ok_or_else(|| corrupt(format!("replayed INSERT into unknown table '{name}'")))?;
+            for row in rows {
+                table.insert(row).map_err(|e| {
+                    corrupt(format!("replayed row violates schema of '{name}': {e}"))
+                })?;
+            }
+        }
+        OP_REGISTER => {
+            let name = r.string()?;
+            let schema = read_schema(&mut r)?;
+            let count = r.len_prefix(8)?;
+            let mut table = Table::new(name.clone(), schema);
+            for _ in 0..count {
+                let row = read_row(&mut r)?;
+                table.insert(row).map_err(|e| {
+                    corrupt(format!("replayed row violates schema of '{name}': {e}"))
+                })?;
+            }
+            r.finish()?;
+            tables.insert(name, table);
+        }
+        tag => return Err(corrupt(format!("unknown WAL operation tag {tag}"))),
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,6 +442,15 @@ mod tests {
 
     fn schema() -> Schema {
         Schema::new(vec![Column::new("id", DataType::Int)]).unwrap()
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "bismarck-catalog-test-{}-{name}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
     }
 
     #[test]
@@ -104,6 +462,7 @@ mod tests {
         assert!(db.table("missing").is_err());
         assert_eq!(db.len(), 1);
         assert!(!db.is_empty());
+        assert!(!db.is_durable());
     }
 
     #[test]
@@ -125,7 +484,7 @@ mod tests {
             .insert(vec![Value::Int(1)])
             .unwrap();
         let replacement = Table::new("t", schema());
-        db.register_table(replacement);
+        db.register_table(replacement).unwrap();
         assert_eq!(db.table("t").unwrap().len(), 0);
     }
 
@@ -145,5 +504,95 @@ mod tests {
         db.create_table("b", schema()).unwrap();
         db.create_table("a", schema()).unwrap();
         assert_eq!(db.table_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn insert_rows_is_all_or_nothing() {
+        let mut db = Database::new();
+        db.create_table("t", schema()).unwrap();
+        let err = db
+            .insert_rows("t", vec![vec![Value::Int(1)], vec![Value::Double(2.0)]])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }));
+        assert!(db.table("t").unwrap().is_empty());
+        assert_eq!(
+            db.insert_rows("t", vec![vec![Value::Int(1)], vec![Value::Int(2)]])
+                .unwrap(),
+            2
+        );
+        assert_eq!(db.table("t").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn durable_catalog_survives_reopen() {
+        let dir = temp_dir("reopen");
+        {
+            let (mut db, report) = Database::open(&dir).unwrap();
+            assert!(db.is_durable());
+            assert_eq!(report, RecoveryReport::default());
+            db.create_table("t", schema()).unwrap();
+            db.insert_rows("t", vec![vec![Value::Int(7)], vec![Value::Int(8)]])
+                .unwrap();
+            db.create_table("gone", schema()).unwrap();
+            db.drop_table("gone").unwrap();
+        }
+        let (db, report) = Database::open(&dir).unwrap();
+        assert_eq!(report.tables_restored, 1);
+        assert_eq!(report.records_replayed, 4);
+        assert_eq!(report.bytes_truncated, 0);
+        assert!(!report.snapshot_loaded);
+        let t = db.table("t").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(1).unwrap().get_int(0), Some(8));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_snapshots_and_truncates_then_reopens() {
+        let dir = temp_dir("compact");
+        {
+            let (mut db, _) = Database::open(&dir).unwrap();
+            db.set_compact_threshold(1); // compact after every operation
+            db.create_table("t", schema()).unwrap();
+            for i in 0..10 {
+                db.insert_rows("t", vec![vec![Value::Int(i)]]).unwrap();
+            }
+        }
+        let (db, report) = Database::open(&dir).unwrap();
+        assert!(report.snapshot_loaded);
+        assert_eq!(report.records_replayed, 0);
+        assert_eq!(db.table("t").unwrap().len(), 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn register_table_is_replayed_with_contents() {
+        let dir = temp_dir("register");
+        {
+            let (mut db, _) = Database::open(&dir).unwrap();
+            let mut t = Table::new("model", schema());
+            t.insert(vec![Value::Int(41)]).unwrap();
+            db.register_table(t).unwrap();
+        }
+        let (db, _) = Database::open(&dir).unwrap();
+        assert_eq!(
+            db.table("model").unwrap().get(0).unwrap().get_int(0),
+            Some(41)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_report_display_is_readable() {
+        let report = RecoveryReport {
+            tables_restored: 2,
+            records_replayed: 5,
+            bytes_truncated: 17,
+            snapshot_loaded: true,
+        };
+        let text = report.to_string();
+        assert!(text.contains("2 table(s)"));
+        assert!(text.contains("5 WAL record(s)"));
+        assert!(text.contains("17 byte(s)"));
     }
 }

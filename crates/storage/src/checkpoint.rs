@@ -4,11 +4,13 @@
 //! durability stance of the engines Bismarck targets. This module provides
 //! the *container* half of checkpointing: an opaque payload wrapped in a
 //! fixed header (magic, format version, payload length) and trailed by a
-//! checksum, written atomically via a temp file + rename so a crash during
-//! the write can never leave a torn file under the checkpoint path. The
-//! trainer-level payload layout (model vector, epoch counter, step-size and
-//! scan-order state) lives in `bismarck-core`; this layer only guarantees
-//! that what is read back is exactly what was written.
+//! checksum, written through [`crate::durable::atomic_write`] (temp file →
+//! fsync → rename → fsync parent directory) so a crash at any instant —
+//! including a power loss that would otherwise undo the rename — can never
+//! leave a torn file under the checkpoint path. The trainer-level payload
+//! layout (model vector, epoch counter, step-size and scan-order state)
+//! lives in `bismarck-core`; this layer only guarantees that what is read
+//! back is exactly what was written.
 //!
 //! On-disk layout, all integers little-endian:
 //!
@@ -21,7 +23,6 @@
 //! ```
 
 use std::fs;
-use std::io::Write as _;
 use std::path::Path;
 
 /// Magic bytes identifying a Bismarck checkpoint file.
@@ -81,14 +82,14 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// Atomically write `payload` as a checkpoint at `path`.
+/// Atomically and durably write `payload` as a checkpoint at `path`.
 ///
-/// The bytes are first written to `<path>.tmp` in the same directory, flushed,
-/// and then renamed over `path`, so readers either see the previous complete
-/// checkpoint or the new complete one — never a partial file.
+/// Routed through [`crate::durable::atomic_write`]: temp file in the same
+/// directory → fsync file → rename over `path` → fsync parent directory.
+/// Readers either see the previous complete checkpoint or the new complete
+/// one — never a partial file, even across a crash or power loss (the
+/// parent-directory fsync is what makes the rename itself durable).
 pub fn write_checkpoint(path: &Path, payload: &[u8]) -> Result<(), CheckpointError> {
-    let io_err =
-        |op: &str, e: std::io::Error| CheckpointError::Io(format!("{op} {}: {e}", path.display()));
     let mut bytes = Vec::with_capacity(24 + payload.len());
     bytes.extend_from_slice(&CHECKPOINT_MAGIC);
     bytes.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
@@ -96,13 +97,8 @@ pub fn write_checkpoint(path: &Path, payload: &[u8]) -> Result<(), CheckpointErr
     bytes.extend_from_slice(payload);
     bytes.extend_from_slice(&fnv1a64(payload).to_le_bytes());
 
-    let tmp = path.with_extension("tmp");
-    {
-        let mut file = fs::File::create(&tmp).map_err(|e| io_err("create", e))?;
-        file.write_all(&bytes).map_err(|e| io_err("write", e))?;
-        file.sync_all().map_err(|e| io_err("sync", e))?;
-    }
-    fs::rename(&tmp, path).map_err(|e| io_err("rename", e))
+    crate::durable::atomic_write(path, &bytes)
+        .map_err(|e| CheckpointError::Io(format!("write {}: {e}", path.display())))
 }
 
 /// Read and validate a checkpoint, returning its payload bytes.

@@ -1,0 +1,294 @@
+//! The atomic write protocol and its fault-injection hooks.
+//!
+//! Everything the durability subsystem puts on disk — catalog snapshots,
+//! training checkpoints, WAL resets — goes through one protocol:
+//!
+//! 1. write the full payload to `<path>.tmp` in the same directory,
+//! 2. `fsync` the temp file so the *data* is durable,
+//! 3. `rename` the temp file over `path` (atomic on POSIX filesystems),
+//! 4. `fsync` the parent directory so the *rename* is durable.
+//!
+//! A crash at any point leaves either the previous complete file or the new
+//! complete one under `path` — never a torn or half-renamed file. Step 4 is
+//! the one naive implementations skip: without it, a power loss can undo the
+//! rename even though the data bytes made it to the platter.
+//!
+//! Every byte and every syscall in this module is routed through the
+//! `fault` hooks (compiled only under the `fault-injection` feature), so a
+//! test can fail, short-write, or "crash" the process at any byte boundary
+//! and then prove that recovery restores a consistent state.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::Path;
+
+/// Fault-injection hooks for the durability layer.
+///
+/// Compiled only with the `fault-injection` feature. The injector is a
+/// process-global step counter: every *byte* written through the durable
+/// layer consumes one fault point, and every metadata operation (create,
+/// sync, rename, truncate, directory sync) consumes one more. A test arms
+/// the injector at point `k` and runs a scenario; when the counter reaches
+/// `k`, the in-flight operation fails — short-writing its buffer if it was a
+/// write — and, in [`fault::Mode::Crash`], every later operation fails too,
+/// which is exactly what a process that died at that instant would have done
+/// to the filesystem. Re-opening the database afterwards simulates the
+/// post-crash restart.
+///
+/// The injector is global state: tests that arm it must serialize themselves
+/// (e.g. behind a `Mutex`) and disarm it when done.
+#[cfg(feature = "fault-injection")]
+pub mod fault {
+    use std::io;
+    use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+
+    /// What happens once the armed fault point is reached.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Mode {
+        /// The operation at the fault point fails and **every subsequent
+        /// operation fails too** — the filesystem is frozen in the state a
+        /// process crash would have left it in.
+        Crash,
+        /// The operation at the fault point fails once (short-writing if it
+        /// was a write); later operations succeed. Models a transient I/O
+        /// error the caller is expected to surface and survive.
+        FailOnce,
+    }
+
+    static ARMED: AtomicBool = AtomicBool::new(false);
+    static MODE_CRASH: AtomicU8 = AtomicU8::new(0);
+    static FAULT_AT: AtomicU64 = AtomicU64::new(u64::MAX);
+    static CONSUMED: AtomicU64 = AtomicU64::new(0);
+    static FIRED: AtomicBool = AtomicBool::new(false);
+
+    /// Arm the injector: the fault fires once `at_point` fault points have
+    /// been consumed. Arming with `at_point == u64::MAX` never fires and is
+    /// the idiom for *counting* how many fault points a scenario has.
+    pub fn arm(mode: Mode, at_point: u64) {
+        CONSUMED.store(0, Ordering::SeqCst);
+        FIRED.store(false, Ordering::SeqCst);
+        FAULT_AT.store(at_point, Ordering::SeqCst);
+        MODE_CRASH.store(matches!(mode, Mode::Crash) as u8, Ordering::SeqCst);
+        ARMED.store(true, Ordering::SeqCst);
+    }
+
+    /// Disarm the injector and return the number of fault points consumed
+    /// since [`arm`].
+    pub fn disarm() -> u64 {
+        ARMED.store(false, Ordering::SeqCst);
+        CONSUMED.load(Ordering::SeqCst)
+    }
+
+    /// Whether the armed fault has fired at least once.
+    pub fn fired() -> bool {
+        FIRED.load(Ordering::SeqCst)
+    }
+
+    fn injected() -> io::Error {
+        io::Error::other("injected I/O fault")
+    }
+
+    fn should_fail_now() -> bool {
+        if !ARMED.load(Ordering::SeqCst) {
+            return false;
+        }
+        if FIRED.load(Ordering::SeqCst) {
+            // After the first failure: Crash keeps failing, FailOnce heals.
+            return MODE_CRASH.load(Ordering::SeqCst) == 1;
+        }
+        false
+    }
+
+    /// Consume one fault point for a metadata operation (create, sync,
+    /// rename, truncate, directory sync).
+    pub(crate) fn metadata_op() -> io::Result<()> {
+        if should_fail_now() {
+            return Err(injected());
+        }
+        if !ARMED.load(Ordering::SeqCst) || FIRED.load(Ordering::SeqCst) {
+            // Unarmed, or FailOnce already fired and healed.
+            return Ok(());
+        }
+        let point = CONSUMED.fetch_add(1, Ordering::SeqCst);
+        if point >= FAULT_AT.load(Ordering::SeqCst) {
+            FIRED.store(true, Ordering::SeqCst);
+            return Err(injected());
+        }
+        Ok(())
+    }
+
+    /// Ask how many bytes of an `len`-byte write may proceed. Returns
+    /// `Ok(len)` for a full write, or `Err((prefix, error))` when the fault
+    /// point lands inside the buffer: the caller must write exactly `prefix`
+    /// bytes (the torn write) and then report the error.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn admit_write(len: usize) -> Result<usize, (usize, io::Error)> {
+        if should_fail_now() {
+            return Err((0, injected()));
+        }
+        if !ARMED.load(Ordering::SeqCst) || FIRED.load(Ordering::SeqCst) {
+            // Unarmed, or FailOnce already fired and healed.
+            return Ok(len);
+        }
+        let start = CONSUMED.fetch_add(len as u64, Ordering::SeqCst);
+        let at = FAULT_AT.load(Ordering::SeqCst);
+        if start.saturating_add(len as u64) <= at {
+            return Ok(len);
+        }
+        FIRED.store(true, Ordering::SeqCst);
+        Err(((at.saturating_sub(start)) as usize, injected()))
+    }
+}
+
+/// Write `buf` to `file`, honouring the fault injector's byte-granular
+/// short-write decisions.
+pub(crate) fn write_all(file: &mut File, buf: &[u8]) -> io::Result<()> {
+    #[cfg(feature = "fault-injection")]
+    {
+        match fault::admit_write(buf.len()) {
+            Ok(_) => {}
+            Err((prefix, err)) => {
+                // The torn write: the prefix reaches the file, the rest — and
+                // every fsync that would have made it durable — does not.
+                let _ = file.write_all(&buf[..prefix]);
+                let _ = file.flush();
+                return Err(err);
+            }
+        }
+    }
+    file.write_all(buf)
+}
+
+/// `fsync` a file's data and metadata.
+pub(crate) fn sync_file(file: &File) -> io::Result<()> {
+    #[cfg(feature = "fault-injection")]
+    fault::metadata_op()?;
+    file.sync_all()
+}
+
+/// Create (truncating) a file for writing.
+pub(crate) fn create_file(path: &Path) -> io::Result<File> {
+    #[cfg(feature = "fault-injection")]
+    fault::metadata_op()?;
+    File::create(path)
+}
+
+/// Open a file for appending without truncating it.
+pub(crate) fn open_append(path: &Path) -> io::Result<File> {
+    #[cfg(feature = "fault-injection")]
+    fault::metadata_op()?;
+    OpenOptions::new().read(true).write(true).open(path)
+}
+
+/// Atomically rename `from` over `to`.
+pub(crate) fn rename(from: &Path, to: &Path) -> io::Result<()> {
+    #[cfg(feature = "fault-injection")]
+    fault::metadata_op()?;
+    fs::rename(from, to)
+}
+
+/// Truncate an open file to `len` bytes.
+pub(crate) fn truncate_file(file: &File, len: u64) -> io::Result<()> {
+    #[cfg(feature = "fault-injection")]
+    fault::metadata_op()?;
+    file.set_len(len)
+}
+
+/// `fsync` a directory so a rename or create inside it is durable. On
+/// platforms where directories cannot be opened for syncing this degrades to
+/// a no-op, matching what portable databases do.
+pub fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(feature = "fault-injection")]
+    fault::metadata_op()?;
+    match File::open(dir) {
+        Ok(d) => d.sync_all(),
+        // Windows cannot open directories this way; accept the weaker
+        // guarantee there rather than failing every write.
+        Err(e) if e.kind() == io::ErrorKind::PermissionDenied => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Atomically and durably replace the file at `path` with `bytes`.
+///
+/// This is the four-step protocol described at module level: temp file →
+/// fsync file → rename → fsync parent directory. After it returns, the new
+/// contents survive a crash; if it errors (or the process dies inside it),
+/// `path` still holds its previous complete contents — the temp file may be
+/// left behind and is ignored/overwritten by the next write.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = create_file(&tmp)?;
+        write_all(&mut file, bytes)?;
+        sync_file(&file)?;
+    }
+    rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        // An empty parent means a bare relative filename: the CWD.
+        let parent = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        sync_dir(parent)?;
+    }
+    Ok(())
+}
+
+/// Read a whole file, routed through the durable layer for symmetry (reads
+/// are not fault points: recovery code must see whatever is on disk).
+pub fn read_file(path: &Path) -> io::Result<Vec<u8>> {
+    let mut file = File::open(path)?;
+    let mut bytes = Vec::new();
+    file.seek(SeekFrom::Start(0))?;
+    file.read_to_end(&mut bytes)?;
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "bismarck-durable-test-{}-{name}",
+            std::process::id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_replaces_contents() {
+        let dir = temp_dir("replace");
+        let path = dir.join("file.bin");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(read_file(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer payload").unwrap();
+        assert_eq!(read_file(&path).unwrap(), b"second, longer payload");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_into_missing_directory_errors() {
+        let path = std::env::temp_dir()
+            .join("bismarck-definitely-missing-dir")
+            .join("file.bin");
+        assert!(atomic_write(&path, b"x").is_err());
+    }
+
+    #[test]
+    fn temp_file_is_ignored_by_reads_of_the_target() {
+        let dir = temp_dir("tmpfile");
+        let path = dir.join("file.bin");
+        atomic_write(&path, b"durable").unwrap();
+        // A stale temp file (as a crash between steps 1 and 3 would leave)
+        // does not affect the committed contents.
+        fs::write(path.with_extension("tmp"), b"torn garbage").unwrap();
+        assert_eq!(read_file(&path).unwrap(), b"durable");
+        atomic_write(&path, b"next").unwrap();
+        assert_eq!(read_file(&path).unwrap(), b"next");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -40,6 +40,11 @@ pub enum StorageError {
     },
     /// CSV or other external data could not be parsed.
     Parse(String),
+    /// An underlying filesystem operation failed (message includes the path).
+    Io(String),
+    /// On-disk durability state (WAL or snapshot) is damaged beyond what
+    /// crash recovery is allowed to repair silently.
+    Corrupt(String),
 }
 
 impl std::fmt::Display for StorageError {
@@ -68,6 +73,8 @@ impl std::fmt::Display for StorageError {
                 write!(f, "row {row} out of range for table with {len} rows")
             }
             StorageError::Parse(msg) => write!(f, "parse error: {msg}"),
+            StorageError::Io(msg) => write!(f, "storage I/O error: {msg}"),
+            StorageError::Corrupt(msg) => write!(f, "storage corruption: {msg}"),
         }
     }
 }

@@ -19,21 +19,33 @@
 //! It is intentionally *not* a SQL engine: Bismarck's contribution is the
 //! analytics architecture above these facilities, so we keep the substrate
 //! small, deterministic and easy to test.
+//!
+//! Since PR 8 the catalog can also be **durable**: [`Database::open`] binds
+//! it to a directory where every mutation is write-ahead logged
+//! ([`wal`]) and periodically compacted into an atomic snapshot
+//! ([`durable`] holds the temp-file → fsync → rename → fsync-dir protocol),
+//! so tables — including persisted model tables — survive process restarts.
+
+#![warn(missing_docs)]
 
 pub mod catalog;
 pub mod checkpoint;
+mod codec;
 pub mod csv;
+pub mod durable;
 pub mod error;
 pub mod null_agg;
 pub mod reservoir;
 pub mod scan;
 pub mod schema;
 pub mod shared;
+mod snapshot;
 pub mod table;
 pub mod tuple;
 pub mod value;
+pub mod wal;
 
-pub use crate::catalog::Database;
+pub use crate::catalog::{Database, RecoveryReport, SNAPSHOT_FILE, WAL_FILE};
 pub use crate::checkpoint::{read_checkpoint, write_checkpoint, CheckpointError};
 pub use crate::error::StorageError;
 pub use crate::null_agg::NullAggregate;

@@ -1,0 +1,221 @@
+//! Full-catalog snapshots: the compaction target of the WAL.
+//!
+//! A snapshot is a single file holding every table in the catalog plus the
+//! **LSN of the last WAL record it incorporates**. Recovery loads the
+//! snapshot first and then replays only WAL records with a higher LSN, which
+//! makes the compaction sequence crash-safe: if the process dies after the
+//! snapshot is renamed into place but before the log is truncated, the stale
+//! log records are simply skipped on the next open instead of being applied
+//! twice.
+//!
+//! On-disk layout, all integers little-endian:
+//!
+//! ```text
+//! [0..4)   magic b"BSNP"
+//! [4..8)   format version (u32), currently 1
+//! [8..n-8) payload:
+//!            u64 last LSN incorporated
+//!            u64 table count, then per table:
+//!              name (length-prefixed UTF-8), schema, u64 row count, rows
+//! [n-8..n) FNV-1a 64-bit checksum of the payload
+//! ```
+//!
+//! Snapshots are written exclusively through [`crate::durable::atomic_write`],
+//! so the file under the snapshot path is always a complete generation.
+
+use std::path::Path;
+
+use crate::checkpoint::fnv1a64;
+use crate::codec::{push_row, push_schema, push_string, read_row, read_schema, Reader};
+use crate::durable;
+use crate::error::StorageError;
+use crate::table::Table;
+
+/// Magic bytes identifying a Bismarck catalog snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"BSNP";
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// A decoded snapshot: the catalog state as of `last_lsn`.
+#[derive(Debug)]
+pub(crate) struct Snapshot {
+    /// LSN of the last WAL record this snapshot incorporates (0 = none).
+    pub(crate) last_lsn: u64,
+    /// The tables, in encoding order.
+    pub(crate) tables: Vec<Table>,
+}
+
+/// Serialize the catalog (`last_lsn` plus every table) into snapshot bytes.
+pub(crate) fn encode<'a>(last_lsn: u64, tables: impl Iterator<Item = &'a Table>) -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&last_lsn.to_le_bytes());
+    let count_at = payload.len();
+    payload.extend_from_slice(&0u64.to_le_bytes());
+    let mut count: u64 = 0;
+    for table in tables {
+        push_string(&mut payload, table.name());
+        push_schema(&mut payload, table.schema());
+        payload.extend_from_slice(&(table.len() as u64).to_le_bytes());
+        for tuple in table.scan() {
+            push_row(&mut payload, tuple.values());
+        }
+        count += 1;
+    }
+    payload[count_at..count_at + 8].copy_from_slice(&count.to_le_bytes());
+
+    let mut bytes = Vec::with_capacity(16 + payload.len());
+    bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+    bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    bytes.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    bytes
+}
+
+/// Decode and validate snapshot bytes. Any damage — bad magic, version,
+/// checksum, or rows that no longer satisfy their schema — is a hard
+/// [`StorageError::Corrupt`]: a snapshot is written atomically, so unlike a
+/// WAL tail there is no benign way for it to be partial.
+pub(crate) fn decode(bytes: &[u8]) -> Result<Snapshot, StorageError> {
+    let corrupt = |msg: &str| StorageError::Corrupt(format!("snapshot: {msg}"));
+    if bytes.len() < 16 {
+        return Err(corrupt("file is shorter than its fixed framing"));
+    }
+    if bytes[..4] != SNAPSHOT_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4B"));
+    if version != SNAPSHOT_VERSION {
+        return Err(StorageError::Corrupt(format!(
+            "snapshot: unsupported format version {version}"
+        )));
+    }
+    let payload = &bytes[8..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8B"));
+    if fnv1a64(payload) != stored {
+        return Err(corrupt("checksum mismatch"));
+    }
+
+    let mut r = Reader::new(payload);
+    let last_lsn = r.u64()?;
+    let table_count = r.len_prefix(1)?;
+    let mut tables = Vec::with_capacity(table_count);
+    for _ in 0..table_count {
+        let name = r.string()?;
+        let schema = read_schema(&mut r)?;
+        let row_count = r.len_prefix(1)?;
+        let mut table = Table::new(name, schema);
+        for _ in 0..row_count {
+            let row = read_row(&mut r)?;
+            table.insert(row).map_err(|e| {
+                StorageError::Corrupt(format!("snapshot row violates its schema: {e}"))
+            })?;
+        }
+        tables.push(table);
+    }
+    r.finish()?;
+    Ok(Snapshot { last_lsn, tables })
+}
+
+/// Atomically write a snapshot file.
+pub(crate) fn write<'a>(
+    path: &Path,
+    last_lsn: u64,
+    tables: impl Iterator<Item = &'a Table>,
+) -> Result<(), StorageError> {
+    durable::atomic_write(path, &encode(last_lsn, tables))
+        .map_err(|e| StorageError::Io(format!("write snapshot {}: {e}", path.display())))
+}
+
+/// Read a snapshot file if it exists; `Ok(None)` when there is none yet.
+pub(crate) fn read(path: &Path) -> Result<Option<Snapshot>, StorageError> {
+    match durable::read_file(path) {
+        Ok(bytes) => decode(&bytes).map(Some),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(StorageError::Io(format!(
+            "read snapshot {}: {e}",
+            path.display()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType, Schema};
+    use crate::value::Value;
+
+    fn sample_table(name: &str, rows: usize) -> Table {
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::nullable("w", DataType::Double),
+        ])
+        .unwrap();
+        let mut t = Table::new(name, schema);
+        for i in 0..rows {
+            t.insert(vec![Value::Int(i as i64), Value::Double(i as f64 * 0.5)])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let a = sample_table("alpha", 3);
+        let b = sample_table("beta", 0);
+        let bytes = encode(42, [&a, &b].into_iter());
+        let snap = decode(&bytes).unwrap();
+        assert_eq!(snap.last_lsn, 42);
+        assert_eq!(snap.tables.len(), 2);
+        assert_eq!(snap.tables[0].name(), "alpha");
+        assert_eq!(snap.tables[0].len(), 3);
+        assert_eq!(snap.tables[0].get(2).unwrap().get_double(1), Some(1.0));
+        assert_eq!(snap.tables[1].name(), "beta");
+        assert!(snap.tables[1].is_empty());
+    }
+
+    #[test]
+    fn empty_catalog_roundtrips() {
+        let snap = decode(&encode(0, std::iter::empty())).unwrap();
+        assert_eq!(snap.last_lsn, 0);
+        assert!(snap.tables.is_empty());
+    }
+
+    #[test]
+    fn any_bit_flip_is_detected() {
+        let t = sample_table("t", 2);
+        let good = encode(7, std::iter::once(&t));
+        for pos in [0usize, 5, 9, 20, good.len() - 1] {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x10;
+            assert!(
+                decode(&bad).is_err(),
+                "flip at byte {pos} should be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_snapshot_is_corrupt() {
+        let t = sample_table("t", 2);
+        let good = encode(7, std::iter::once(&t));
+        assert!(decode(&good[..good.len() - 3]).is_err());
+        assert!(decode(&good[..10]).is_err());
+        assert!(decode(&[]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_and_missing_file() {
+        let dir =
+            std::env::temp_dir().join(format!("bismarck-snapshot-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("catalog.snap");
+        assert!(read(&path).unwrap().is_none());
+        let t = sample_table("t", 4);
+        write(&path, 11, std::iter::once(&t)).unwrap();
+        let snap = read(&path).unwrap().unwrap();
+        assert_eq!(snap.last_lsn, 11);
+        assert_eq!(snap.tables[0].len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -24,7 +24,7 @@ fn main() {
             ..Default::default()
         },
     );
-    db.register_table(table);
+    db.register_table(table).unwrap();
 
     // 2. Train: the Bismarck IGD-as-UDA architecture with the paper's
     //    recommended shuffle-once policy and 0.1% convergence tolerance.

@@ -14,14 +14,16 @@ fn main() {
 
     // 1. Load a Forest-like labeled table generated in Rust. SQL INSERT with
     //    vector literals works too, shown here on a small scratch table.
-    session.register_table(dense_classification(
-        "LabeledPapers",
-        DenseClassificationConfig {
-            examples: 2_000,
-            dimension: 8,
-            ..Default::default()
-        },
-    ));
+    session
+        .register_table(dense_classification(
+            "LabeledPapers",
+            DenseClassificationConfig {
+                examples: 2_000,
+                dimension: 8,
+                ..Default::default()
+            },
+        ))
+        .unwrap();
     session
         .execute_script(
             "CREATE TABLE Scratch (id INT, vec DENSE_VEC, tag SPARSE_VEC);

@@ -1,0 +1,421 @@
+//! Durability and crash-recovery tests for the storage WAL + snapshot
+//! subsystem and its wiring up through the SQL session.
+//!
+//! Three layers of coverage:
+//!
+//! * WAL replay edge cases (torn tails, duplicate create/drop sequences,
+//!   missing logs, checksum-corrupt middle records) driven by corrupting
+//!   real on-disk files — these run in every test pass;
+//! * the paper's user experience surviving a restart: train via
+//!   `SELECT SVMTrain(...)`, drop the session, reopen the directory, and
+//!   `SVMPredict(...)` must return identical predictions;
+//! * a byte-granular crash-point matrix (`--features fault-injection`):
+//!   every byte written and every metadata syscall is a crash point, and
+//!   recovery after a crash at *any* of them must restore a state some
+//!   prefix of the acknowledged operations explains — never anything torn.
+
+use std::path::PathBuf;
+
+use bismarck_storage::{
+    Column, DataType, Database, Schema, StorageError, Value, SNAPSHOT_FILE, WAL_FILE,
+};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "bismarck-durability-crash-{}-{name}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn schema() -> Schema {
+    Schema::new(vec![Column::new("id", DataType::Int)]).unwrap()
+}
+
+fn row(i: i64) -> Vec<Value> {
+    vec![Value::Int(i)]
+}
+
+/// A comparable description of the full catalog contents: sorted table
+/// names, each with every row in scan order. (Only the fault-injection
+/// crash matrix compares whole states; hence the cfg_attr.)
+#[cfg_attr(not(feature = "fault-injection"), allow(dead_code))]
+fn fingerprint(db: &Database) -> Vec<(String, Vec<Vec<Value>>)> {
+    db.table_names()
+        .into_iter()
+        .map(|name| {
+            let rows = db
+                .table(&name)
+                .unwrap()
+                .scan()
+                .map(|tuple| tuple.values().to_vec())
+                .collect();
+            (name, rows)
+        })
+        .collect()
+}
+
+#[test]
+fn fresh_directory_recovers_empty() {
+    let dir = temp_dir("fresh");
+    {
+        let (db, report) = Database::open(&dir).unwrap();
+        assert!(db.is_empty());
+        assert_eq!(report.tables_restored, 0);
+        assert_eq!(report.records_replayed, 0);
+        assert_eq!(report.bytes_truncated, 0);
+        assert!(!report.snapshot_loaded);
+    }
+    // Reopening an empty-but-initialised directory is also clean.
+    let (db, report) = Database::open(&dir).unwrap();
+    assert!(db.is_empty());
+    assert_eq!(report.records_replayed, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn zero_byte_wal_file_recovers_empty() {
+    let dir = temp_dir("zero-byte");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join(WAL_FILE), b"").unwrap();
+    let (mut db, report) = Database::open(&dir).unwrap();
+    assert!(db.is_empty());
+    assert_eq!(report.bytes_truncated, 0);
+    // The recreated log is writable.
+    db.create_table("t", schema()).unwrap();
+    drop(db);
+    let (db, _) = Database::open(&dir).unwrap();
+    assert!(db.contains("t"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_record_at_end_is_truncated_and_reported() {
+    let dir = temp_dir("torn-tail");
+    {
+        let (mut db, _) = Database::open(&dir).unwrap();
+        db.create_table("t", schema()).unwrap();
+        db.insert_rows("t", vec![row(1), row(2)]).unwrap();
+    }
+    // Cut into the last record, as a crash mid-append would.
+    let wal_path = dir.join(WAL_FILE);
+    let bytes = std::fs::read(&wal_path).unwrap();
+    std::fs::write(&wal_path, &bytes[..bytes.len() - 3]).unwrap();
+
+    let (db, report) = Database::open(&dir).unwrap();
+    assert!(report.bytes_truncated > 0);
+    assert_eq!(report.records_replayed, 1);
+    // The torn insert is gone; the create survived.
+    assert!(db.contains("t"));
+    assert!(db.table("t").unwrap().is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trailing_garbage_is_truncated_and_earlier_records_survive() {
+    let dir = temp_dir("garbage-tail");
+    {
+        let (mut db, _) = Database::open(&dir).unwrap();
+        db.create_table("t", schema()).unwrap();
+        db.insert_rows("t", vec![row(7)]).unwrap();
+    }
+    let wal_path = dir.join(WAL_FILE);
+    let mut bytes = std::fs::read(&wal_path).unwrap();
+    bytes.extend_from_slice(&[0xAB; 5]);
+    std::fs::write(&wal_path, &bytes).unwrap();
+
+    let (db, report) = Database::open(&dir).unwrap();
+    assert_eq!(report.bytes_truncated, 5);
+    assert_eq!(db.table("t").unwrap().len(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn duplicate_create_drop_sequences_replay_cleanly() {
+    let dir = temp_dir("create-drop");
+    {
+        let (mut db, _) = Database::open(&dir).unwrap();
+        db.create_table("t", schema()).unwrap();
+        db.drop_table("t").unwrap();
+        db.create_table("t", schema()).unwrap();
+        db.drop_table("t").unwrap();
+        db.create_table("t", schema()).unwrap();
+        db.insert_rows("t", vec![row(5)]).unwrap();
+    }
+    let (db, report) = Database::open(&dir).unwrap();
+    assert_eq!(report.records_replayed, 6);
+    assert_eq!(report.tables_restored, 1);
+    assert_eq!(db.table("t").unwrap().get(0).unwrap().get_int(0), Some(5));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_present_but_log_missing_restores_from_snapshot() {
+    let dir = temp_dir("snap-no-log");
+    {
+        let (mut db, _) = Database::open(&dir).unwrap();
+        db.set_compact_threshold(1); // snapshot after every operation
+        db.create_table("t", schema()).unwrap();
+        db.insert_rows("t", vec![row(1), row(2), row(3)]).unwrap();
+    }
+    std::fs::remove_file(dir.join(WAL_FILE)).unwrap();
+
+    let (mut db, report) = Database::open(&dir).unwrap();
+    assert!(report.snapshot_loaded);
+    assert_eq!(report.records_replayed, 0);
+    assert_eq!(db.table("t").unwrap().len(), 3);
+    // The recreated log continues from the snapshot's LSN: new operations
+    // must survive another reopen rather than being skipped as stale.
+    db.insert_rows("t", vec![row(4)]).unwrap();
+    drop(db);
+    let (db, _) = Database::open(&dir).unwrap();
+    assert_eq!(db.table("t").unwrap().len(), 4);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checksum_corrupt_middle_record_is_a_hard_error() {
+    let dir = temp_dir("corrupt-middle");
+    {
+        let (mut db, _) = Database::open(&dir).unwrap();
+        db.create_table("t", schema()).unwrap();
+        db.insert_rows("t", vec![row(1)]).unwrap();
+    }
+    let wal_path = dir.join(WAL_FILE);
+    let mut bytes = std::fs::read(&wal_path).unwrap();
+    // Header is 8 bytes; the first record is [u32 len][payload][u64 fnv].
+    // Flip a payload byte of record one — record two still follows, so this
+    // is damage no crash can explain and must NOT be silently truncated.
+    let flip_at = 8 + 4 + 9;
+    assert!(flip_at < bytes.len());
+    bytes[flip_at] ^= 0xFF;
+    std::fs::write(&wal_path, &bytes).unwrap();
+
+    match Database::open(&dir) {
+        Err(StorageError::Corrupt(_)) => {}
+        other => panic!("expected hard corruption error, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_snapshot_is_a_hard_error() {
+    let dir = temp_dir("corrupt-snap");
+    {
+        let (mut db, _) = Database::open(&dir).unwrap();
+        db.create_table("t", schema()).unwrap();
+        db.insert_rows("t", vec![row(1)]).unwrap();
+        db.compact().unwrap();
+    }
+    let snap_path = dir.join(SNAPSHOT_FILE);
+    let mut bytes = std::fs::read(&snap_path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&snap_path, &bytes).unwrap();
+
+    match Database::open(&dir) {
+        Err(StorageError::Corrupt(_)) => {}
+        other => panic!("expected hard corruption error, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The paper's Section 2.1 experience across a process restart: train and
+/// persist a model, "exit" (drop the session), reopen the same directory,
+/// and predict — the model and training table both come back from disk.
+#[test]
+fn train_restart_predict_roundtrip() {
+    use bismarck_core::{StepSizeSchedule, TrainerConfig};
+    use bismarck_datagen::{dense_classification, DenseClassificationConfig};
+    use bismarck_sql::SqlSession;
+    use bismarck_uda::ConvergenceTest;
+
+    let fast = TrainerConfig::default()
+        .with_step_size(StepSizeSchedule::Constant(0.2))
+        .with_convergence(ConvergenceTest::FixedEpochs(8));
+
+    let dir = temp_dir("roundtrip");
+    let before = {
+        let mut session = SqlSession::open(&dir).unwrap().with_trainer_config(fast);
+        session
+            .register_table(dense_classification(
+                "forest",
+                DenseClassificationConfig {
+                    examples: 400,
+                    dimension: 8,
+                    ..Default::default()
+                },
+            ))
+            .unwrap();
+        session
+            .execute("SELECT SVMTrain('svm_model', 'forest', 'vec', 'label')")
+            .expect("training");
+        session
+            .execute("SELECT SVMPredict('svm_model', 'forest', 'vec')")
+            .expect("prediction before restart")
+    };
+
+    // A new session over the same directory recovers the catalog from disk.
+    let mut session = SqlSession::open(&dir).unwrap();
+    let report = session.recovery_report().expect("opened durably").clone();
+    assert_eq!(report.tables_restored, 2, "training table + model table");
+
+    let after = session
+        .execute("SELECT SVMPredict('svm_model', 'forest', 'vec')")
+        .expect("prediction after restart");
+    assert_eq!(before.columns, after.columns);
+    assert_eq!(
+        before.rows, after.rows,
+        "recovered model must predict identically"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Byte-granular crash injection: only compiled with `--features
+/// fault-injection` (forwarded to `bismarck-storage`).
+#[cfg(feature = "fault-injection")]
+mod crash_matrix {
+    use super::*;
+    use bismarck_storage::durable::fault::{self, Mode};
+    use bismarck_storage::Table;
+    use std::sync::{Mutex, OnceLock};
+
+    /// The injector is process-global; every test that arms it holds this.
+    fn injector_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        match LOCK.get_or_init(|| Mutex::new(())).lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    type Op = fn(&mut Database) -> Result<(), StorageError>;
+
+    /// A scenario mixing every logged operation kind. Each step tolerates
+    /// earlier steps having failed (crash mode stops the world mid-run).
+    fn ops() -> Vec<Op> {
+        vec![
+            |db| db.create_table("t", schema()).map(|_| ()),
+            |db| db.insert_rows("t", vec![row(1), row(2)]).map(|_| ()),
+            |db| {
+                let mut model = Table::new("model", schema());
+                model.insert(row(10)).unwrap();
+                db.register_table(model)
+            },
+            |db| db.insert_rows("t", vec![row(3)]).map(|_| ()),
+            |db| db.drop_table("model").map(|_| ()),
+            |db| db.create_table("u", schema()).map(|_| ()),
+        ]
+    }
+
+    /// Every catalog state some prefix of the scenario's operations
+    /// explains, computed against a plain in-memory database.
+    fn prefix_states() -> Vec<Vec<(String, Vec<Vec<Value>>)>> {
+        let mut db = Database::new();
+        let mut states = vec![fingerprint(&db)];
+        for op in ops() {
+            op(&mut db).unwrap();
+            states.push(fingerprint(&db));
+        }
+        states
+    }
+
+    /// Run the scenario with a crash injected at every fault point in turn.
+    /// After each crash, reopening the directory must recover one of the
+    /// valid prefix states — the operation in flight either happened
+    /// entirely or not at all, and nothing earlier is ever lost.
+    fn run_matrix(name: &str, compact_threshold: Option<u64>) {
+        let _guard = injector_lock();
+        let states = prefix_states();
+
+        // Counting run: how many fault points does the scenario consume?
+        let count_dir = temp_dir(&format!("{name}-count"));
+        let (mut db, _) = Database::open(&count_dir).unwrap();
+        if let Some(threshold) = compact_threshold {
+            db.set_compact_threshold(threshold);
+        }
+        fault::arm(Mode::Crash, u64::MAX);
+        for op in ops() {
+            op(&mut db).expect("counting run must not fail");
+        }
+        let total = fault::disarm();
+        assert!(!fault::fired());
+        assert!(total > 0);
+        drop(db);
+        assert_eq!(
+            fingerprint(&Database::open(&count_dir).unwrap().0),
+            *states.last().unwrap(),
+            "fault-free run must recover the final state"
+        );
+        std::fs::remove_dir_all(&count_dir).ok();
+
+        for point in 0..total {
+            let dir = temp_dir(&format!("{name}-k{point}"));
+            let (mut db, _) = Database::open(&dir).unwrap();
+            if let Some(threshold) = compact_threshold {
+                db.set_compact_threshold(threshold);
+            }
+            fault::arm(Mode::Crash, point);
+            for op in ops() {
+                let _ = op(&mut db); // failures expected at and after the crash
+            }
+            let fired = fault::fired();
+            fault::disarm();
+            assert!(fired, "crash point {point} of {total} never fired");
+            drop(db);
+
+            let (recovered, _report) = Database::open(&dir)
+                .unwrap_or_else(|e| panic!("crash point {point} of {total}: recovery failed: {e}"));
+            let state = fingerprint(&recovered);
+            assert!(
+                states.contains(&state),
+                "crash point {point} of {total} recovered a non-prefix state: {state:?}"
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn every_crash_point_recovers_a_prefix_state() {
+        run_matrix("matrix", None);
+    }
+
+    #[test]
+    fn every_crash_point_recovers_a_prefix_state_under_constant_compaction() {
+        // Threshold 1 makes every operation trigger a compaction, so the
+        // matrix also crashes inside snapshot writes and WAL truncation.
+        run_matrix("matrix-compact", Some(1));
+    }
+
+    #[test]
+    fn transient_fault_surfaces_error_and_catalog_stays_consistent() {
+        let _guard = injector_lock();
+        let dir = temp_dir("fail-once");
+        let (mut db, _) = Database::open(&dir).unwrap();
+        db.create_table("t", schema()).unwrap();
+        db.insert_rows("t", vec![row(1)]).unwrap();
+
+        fault::arm(Mode::FailOnce, 3);
+        let err = db.insert_rows("t", vec![row(2)]);
+        assert!(err.is_err(), "injected fault must surface as an error");
+        assert!(fault::fired());
+        // Still armed, but FailOnce heals after firing: the same session
+        // keeps working and the failed batch left nothing behind.
+        db.insert_rows("t", vec![row(3)]).unwrap();
+        fault::disarm();
+        assert_eq!(db.table("t").unwrap().len(), 2);
+        drop(db);
+
+        let (db, report) = Database::open(&dir).unwrap();
+        assert_eq!(report.bytes_truncated, 0, "failed append was rolled back");
+        let rows: Vec<_> = db
+            .table("t")
+            .unwrap()
+            .scan()
+            .map(|tuple| tuple.get_int(0).unwrap())
+            .collect();
+        assert_eq!(rows, vec![1, 3]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

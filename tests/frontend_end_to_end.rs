@@ -32,7 +32,8 @@ fn dense_db(n: usize) -> Database {
             separation: 2.0,
             ..Default::default()
         },
-    ));
+    ))
+    .unwrap();
     db
 }
 
@@ -64,7 +65,8 @@ fn logistic_round_trip_on_sparse_data() {
             vocabulary: 4_000,
             ..Default::default()
         },
-    ));
+    ))
+    .unwrap();
     let summary =
         logistic_regression_train(&mut db, "lr_model", "papers", "vec", "label", fast_config())
             .unwrap();

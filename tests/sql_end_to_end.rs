@@ -23,14 +23,16 @@ fn fast_config() -> TrainerConfig {
 #[test]
 fn svm_on_generated_dense_data_reaches_high_accuracy_via_sql() {
     let mut session = SqlSession::with_seed(1).with_trainer_config(fast_config());
-    session.register_table(dense_classification(
-        "forest",
-        DenseClassificationConfig {
-            examples: 2_000,
-            dimension: 20,
-            ..Default::default()
-        },
-    ));
+    session
+        .register_table(dense_classification(
+            "forest",
+            DenseClassificationConfig {
+                examples: 2_000,
+                dimension: 20,
+                ..Default::default()
+            },
+        ))
+        .unwrap();
 
     let summary = session
         .execute("SELECT SVMTrain('svm_model', 'forest', 'vec', 'label')")
@@ -69,14 +71,16 @@ fn svm_on_generated_dense_data_reaches_high_accuracy_via_sql() {
 #[test]
 fn logistic_regression_on_sparse_data_via_sql() {
     let mut session = SqlSession::with_seed(2).with_trainer_config(fast_config());
-    session.register_table(sparse_classification(
-        "dblife",
-        SparseClassificationConfig {
-            examples: 800,
-            vocabulary: 2_000,
-            ..Default::default()
-        },
-    ));
+    session
+        .register_table(sparse_classification(
+            "dblife",
+            SparseClassificationConfig {
+                examples: 800,
+                vocabulary: 2_000,
+                ..Default::default()
+            },
+        ))
+        .unwrap();
     let summary = session
         .execute("SELECT LogisticRegressionTrain('lr_model', 'dblife', 'vec', 'label', 0.2, 10)")
         .expect("training");
@@ -106,7 +110,9 @@ fn lmf_training_via_sql_persists_stacked_factors() {
         true_rank: 3,
         ..Default::default()
     };
-    session.register_table(ratings_table("movielens", config));
+    session
+        .register_table(ratings_table("movielens", config))
+        .unwrap();
 
     let summary = session
         .execute("SELECT LMFTrain('factors', 'movielens', 'row', 'col', 'rating', 30, 20, 4)")
@@ -121,13 +127,15 @@ fn lmf_training_via_sql_persists_stacked_factors() {
 fn crf_training_and_viterbi_prediction_via_sql() {
     let mut session = SqlSession::with_seed(4)
         .with_trainer_config(fast_config().with_step_size(StepSizeSchedule::Constant(0.3)));
-    session.register_table(labeled_sequences(
-        "conll",
-        SequenceConfig {
-            sentences: 60,
-            ..Default::default()
-        },
-    ));
+    session
+        .register_table(labeled_sequences(
+            "conll",
+            SequenceConfig {
+                sentences: 60,
+                ..Default::default()
+            },
+        ))
+        .unwrap();
     let summary = session
         .execute("SELECT CRFTrain('crf_model', 'conll', 'sentence')")
         .expect("training");
@@ -148,14 +156,16 @@ fn crf_training_and_viterbi_prediction_via_sql() {
 #[test]
 fn relational_queries_over_generated_tables() {
     let mut session = SqlSession::with_seed(5);
-    session.register_table(dense_classification(
-        "forest",
-        DenseClassificationConfig {
-            examples: 500,
-            dimension: 10,
-            ..Default::default()
-        },
-    ));
+    session
+        .register_table(dense_classification(
+            "forest",
+            DenseClassificationConfig {
+                examples: 500,
+                dimension: 10,
+                ..Default::default()
+            },
+        ))
+        .unwrap();
 
     // Class balance through GROUP BY.
     let by_label = session
