@@ -50,6 +50,7 @@ fn bench_fig10b(c: &mut Criterion) {
                 convergence: ConvergenceTest::FixedEpochs(epochs),
                 seed: 7,
                 memory_worker: true,
+                ..MrsConfig::default()
             };
             b.iter(|| black_box(MrsTrainer::new(&task, config).train(&table)))
         });

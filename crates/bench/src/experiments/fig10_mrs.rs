@@ -124,6 +124,7 @@ fn mrs_curve(table: &Table, dim: usize, buffer: usize, epochs: usize) -> MrsCurv
         convergence: ConvergenceTest::FixedEpochs(epochs),
         seed: 77,
         memory_worker: true,
+        ..MrsConfig::default()
     };
     let (trained, _) = MrsTrainer::new(&task, config).train(table);
     MrsCurve {

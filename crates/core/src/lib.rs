@@ -29,7 +29,10 @@
 //!   table, mimicking the MADlib-style SQL interface of Section 2.1;
 //! * [`serving`] — the concurrent read path: epoch-versioned model
 //!   snapshots published by the trainers ([`TrainerConfig::with_serving`])
-//!   and batched prediction against them while training runs.
+//!   and batched prediction against them while training runs;
+//! * [`governor`] — per-statement resource governance: deadlines,
+//!   cooperative cancellation via [`QueryGuard`], byte-accounted memory
+//!   budgets, admission control and graceful shutdown.
 
 #![warn(missing_docs)]
 
@@ -39,6 +42,7 @@ pub mod evaluation;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
 pub mod frontend;
+pub mod governor;
 pub mod igd;
 pub mod metrics;
 pub mod model;
@@ -54,6 +58,10 @@ pub use crate::checkpoint::TrainingCheckpoint;
 pub use crate::error::TrainError;
 #[cfg(feature = "fault-injection")]
 pub use crate::fault::{Fault, FaultyTask};
+pub use crate::governor::{
+    AdmissionError, BudgetExceeded, Governor, GuardViolation, MemoryBudget, QueryGuard,
+    QueryLimits, ShutdownReport,
+};
 pub use crate::igd::{IgdAggregate, IgdState};
 pub use crate::model::{AigStore, DenseModelStore, ModelStore, NoLockStore};
 pub use crate::mrs::{MrsConfig, MrsTrainer};

@@ -44,6 +44,12 @@ pub struct MrsConfig {
     /// MRS to plain "gradient on the non-sampled stream", which is useful
     /// for ablations.
     pub memory_worker: bool,
+    /// Bounded window the I/O Worker grants the Memory Worker at shutdown to
+    /// drain at least one sweep of the final buffer (on loaded or
+    /// single-core hosts the worker may otherwise never be scheduled during
+    /// a short run). `Duration::ZERO` disables the wait entirely — the knob
+    /// a governed deadline should set when there is no time left to spend.
+    pub drain_window: Duration,
 }
 
 impl Default for MrsConfig {
@@ -54,6 +60,7 @@ impl Default for MrsConfig {
             convergence: ConvergenceTest::FixedEpochs(10),
             seed: 42,
             memory_worker: true,
+            drain_window: Duration::from_millis(200),
         }
     }
 }
@@ -202,13 +209,16 @@ impl<'a, T: IgdTask> MrsTrainer<'a, T> {
                 }
             });
 
-            // Graceful shutdown: give the Memory Worker a brief, bounded
-            // window to drain at least one sweep of the final buffer before
-            // stopping. On heavily loaded (or single-core) hosts the worker
-            // may otherwise never be scheduled during a short run, which
-            // would silently waste the buffered sample.
-            if config.memory_worker && config.buffer_size > 0 && !table.is_empty() {
-                let deadline = std::time::Instant::now() + Duration::from_millis(200);
+            // Graceful shutdown: give the Memory Worker a bounded window
+            // (`config.drain_window`) to drain at least one sweep of the
+            // final buffer before stopping, so the buffered sample is not
+            // silently wasted when the worker was never scheduled.
+            if config.memory_worker
+                && config.buffer_size > 0
+                && !table.is_empty()
+                && config.drain_window > Duration::ZERO
+            {
+                let deadline = std::time::Instant::now() + config.drain_window;
                 while memory_steps.load(Ordering::Relaxed) == 0
                     && std::time::Instant::now() < deadline
                 {
@@ -334,6 +344,7 @@ mod tests {
             convergence: ConvergenceTest::FixedEpochs(5),
             seed: 7,
             memory_worker: true,
+            ..MrsConfig::default()
         };
         let zero_loss: f64 = {
             let zero = task.initial_model();
@@ -357,6 +368,7 @@ mod tests {
             convergence: ConvergenceTest::FixedEpochs(3),
             memory_worker: false,
             seed: 1,
+            ..MrsConfig::default()
         };
         let (trained, stats) = MrsTrainer::new(&task, config).train(&table);
         assert_eq!(stats.memory_steps, 0);
@@ -394,6 +406,7 @@ mod tests {
                 convergence: ConvergenceTest::FixedEpochs(epochs),
                 seed: 21,
                 memory_worker: true,
+                ..MrsConfig::default()
             },
         )
         .train(&table);

@@ -53,7 +53,13 @@ use std::sync::Arc;
 use bismarck_linalg::{sigmoid, FeatureVectorRef};
 use parking_lot::Mutex;
 
+use crate::governor::{GuardViolation, QueryGuard};
 use crate::model::{DenseModelStore, ModelStore};
+
+/// How many rows a guarded batch predict scores between guard polls: small
+/// enough that a cancel or deadline is observed promptly, large enough that
+/// the poll is invisible next to the dot products it amortizes over.
+const GUARD_CHECK_INTERVAL: usize = 1024;
 
 /// Link function mapping a raw linear score `wᵀx` to a prediction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -397,6 +403,30 @@ impl ModelHandle {
         out.extend(features.iter().map(|&x| snapshot.predict_with(x, link)));
         snapshot
     }
+
+    /// Governed [`Self::predict_batch`]: scores under a
+    /// [`QueryGuard`], polling it before the batch and every
+    /// thousand-or-so rows within it, so a cancelled guard (including one
+    /// cancelled by [`crate::governor::Governor::shutdown`]) or a passed
+    /// deadline stops the batch promptly instead of scoring to the end.
+    ///
+    /// On `Err`, `out` holds the rows scored before the stop — callers
+    /// wanting all-or-nothing semantics should discard it.
+    pub fn try_predict_batch(
+        &self,
+        guard: &QueryGuard,
+        features: &[FeatureVectorRef<'_>],
+        out: &mut Vec<f64>,
+    ) -> Result<Arc<ModelSnapshot>, GuardViolation> {
+        out.clear();
+        guard.check()?;
+        let snapshot = self.snapshot();
+        for chunk in features.chunks(GUARD_CHECK_INTERVAL) {
+            guard.check()?;
+            out.extend(chunk.iter().map(|&x| snapshot.predict(x)));
+        }
+        Ok(snapshot)
+    }
 }
 
 #[cfg(test)]
@@ -485,6 +515,27 @@ mod tests {
         let mut margins = Vec::new();
         handle.predict_batch_with(&batch, Link::Identity, &mut margins);
         assert_eq!(margins, vec![1.0, -2.0, -2.0]);
+    }
+
+    #[test]
+    fn guarded_predict_honors_cancellation() {
+        use crate::governor::{GuardViolation, QueryGuard};
+
+        let handle = ModelHandle::with_initial(ServingTask::LeastSquares, vec![2.0]).unwrap();
+        let batch = [FeatureVectorRef::Dense(&[1.0]); 4];
+        let mut out = Vec::new();
+
+        let guard = QueryGuard::unlimited();
+        let snap = handle.try_predict_batch(&guard, &batch, &mut out).unwrap();
+        assert_eq!(snap.version(), 0);
+        assert_eq!(out, vec![2.0; 4]);
+
+        guard.cancel();
+        let err = handle
+            .try_predict_batch(&guard, &batch, &mut out)
+            .unwrap_err();
+        assert_eq!(err, GuardViolation::Cancelled);
+        assert!(out.is_empty(), "cancelled before any row was scored");
     }
 
     #[test]

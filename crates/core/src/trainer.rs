@@ -34,6 +34,7 @@ use bismarck_uda::{
 
 use crate::checkpoint::TrainingCheckpoint;
 use crate::error::TrainError;
+use crate::governor::QueryGuard;
 use crate::igd::IgdAggregate;
 use crate::serving::{ModelHandle, PublishError};
 use crate::stepsize::StepSizeSchedule;
@@ -178,6 +179,11 @@ pub struct TrainerConfig {
     /// model after every divergence recovery, so concurrent readers never
     /// observe a non-finite model (none by default).
     pub serving: Option<ModelHandle>,
+    /// Resource-governance guard: checked at every epoch boundary alongside
+    /// the stop flag; a passed deadline or a cancellation ends the run with
+    /// [`TrainError::Interrupted`] carrying the last-good model (none by
+    /// default).
+    pub guard: Option<QueryGuard>,
 }
 
 impl Default for TrainerConfig {
@@ -190,6 +196,7 @@ impl Default for TrainerConfig {
             checkpoint: None,
             stop_flag: None,
             serving: None,
+            guard: None,
         }
     }
 }
@@ -313,6 +320,28 @@ impl TrainerConfig {
     /// ```
     pub fn with_serving(mut self, handle: ModelHandle) -> Self {
         self.serving = Some(handle);
+        self
+    }
+
+    /// Run under a resource-governance [`QueryGuard`]: the trainers poll the
+    /// guard at every epoch boundary (exactly where the stop flag is
+    /// checked), so a deadline or a cancellation — including one issued by
+    /// [`crate::governor::Governor::shutdown`] — ends the run at the next
+    /// boundary with [`TrainError::Interrupted`] carrying the last completed
+    /// epoch's model. Works under all four [`crate::ParallelStrategy`]
+    /// disciplines.
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use bismarck_core::governor::{QueryGuard, QueryLimits};
+    /// use bismarck_core::trainer::TrainerConfig;
+    ///
+    /// let guard = QueryGuard::new(QueryLimits::none().with_timeout(Duration::from_millis(50)));
+    /// let config = TrainerConfig::default().with_guard(guard.clone());
+    /// # assert!(config.guard.is_some());
+    /// ```
+    pub fn with_guard(mut self, guard: QueryGuard) -> Self {
+        self.guard = Some(guard);
         self
     }
 }
@@ -703,6 +732,7 @@ pub(crate) fn stop_requested(config: &TrainerConfig) -> bool {
         .stop_flag
         .as_ref()
         .is_some_and(|flag| flag.load(Ordering::Relaxed))
+        || config.guard.as_ref().is_some_and(QueryGuard::should_stop)
 }
 
 /// Reject a run whose serving handle cannot accept the task's models before

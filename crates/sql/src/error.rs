@@ -1,6 +1,7 @@
 //! Errors surfaced by the SQL front-end.
 
 use bismarck_core::frontend::FrontendError;
+use bismarck_core::governor::{AdmissionError, BudgetExceeded, GuardViolation};
 use bismarck_storage::StorageError;
 
 /// Any failure while lexing, parsing, planning or executing a statement.
@@ -31,6 +32,22 @@ pub enum SqlError {
     Storage(StorageError),
     /// An analytics front-end call (`SVMTrain`, ...) failed.
     Analytics(String),
+    /// The statement's [`QueryGuard`](bismarck_core::governor::QueryGuard)
+    /// deadline expired before the statement finished. The session stays
+    /// usable: the failed statement leaves no partial catalog state behind
+    /// beyond what the WAL records (and recovery replays or drops atomically).
+    Timeout,
+    /// The statement was cooperatively cancelled via
+    /// [`QueryGuard::cancel`](bismarck_core::governor::QueryGuard::cancel)
+    /// (or a [`Governor::shutdown`](bismarck_core::governor::Governor::shutdown)
+    /// sweep) before it finished.
+    Cancelled,
+    /// Materializing intermediate results exceeded the statement's memory
+    /// budget. Carries the typed accounting record from the governor.
+    MemoryBudget(BudgetExceeded),
+    /// The governor refused to admit the statement (concurrency limit
+    /// reached, or the process is shutting down).
+    Admission(AdmissionError),
 }
 
 impl std::fmt::Display for SqlError {
@@ -46,6 +63,10 @@ impl std::fmt::Display for SqlError {
             SqlError::Evaluation(msg) => write!(f, "evaluation error: {msg}"),
             SqlError::Storage(e) => write!(f, "storage error: {e}"),
             SqlError::Analytics(msg) => write!(f, "analytics error: {msg}"),
+            SqlError::Timeout => write!(f, "statement deadline exceeded"),
+            SqlError::Cancelled => write!(f, "statement cancelled"),
+            SqlError::MemoryBudget(e) => write!(f, "{e}"),
+            SqlError::Admission(e) => write!(f, "admission refused: {e}"),
         }
     }
 }
@@ -61,6 +82,27 @@ impl From<StorageError> for SqlError {
 impl From<FrontendError> for SqlError {
     fn from(e: FrontendError) -> Self {
         SqlError::Analytics(e.to_string())
+    }
+}
+
+impl From<GuardViolation> for SqlError {
+    fn from(v: GuardViolation) -> Self {
+        match v {
+            GuardViolation::DeadlineExceeded => SqlError::Timeout,
+            GuardViolation::Cancelled => SqlError::Cancelled,
+        }
+    }
+}
+
+impl From<BudgetExceeded> for SqlError {
+    fn from(e: BudgetExceeded) -> Self {
+        SqlError::MemoryBudget(e)
+    }
+}
+
+impl From<AdmissionError> for SqlError {
+    fn from(e: AdmissionError) -> Self {
+        SqlError::Admission(e)
     }
 }
 

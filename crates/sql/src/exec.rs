@@ -4,8 +4,10 @@
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Instant;
 
-use bismarck_core::frontend::load_model;
+use bismarck_core::frontend::{load_model, persist_model};
+use bismarck_core::governor::{Governor, QueryGuard, ShutdownReport};
 use bismarck_core::serving::{ModelHandle, ModelSnapshot, ServingTask};
 use bismarck_core::TrainerConfig;
 use bismarck_storage::{Column, DataType, Database, RecoveryReport, Schema, Table, Value};
@@ -24,6 +26,10 @@ use crate::result::QueryResult;
 /// unless the caller overrides the seed.
 const DEFAULT_SEED: u64 = 0xB15_AA5C;
 
+/// Row loops poll the statement's [`QueryGuard`] every this many rows, so a
+/// deadline or cancellation stops a scan within a bounded amount of work.
+const GUARD_CHECK_ROWS: usize = 256;
+
 /// An interactive SQL session: a catalog of tables plus the trainer
 /// configuration used by analytics calls, the RNG behind `RANDOM()`, and the
 /// serving registry behind `PREDICT()`.
@@ -37,6 +43,9 @@ pub struct SqlSession {
     /// What [`SqlSession::open`] recovered from disk; `None` for in-memory
     /// sessions.
     recovery: Option<RecoveryReport>,
+    /// Guard for the statement currently executing; an unlimited guard
+    /// between statements (and for plain [`SqlSession::execute`] calls).
+    guard: QueryGuard,
 }
 
 impl Default for SqlSession {
@@ -60,6 +69,7 @@ impl SqlSession {
             ctx: EvalContext::with_seed(seed),
             serving: HashMap::new(),
             recovery: None,
+            guard: QueryGuard::unlimited(),
         }
     }
 
@@ -139,10 +149,65 @@ impl SqlSession {
         self.run_statement(statement)
     }
 
+    /// Execute a single statement under a [`QueryGuard`]: the statement's row
+    /// loops poll the guard's deadline and cancel flag (surfacing
+    /// [`SqlError::Timeout`] / [`SqlError::Cancelled`]), materialized
+    /// intermediate results are charged against the guard's memory budget
+    /// (surfacing [`SqlError::MemoryBudget`]), and analytics calls carry the
+    /// guard into the trainers, which stop at the next epoch boundary.
+    ///
+    /// A governance failure leaves the session usable: the next statement
+    /// runs normally under its own guard.
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use bismarck_core::governor::{QueryGuard, QueryLimits};
+    /// use bismarck_sql::{SqlSession, SqlError};
+    ///
+    /// let mut session = SqlSession::new();
+    /// session.execute("CREATE TABLE t (x INT)").unwrap();
+    /// let guard = QueryGuard::new(QueryLimits::none().with_timeout(Duration::from_secs(30)));
+    /// session.execute_with("INSERT INTO t VALUES (1)", &guard).unwrap();
+    ///
+    /// let cancelled = QueryGuard::unlimited();
+    /// cancelled.cancel();
+    /// assert_eq!(
+    ///     session.execute_with("SELECT * FROM t", &cancelled),
+    ///     Err(SqlError::Cancelled),
+    /// );
+    /// ```
+    pub fn execute_with(&mut self, sql: &str, guard: &QueryGuard) -> Result<QueryResult> {
+        let statement = parse_statement(sql)?;
+        self.guard = guard.clone();
+        let result = self.run_statement(statement);
+        self.guard = QueryGuard::unlimited();
+        result
+    }
+
     /// Execute a `;`-separated script, returning one result per statement.
     /// Execution stops at the first error.
     pub fn execute_script(&mut self, sql: &str) -> Result<Vec<QueryResult>> {
         let statements = parse_script(sql)?;
+        self.run_statements(statements)
+    }
+
+    /// [`SqlSession::execute_script`] under a single [`QueryGuard`]: every
+    /// statement in the script shares the guard's deadline, cancel flag and
+    /// memory budget. Execution stops at the first error (including a
+    /// governance error).
+    pub fn execute_script_with(
+        &mut self,
+        sql: &str,
+        guard: &QueryGuard,
+    ) -> Result<Vec<QueryResult>> {
+        let statements = parse_script(sql)?;
+        self.guard = guard.clone();
+        let result = self.run_statements(statements);
+        self.guard = QueryGuard::unlimited();
+        result
+    }
+
+    fn run_statements(&mut self, statements: Vec<Statement>) -> Result<Vec<QueryResult>> {
         let mut results = Vec::with_capacity(statements.len());
         for statement in statements {
             results.push(self.run_statement(statement)?);
@@ -150,7 +215,56 @@ impl SqlSession {
         Ok(results)
     }
 
+    /// Gracefully shut the session down under a deadline:
+    ///
+    /// 1. [`Governor::shutdown`] refuses new statements, cancels every
+    ///    outstanding [`QueryGuard`] the governor admitted (stopping row
+    ///    loops and trainers at their next check point) and waits — up to
+    ///    `deadline` — for in-flight statements to drain;
+    /// 2. every registered serving handle's **last published** snapshot is
+    ///    persisted into the catalog under its registered name, so a reopened
+    ///    session serves identical predictions via `PREDICT()`;
+    /// 3. on a durable session the catalog is compacted (snapshot written
+    ///    atomically, WAL truncated) and flushed.
+    ///
+    /// Returns the governor's [`ShutdownReport`]. Safe on an in-memory
+    /// session (steps 2–3 still run; compaction is a no-op).
+    pub fn shutdown(&mut self, governor: &Governor, deadline: Instant) -> Result<ShutdownReport> {
+        let report = governor.shutdown(deadline);
+        let names: Vec<String> = self.serving.keys().cloned().collect();
+        for name in names {
+            let snapshot = match self.serving.get(&name) {
+                Some(handle) => handle.snapshot(),
+                None => continue,
+            };
+            // Version 0 is the handle's pre-publish placeholder — there is
+            // no trained model to persist yet.
+            if snapshot.version() == 0 {
+                continue;
+            }
+            persist_model(&mut self.db, &name, snapshot.weights())
+                .map_err(|e| SqlError::Analytics(e.to_string()))?;
+        }
+        self.db.compact()?;
+        Ok(report)
+    }
+
     fn run_statement(&mut self, statement: Statement) -> Result<QueryResult> {
+        self.guard.check()?;
+        // Intermediate-result reservations are statement-scoped: whatever
+        // this statement charged is returned to the budget when it finishes
+        // (or fails), so a script sharing one guard meters its *peak* usage
+        // per statement and a budget error never poisons the session.
+        let reserved_before = self.guard.budget().reserved();
+        let result = self.dispatch(statement);
+        let reserved_now = self.guard.budget().reserved();
+        self.guard
+            .budget()
+            .release(reserved_now.saturating_sub(reserved_before));
+        result
+    }
+
+    fn dispatch(&mut self, statement: Statement) -> Result<QueryResult> {
         self.prime_predict_models(&statement)?;
         match statement {
             Statement::CreateTable { name, columns } => self.run_create_table(name, columns),
@@ -291,8 +405,14 @@ impl SqlSession {
                 // Parse into a staging table first so a malformed file never
                 // leaves a half-loaded target behind.
                 let staged = bismarck_storage::csv::table_from_str("staged", schema, &text)?;
-                let rows: Vec<Vec<Value>> =
-                    staged.scan().map(|tuple| tuple.values().to_vec()).collect();
+                let mut rows: Vec<Vec<Value>> = Vec::with_capacity(staged.len());
+                for (i, tuple) in staged.scan().enumerate() {
+                    if i % GUARD_CHECK_ROWS == 0 {
+                        self.guard.check()?;
+                    }
+                    self.guard.reserve(approx_row_bytes(tuple.values()))?;
+                    rows.push(tuple.values().to_vec());
+                }
                 let count = self.db.insert_rows(&table_name, rows)?;
                 Ok(QueryResult::status_only(format!("COPY {count}")))
             }
@@ -312,7 +432,14 @@ impl SqlSession {
     fn run_reorder(&mut self, table_name: String, reorder: Reorder) -> Result<QueryResult> {
         let (schema, mut rows) = {
             let table = self.db.table(&table_name)?;
-            let rows: Vec<Vec<Value>> = table.scan().map(|tuple| tuple.values().to_vec()).collect();
+            let mut rows: Vec<Vec<Value>> = Vec::with_capacity(table.len());
+            for (i, tuple) in table.scan().enumerate() {
+                if i % GUARD_CHECK_ROWS == 0 {
+                    self.guard.check()?;
+                }
+                self.guard.reserve(approx_row_bytes(tuple.values()))?;
+                rows.push(tuple.values().to_vec());
+            }
             (table.schema().clone(), rows)
         };
         let status = match reorder {
@@ -383,7 +510,10 @@ impl SqlSession {
         };
 
         let mut materialized: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
-        for row in &rows {
+        for (i, row) in rows.iter().enumerate() {
+            if i % GUARD_CHECK_ROWS == 0 {
+                self.guard.check()?;
+            }
             let mut values = Vec::with_capacity(row.len());
             for expr in row {
                 values.push(evaluate(expr, None, &mut self.ctx)?);
@@ -405,6 +535,7 @@ impl SqlSession {
                 }
                 None => values,
             };
+            self.guard.reserve(approx_row_bytes(&full_row))?;
             materialized.push(full_row);
         }
 
@@ -449,7 +580,16 @@ impl SqlSession {
             for arg in args {
                 arg_values.push(evaluate(arg, None, &mut self.ctx)?);
             }
-            return execute_analytics(&mut self.db, self.trainer_config.clone(), name, &arg_values);
+            // The guard rides into the trainers through the config: deadline
+            // or cancellation ends the run at the next epoch boundary.
+            let config = self.trainer_config.clone().with_guard(self.guard.clone());
+            let result = execute_analytics(&mut self.db, config, name, &arg_values);
+            // A run the guard interrupted surfaces as the governance error,
+            // not a generic analytics failure.
+            return result.map_err(|e| match self.guard.check() {
+                Err(violation) => violation.into(),
+                Ok(()) => e,
+            });
         }
 
         let mut columns = Vec::with_capacity(select.items.len());
@@ -478,13 +618,17 @@ impl SqlSession {
         };
         // Split borrows: the table is read-only while the RNG in `ctx` is
         // mutated by RANDOM().
-        let SqlSession { db, ctx, .. } = self;
+        let SqlSession { db, ctx, guard, .. } = self;
         let table = db.table(table_name)?;
         let schema = table.schema().clone();
 
-        // Filter.
+        // Filter. Kept rows are the statement's first materialized
+        // intermediate, so they are charged against the guard's budget.
         let mut rows: Vec<Vec<Value>> = Vec::new();
-        for tuple in table.scan() {
+        for (i, tuple) in table.scan().enumerate() {
+            if i % GUARD_CHECK_ROWS == 0 {
+                guard.check()?;
+            }
             let keep = match &select.filter {
                 Some(predicate) => {
                     let row = RowContext {
@@ -496,6 +640,7 @@ impl SqlSession {
                 None => true,
             };
             if keep {
+                guard.reserve(approx_row_bytes(tuple.values()))?;
                 rows.push(tuple.values().to_vec());
             }
         }
@@ -562,7 +707,10 @@ impl SqlSession {
         }
 
         let mut keyed_rows = Vec::with_capacity(rows.len());
-        for values in rows {
+        for (i, values) in rows.into_iter().enumerate() {
+            if i % GUARD_CHECK_ROWS == 0 {
+                self.guard.check()?;
+            }
             let row = RowContext {
                 schema,
                 values: &values,
@@ -604,7 +752,10 @@ impl SqlSession {
         if select.group_by.is_empty() {
             groups.push((Vec::new(), rows));
         } else {
-            for values in rows {
+            for (i, values) in rows.into_iter().enumerate() {
+                if i % GUARD_CHECK_ROWS == 0 {
+                    self.guard.check()?;
+                }
                 let row = RowContext {
                     schema,
                     values: &values,
@@ -629,7 +780,10 @@ impl SqlSession {
         }
 
         let mut keyed_rows = Vec::with_capacity(groups.len());
-        for (_, members) in groups {
+        for (i, (_, members)) in groups.into_iter().enumerate() {
+            if i % GUARD_CHECK_ROWS == 0 {
+                self.guard.check()?;
+            }
             // An aggregate over zero rows is only meaningful without GROUP BY
             // (e.g. COUNT(*) over an empty table).
             let mut out = Vec::with_capacity(columns.len());
@@ -779,6 +933,31 @@ fn collect_expr_predict_models(expr: &Expr, out: &mut Vec<String>) {
         }
         Expr::Literal(_) | Expr::Column(_) | Expr::Wildcard => {}
     }
+}
+
+/// Approximate heap footprint of a materialized row, for charging the
+/// statement's [`MemoryBudget`](bismarck_core::governor::MemoryBudget). The
+/// estimate is deliberately simple — inline enum size plus the dominant heap
+/// payload of each variant — because the budget is a governance backstop, not
+/// an allocator.
+fn approx_row_bytes(values: &[Value]) -> usize {
+    values
+        .iter()
+        .map(|value| {
+            std::mem::size_of::<Value>()
+                + match value {
+                    Value::Null | Value::Int(_) | Value::Double(_) => 0,
+                    Value::Text(s) => s.len(),
+                    Value::DenseVec(v) => v.len() * std::mem::size_of::<f64>(),
+                    // index + value per stored entry.
+                    Value::SparseVec(v) => v.nnz() * 16,
+                    Value::Sequence(seq) => seq
+                        .iter()
+                        .map(|(features, _)| features.nnz() * 16 + 4)
+                        .sum(),
+                }
+        })
+        .sum()
 }
 
 /// True when the `ORDER BY` clause is the paper's `ORDER BY RANDOM()` shuffle.

@@ -45,6 +45,10 @@
 //! ```
 
 #![warn(missing_docs)]
+// Production paths must surface typed `SqlError`s, never panic: a malformed
+// statement or a governance violation is ordinary control flow for a SQL
+// engine. Tests are exempt (unwrap-on-known-good keeps them readable).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod analytics;
 pub mod ast;

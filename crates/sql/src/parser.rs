@@ -28,7 +28,11 @@ pub fn parse_statement(sql: &str) -> Result<Statement> {
 /// Parse a `;`-separated script into its statements.
 pub fn parse_script(sql: &str) -> Result<Vec<Statement>> {
     let tokens = tokenize(sql)?;
-    let mut parser = Parser { tokens, pos: 0 };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let mut statements = Vec::new();
     loop {
         // Skip empty statements (stray semicolons).
@@ -44,9 +48,17 @@ pub fn parse_script(sql: &str) -> Result<Vec<Statement>> {
     Ok(statements)
 }
 
+/// Hard cap on expression nesting. The parser is recursive-descent, so each
+/// nesting level (parenthesis, unary minus, `NOT`, ...) consumes native
+/// stack; past this depth parsing fails with a [`SqlError::Parse`] instead
+/// of risking a stack overflow on adversarial input.
+const MAX_EXPR_DEPTH: usize = 128;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current expression-nesting depth, bounded by [`MAX_EXPR_DEPTH`].
+    depth: usize,
 }
 
 impl Parser {
@@ -395,7 +407,22 @@ impl Parser {
     //   unary     := - unary | primary
     //   primary   := literal | column | function(args) | ARRAY[...] | {i: v, ...} | ( or_expr )
     fn parse_expr(&mut self) -> Result<Expr> {
-        self.parse_or()
+        self.enter_nested()?;
+        let result = self.parse_or();
+        self.depth -= 1;
+        result
+    }
+
+    /// Count one level of expression nesting, rejecting the statement once
+    /// [`MAX_EXPR_DEPTH`] is exceeded. Called by every self-recursive parse
+    /// production (`parse_expr` for parenthesized subexpressions and
+    /// arguments, `parse_not` and `parse_unary` for prefix-operator chains).
+    fn enter_nested(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            return Err(self.error("expression too deeply nested"));
+        }
+        Ok(())
     }
 
     fn parse_or(&mut self) -> Result<Expr> {
@@ -426,10 +453,12 @@ impl Parser {
 
     fn parse_not(&mut self) -> Result<Expr> {
         if self.eat_keyword("NOT") {
-            let expr = self.parse_not()?;
+            self.enter_nested()?;
+            let expr = self.parse_not();
+            self.depth -= 1;
             return Ok(Expr::Unary {
                 op: UnaryOp::Not,
-                expr: Box::new(expr),
+                expr: Box::new(expr?),
             });
         }
         self.parse_comparison()
@@ -506,10 +535,12 @@ impl Parser {
 
     fn parse_unary(&mut self) -> Result<Expr> {
         if self.eat(&TokenKind::Minus) {
-            let expr = self.parse_unary()?;
+            self.enter_nested()?;
+            let expr = self.parse_unary();
+            self.depth -= 1;
             return Ok(Expr::Unary {
                 op: UnaryOp::Neg,
-                expr: Box::new(expr),
+                expr: Box::new(expr?),
             });
         }
         self.parse_primary()
@@ -923,5 +954,33 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn deeply_nested_expression_is_rejected_not_a_stack_overflow() {
+        let sql = format!("SELECT {}1{}", "(".repeat(500), ")".repeat(500));
+        let err = parse_statement(&sql).unwrap_err();
+        assert!(matches!(err, SqlError::Parse { .. }), "got: {err:?}");
+        assert!(err.to_string().contains("too deeply nested"), "got: {err}");
+
+        // Prefix-operator chains recurse through their own productions and
+        // hit the same limit.
+        let err = parse_statement(&format!("SELECT {}1", "NOT ".repeat(500))).unwrap_err();
+        assert!(err.to_string().contains("too deeply nested"), "got: {err}");
+        // Spaced out so the token stream is 500 unary minuses, not a `--`
+        // line comment.
+        let err = parse_statement(&format!("SELECT {}1", "- ".repeat(500))).unwrap_err();
+        assert!(err.to_string().contains("too deeply nested"), "got: {err}");
+
+        // Reasonable nesting still parses, and the depth counter unwinds so
+        // later statements in the same script are unaffected.
+        let ok = format!(
+            "SELECT {}1{}; SELECT {}2{}",
+            "(".repeat(40),
+            ")".repeat(40),
+            "(".repeat(40),
+            ")".repeat(40)
+        );
+        assert_eq!(parse_script(&ok).unwrap().len(), 2);
     }
 }

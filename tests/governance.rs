@@ -1,0 +1,543 @@
+//! Resource-governance integration tests: deadlines, cooperative
+//! cancellation, memory budgets, admission control and graceful shutdown,
+//! exercised across the SQL, training and serving layers.
+//!
+//! Three layers of coverage:
+//!
+//! * deadline/cancel semantics — a guard tripping mid-run ends training at
+//!   the next epoch boundary with `TrainError::Interrupted` (carrying a
+//!   finite last-good model) under every parallelization discipline, and
+//!   ends SQL statements with typed `SqlError::Timeout` / `Cancelled`
+//!   without poisoning the session;
+//! * memory budgets — an oversized materialization is rejected with
+//!   `SqlError::MemoryBudget`, the reservation is returned, and the next
+//!   statement runs normally;
+//! * graceful shutdown — `Governor::shutdown` drains in-flight guards,
+//!   `SqlSession::shutdown` persists last-published serving models and
+//!   compacts the durable catalog; with `--features fault-injection`, a
+//!   crash at *every* byte-level fault point inside shutdown still leaves a
+//!   catalog that recovers to a consistent state.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use bismarck_core::governor::{AdmissionError, Governor, QueryGuard, QueryLimits};
+use bismarck_core::serving::{ModelHandle, ServingTask};
+use bismarck_core::tasks::LogisticRegressionTask;
+use bismarck_core::{
+    ParallelStrategy, ParallelTrainer, StepSizeSchedule, TrainError, Trainer, TrainerConfig,
+    UpdateDiscipline,
+};
+use bismarck_datagen::{dense_classification, DenseClassificationConfig};
+use bismarck_sql::{SqlError, SqlSession};
+use bismarck_storage::{Table, Value};
+use bismarck_uda::ConvergenceTest;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("bismarck-governance-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn data(n: usize) -> Table {
+    dense_classification(
+        "gov",
+        DenseClassificationConfig {
+            examples: n,
+            dimension: 4,
+            ..Default::default()
+        },
+    )
+}
+
+fn config(epochs: usize) -> TrainerConfig {
+    TrainerConfig::default()
+        .with_step_size(StepSizeSchedule::Constant(0.1))
+        .with_convergence(ConvergenceTest::FixedEpochs(epochs))
+}
+
+/// A guard whose deadline has already passed: the very first check trips,
+/// making guard-path tests deterministic (no sleeps, no timing races).
+fn expired_guard() -> QueryGuard {
+    QueryGuard::new(QueryLimits::none().with_deadline(Instant::now() - Duration::from_millis(1)))
+}
+
+// ---------------------------------------------------------------------------
+// Training: deadlines and cancellation end runs at epoch boundaries.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn expired_deadline_interrupts_sequential_training_with_last_good_model() {
+    let table = data(120);
+    let task = LogisticRegressionTask::new(1, 2, 4);
+    let err = Trainer::new(&task, config(50).with_guard(expired_guard()))
+        .try_train(&table)
+        .unwrap_err();
+    let TrainError::Interrupted { epoch, last_good } = err else {
+        panic!("expected Interrupted, got {err:?}");
+    };
+    assert_eq!(epoch, 0, "pre-expired deadline must stop before epoch 1");
+    assert!(last_good.model.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn deadline_mid_run_interrupts_every_parallel_discipline() {
+    let table = data(300);
+    for strategy in [
+        ParallelStrategy::PureUda { segments: 4 },
+        ParallelStrategy::SharedMemory {
+            workers: 4,
+            discipline: UpdateDiscipline::Lock,
+        },
+        ParallelStrategy::SharedMemory {
+            workers: 4,
+            discipline: UpdateDiscipline::Aig,
+        },
+        ParallelStrategy::SharedMemory {
+            workers: 4,
+            discipline: UpdateDiscipline::NoLock,
+        },
+    ] {
+        let task = LogisticRegressionTask::new(1, 2, 4);
+        // Short real deadline with an epoch budget far beyond it: the run
+        // must end early, at an epoch boundary, with a usable model.
+        let guard = QueryGuard::new(QueryLimits::none().with_timeout(Duration::from_millis(30)));
+        let started = Instant::now();
+        let err = ParallelTrainer::new(&task, config(1_000_000).with_guard(guard), strategy)
+            .try_train(&table)
+            .unwrap_err();
+        let elapsed = started.elapsed();
+        let TrainError::Interrupted { epoch, last_good } = err else {
+            panic!("[{}] expected Interrupted, got {err:?}", strategy.label());
+        };
+        assert!(
+            epoch < 1_000_000,
+            "[{}] run was not cut short",
+            strategy.label()
+        );
+        assert!(
+            last_good.model.iter().all(|v| v.is_finite()),
+            "[{}] last-good model must be finite",
+            strategy.label()
+        );
+        // Generous bound: "near the deadline" means seconds, not the full
+        // million-epoch run (which would take minutes).
+        assert!(
+            elapsed < Duration::from_secs(30),
+            "[{}] took {elapsed:?}, guard did not fire",
+            strategy.label()
+        );
+    }
+}
+
+#[test]
+fn cancelling_a_guard_clone_stops_training() {
+    let table = data(200);
+    let task = LogisticRegressionTask::new(1, 2, 4);
+    let guard = QueryGuard::unlimited();
+    let remote = guard.clone();
+    remote.cancel(); // any clone reaches the shared flag
+    let err = Trainer::new(&task, config(50).with_guard(guard))
+        .try_train(&table)
+        .unwrap_err();
+    assert!(matches!(err, TrainError::Interrupted { .. }), "got {err:?}");
+}
+
+// ---------------------------------------------------------------------------
+// SQL: typed governance errors, sessions stay usable.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fifty_ms_deadline_times_out_a_training_statement_near_the_deadline() {
+    let mut session = SqlSession::with_seed(5);
+    session.register_table(data(500)).unwrap();
+
+    let guard = QueryGuard::new(QueryLimits::none().with_timeout(Duration::from_millis(50)));
+    let started = Instant::now();
+    // An epoch budget this large would run for minutes unguarded.
+    let err = session
+        .execute_with(
+            "SELECT SVMTrain('m', 'gov', 'vec', 'label', 0.1, 1000000)",
+            &guard,
+        )
+        .unwrap_err();
+    let elapsed = started.elapsed();
+    assert_eq!(err, SqlError::Timeout, "got {err:?}");
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "statement ran {elapsed:?} past a 50ms deadline"
+    );
+    // The failed run persisted nothing and the session still works.
+    assert!(!session.database().contains("m"));
+    session
+        .execute("SELECT SVMTrain('m', 'gov', 'vec', 'label', 0.1, 2)")
+        .expect("unguarded statement after a timeout");
+    assert!(session.database().contains("m"));
+}
+
+#[test]
+fn expired_deadline_times_out_scans_and_cancel_surfaces_cancelled() {
+    let mut session = SqlSession::with_seed(6);
+    session.register_table(data(100)).unwrap();
+
+    let err = session
+        .execute_with("SELECT COUNT(*) FROM gov", &expired_guard())
+        .unwrap_err();
+    assert_eq!(err, SqlError::Timeout);
+
+    let cancelled = QueryGuard::unlimited();
+    cancelled.cancel();
+    let err = session
+        .execute_with("SELECT COUNT(*) FROM gov", &cancelled)
+        .unwrap_err();
+    assert_eq!(err, SqlError::Cancelled);
+
+    // Cancellation wins over an expired deadline (matches the governor's
+    // check order), and the session is unaffected either way.
+    let both = expired_guard();
+    both.cancel();
+    let err = session
+        .execute_with("SELECT COUNT(*) FROM gov", &both)
+        .unwrap_err();
+    assert_eq!(err, SqlError::Cancelled);
+    let n = session.execute("SELECT COUNT(*) FROM gov").unwrap();
+    assert_eq!(n.single_value(), Some(&Value::Int(100)));
+}
+
+#[test]
+fn memory_budget_rejects_oversized_ctas_without_poisoning_the_session() {
+    let mut session = SqlSession::with_seed(7);
+    session.register_table(data(500)).unwrap();
+
+    // 500 rows of 4-dim dense vectors is far beyond 1 KiB.
+    let tight = QueryGuard::new(QueryLimits::none().with_memory_limit(1024));
+    let err = session
+        .execute_with("CREATE TABLE gov_copy AS SELECT * FROM gov", &tight)
+        .unwrap_err();
+    let SqlError::MemoryBudget(exceeded) = err else {
+        panic!("expected MemoryBudget, got {err:?}");
+    };
+    assert_eq!(exceeded.limit, 1024);
+    assert!(!session.database().contains("gov_copy"), "no partial CTAS");
+    // The failed statement returned its reservation to the budget...
+    assert_eq!(tight.budget().reserved(), 0);
+    // ...so a statement that fits still runs under the same guard,
+    let small = session
+        .execute_with("SELECT COUNT(*) FROM gov WHERE id < 3", &tight)
+        .unwrap();
+    assert_eq!(small.single_value(), Some(&Value::Int(3)));
+    // and an unguarded CTAS of the same shape succeeds.
+    session
+        .execute("CREATE TABLE gov_copy AS SELECT * FROM gov")
+        .unwrap();
+    let n = session.execute("SELECT COUNT(*) FROM gov_copy").unwrap();
+    assert_eq!(n.single_value(), Some(&Value::Int(500)));
+}
+
+#[test]
+fn cancelled_multi_batch_insert_leaves_a_recoverable_durable_catalog() {
+    let dir = temp_dir("cancel-insert");
+    {
+        let mut session = SqlSession::open(&dir).unwrap();
+        session
+            .execute_script(
+                "CREATE TABLE t (id INT);
+                 INSERT INTO t VALUES (1), (2), (3);",
+            )
+            .unwrap();
+
+        // A cancelled guard stops the next INSERT before any row reaches
+        // the WAL: the statement's materialization phase checks the guard
+        // ahead of the storage write, so the batch is all-or-nothing.
+        let cancelled = QueryGuard::unlimited();
+        cancelled.cancel();
+        let err = session
+            .execute_with("INSERT INTO t VALUES (4), (5), (6), (7)", &cancelled)
+            .unwrap_err();
+        assert_eq!(err, SqlError::Cancelled);
+
+        // The session keeps working after the cancellation.
+        session.execute("INSERT INTO t VALUES (8)").unwrap();
+    }
+
+    // Reopen: recovery must see exactly the acknowledged rows — the
+    // cancelled batch contributes nothing, the later insert survives.
+    let mut session = SqlSession::open(&dir).unwrap();
+    let report = session.recovery_report().unwrap().clone();
+    assert_eq!(report.bytes_truncated, 0, "no torn tail: {report}");
+    let ids: Vec<i64> = session
+        .execute("SELECT id FROM t ORDER BY id")
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r[0].as_int().unwrap())
+        .collect();
+    assert_eq!(ids, vec![1, 2, 3, 8]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn copy_racing_a_cancel_is_atomic_in_the_durable_catalog() {
+    let dir = temp_dir("cancel-copy");
+    let csv_path = dir.with_extension("csv");
+    {
+        let mut session = SqlSession::open(&dir).unwrap();
+        session.execute("CREATE TABLE t (id INT)").unwrap();
+        let mut csv = String::new();
+        for i in 0..5_000 {
+            csv.push_str(&format!("{i}\n"));
+        }
+        std::fs::write(&csv_path, csv).unwrap();
+
+        // Cancel from another thread while COPY runs: whichever side wins,
+        // the catalog must hold all 5000 rows or none of them.
+        let guard = QueryGuard::unlimited();
+        let remote = guard.clone();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(2));
+            remote.cancel();
+        });
+        let result = session.execute_with(
+            &format!("COPY t FROM '{}'", csv_path.to_str().unwrap()),
+            &guard,
+        );
+        canceller.join().unwrap();
+        match result {
+            Ok(_) => {}
+            Err(SqlError::Cancelled) => {}
+            Err(other) => panic!("expected success or Cancelled, got {other:?}"),
+        }
+    }
+
+    let mut session = SqlSession::open(&dir).unwrap();
+    let n = session
+        .execute("SELECT COUNT(*) FROM t")
+        .unwrap()
+        .single_value()
+        .unwrap()
+        .as_int()
+        .unwrap();
+    assert!(
+        n == 0 || n == 5_000,
+        "COPY must be all-or-nothing under cancellation, found {n} rows"
+    );
+    std::fs::remove_file(&csv_path).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Admission control and shutdown.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn admission_sheds_excess_statements_and_frees_slots_on_drop() {
+    let governor = Governor::new(2);
+    let g1 = governor.admit(QueryLimits::none()).unwrap();
+    let _g2 = governor.admit(QueryLimits::none()).unwrap();
+    let err = governor.admit(QueryLimits::none()).unwrap_err();
+    let AdmissionError::Shed {
+        active,
+        max_concurrent,
+    } = err
+    else {
+        panic!("expected Shed, got {err:?}");
+    };
+    assert_eq!((active, max_concurrent), (2, 2));
+    // The typed error maps into the SQL error space for callers that
+    // surface admission failures through statement results.
+    assert!(matches!(SqlError::from(err), SqlError::Admission(_)));
+
+    // A clone keeps the slot; dropping the last clone frees it.
+    let keep = g1.clone();
+    drop(g1);
+    assert_eq!(governor.active(), 2);
+    drop(keep);
+    assert_eq!(governor.active(), 1);
+    governor.admit(QueryLimits::none()).unwrap();
+}
+
+#[test]
+fn shutdown_persists_serving_models_compacts_and_recovers_identically() {
+    let dir = temp_dir("shutdown");
+    let expected_weights = vec![0.25, -1.5, 3.0];
+    let prediction_sql = "SELECT PREDICT('m', 1.0, 2.0, -1.0)";
+    let before;
+    {
+        let mut session = SqlSession::open(&dir).unwrap();
+        session.register_table(data(200)).unwrap();
+        session
+            .execute("SELECT SVMTrain('m', 'gov', 'vec', 'label', 0.1, 3)")
+            .unwrap();
+        before = session
+            .execute(prediction_sql)
+            .unwrap()
+            .single_value()
+            .unwrap()
+            .as_double()
+            .unwrap();
+
+        // A live serving handle with a published model: shutdown must
+        // persist its latest snapshot under the registered name.
+        let handle = ModelHandle::new(ServingTask::Logistic, 3);
+        handle.publish(&expected_weights).unwrap();
+        session.register_model_handle("live", handle);
+        // An unpublished handle has no model to persist and is skipped.
+        session.register_model_handle("empty", ModelHandle::new(ServingTask::Svm, 2));
+
+        let governor = Governor::new(4);
+        let in_flight = governor.admit(QueryLimits::none()).unwrap();
+        drop(in_flight); // finished statement frees its slot
+        let report = session
+            .shutdown(&governor, Instant::now() + Duration::from_secs(5))
+            .unwrap();
+        assert!(report.drained, "nothing in flight: {report:?}");
+        assert!(governor.is_shutting_down());
+        assert!(matches!(
+            governor.admit(QueryLimits::none()),
+            Err(AdmissionError::ShuttingDown)
+        ));
+    }
+
+    let mut session = SqlSession::open(&dir).unwrap();
+    let report = session.recovery_report().unwrap().clone();
+    // Clean recovery from the compacted snapshot: no WAL replay, no torn
+    // bytes.
+    assert_eq!(report.records_replayed, 0, "{report}");
+    assert_eq!(report.bytes_truncated, 0, "{report}");
+
+    // Identical predictions from the persisted trained model...
+    let after = session
+        .execute(prediction_sql)
+        .unwrap()
+        .single_value()
+        .unwrap()
+        .as_double()
+        .unwrap();
+    assert_eq!(before, after);
+
+    // ...and the serving handle's last-published weights are in the catalog.
+    let weights: Vec<f64> = session
+        .execute("SELECT weight FROM live ORDER BY idx")
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r[0].as_double().unwrap())
+        .collect();
+    assert_eq!(weights, expected_weights);
+    assert!(!session.database().contains("empty"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shutdown_cancels_outstanding_guards_and_reports_undrained_work() {
+    let governor = Governor::new(4);
+    let stuck = governor.admit(QueryLimits::none()).unwrap();
+    // A statement that never finishes: its guard stays alive across the
+    // shutdown deadline.
+    let report = governor.shutdown(Instant::now() + Duration::from_millis(20));
+    assert!(!report.drained);
+    assert_eq!(report.in_flight, 1);
+    assert!(
+        stuck.is_cancelled(),
+        "shutdown must cancel outstanding guards so their loops exit"
+    );
+    // The cancelled statement observes the cancellation as a typed error at
+    // its next check point.
+    assert_eq!(
+        SqlError::from(stuck.check().unwrap_err()),
+        SqlError::Cancelled
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown under the byte-granular crash matrix (`--features
+// fault-injection`): a crash at any fault point inside
+// `SqlSession::shutdown`'s persist + compact sequence must leave a catalog
+// that recovers to a consistent state — either the pre-shutdown catalog or
+// one that additionally contains the persisted serving model.
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "fault-injection")]
+mod shutdown_crash_matrix {
+    use super::*;
+    use bismarck_storage::durable::fault::{self, Mode};
+    use bismarck_storage::Database;
+
+    fn fingerprint(db: &Database) -> Vec<(String, Vec<Vec<Value>>)> {
+        let mut names = db.table_names();
+        names.sort();
+        names
+            .into_iter()
+            .map(|name| {
+                let rows = db
+                    .table(&name)
+                    .unwrap()
+                    .scan()
+                    .map(|tuple| tuple.values().to_vec())
+                    .collect();
+                (name, rows)
+            })
+            .collect()
+    }
+
+    /// Build a durable session with a trained model and a published serving
+    /// handle, ready for shutdown. Returns the session and its governor.
+    fn build(dir: &std::path::Path) -> (SqlSession, Governor) {
+        let mut session = SqlSession::open(dir).unwrap();
+        session.register_table(data(60)).unwrap();
+        session
+            .execute("SELECT SVMTrain('m', 'gov', 'vec', 'label', 0.1, 2)")
+            .unwrap();
+        let handle = ModelHandle::new(ServingTask::Logistic, 2);
+        handle.publish(&[1.0, -2.0]).unwrap();
+        session.register_model_handle("live", handle);
+        (session, Governor::new(2))
+    }
+
+    #[test]
+    fn every_crash_point_during_shutdown_recovers_consistently() {
+        // The injector is process-global; this is the only test in this
+        // binary that arms it, and test binaries run in separate processes.
+
+        // Counting run: how many fault points does shutdown consume?
+        let count_dir = temp_dir("shutdown-matrix-count");
+        let (mut session, governor) = build(&count_dir);
+        let pre_state = fingerprint(session.database());
+        fault::arm(Mode::Crash, u64::MAX);
+        session
+            .shutdown(&governor, Instant::now() + Duration::from_secs(5))
+            .unwrap();
+        let total = fault::disarm();
+        assert!(!fault::fired());
+        assert!(total > 0, "shutdown on a durable session must do I/O");
+        drop(session);
+        // The fault-free shutdown persisted the serving model.
+        let (db, _) = Database::open(&count_dir).unwrap();
+        let post_state = fingerprint(&db);
+        assert_ne!(post_state, pre_state, "'live' was persisted");
+        drop(db);
+        std::fs::remove_dir_all(&count_dir).ok();
+
+        for point in 0..total {
+            let dir = temp_dir(&format!("shutdown-matrix-k{point}"));
+            let (mut session, governor) = build(&dir);
+            fault::arm(Mode::Crash, point);
+            // Failures are expected: the crash mode stops the world.
+            let _ = session.shutdown(&governor, Instant::now() + Duration::from_secs(5));
+            let fired = fault::fired();
+            fault::disarm();
+            assert!(fired, "crash point {point} of {total} never fired");
+            drop(session);
+
+            let (recovered, _report) = Database::open(&dir)
+                .unwrap_or_else(|e| panic!("crash point {point} of {total}: recovery failed: {e}"));
+            let state = fingerprint(&recovered);
+            assert!(
+                state == pre_state || state == post_state,
+                "crash point {point} of {total} recovered a torn state: {state:?}"
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}

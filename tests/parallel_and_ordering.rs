@@ -122,6 +122,7 @@ fn mrs_beats_plain_subsampling_on_clustered_data() {
             convergence: ConvergenceTest::FixedEpochs(epochs),
             seed: 9,
             memory_worker: true,
+            ..MrsConfig::default()
         },
     )
     .train(&table);
