@@ -1,0 +1,235 @@
+//! Dense-scan throughput: row-store vs columnar, in-memory vs paged.
+//!
+//! The columnar engine's pitch is that a training epoch is a *scan*, and a
+//! scan over per-column chunks beats a scan over heap tuples twice over:
+//! the tuple path still pays per-row dispatch but touches cache-friendly
+//! column storage, and the dense fast path (`scan_dense_column`) hands the
+//! aggregate whole contiguous `f64` slices, so a sum or dot product runs at
+//! memory bandwidth. The paged variants measure the same scans when sealed
+//! segments live on disk behind the LRU chunk cache (cache far smaller than
+//! the dataset), which is the out-of-core training configuration.
+//!
+//! Four scans over the same logical rows (dense d=54, Forest-like):
+//!
+//! * `row_tuples` — row-store `Table` through the `TupleScan` surface;
+//! * `columnar_tuples` — in-memory `ColumnarTable` through the same surface;
+//! * `columnar_dense_column` — in-memory columnar per-segment slice scan;
+//! * `paged_tuples` / `paged_dense_column` — the same columnar table backed
+//!   by on-disk segments with a cache holding 1/8 of them.
+//!
+//! Results are printed and written to `BENCH_scan.json` at the workspace
+//! root. Run with `cargo bench -p bismarck-bench --bench scan`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use bismarck_datagen::{dense_classification, DenseClassificationConfig};
+use bismarck_storage::{ColumnarTable, Table, TupleScan};
+
+const FEATURES_COL: usize = 1;
+const EXAMPLES: usize = 40_000;
+const DIMENSION: usize = 54;
+const CHUNK_CAPACITY: usize = 1024;
+const SAMPLES: usize = 20;
+
+/// Best-of-N wall time for one full pass of `scan`.
+fn measure<F: FnMut() -> f64>(samples: usize, mut scan: F) -> f64 {
+    // Warm-up: fault pages, warm the chunk cache to steady state.
+    for _ in 0..3 {
+        black_box(scan());
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let start = Instant::now();
+        let sum = scan();
+        let elapsed = start.elapsed().as_secs_f64();
+        black_box(sum);
+        best = best.min(elapsed);
+    }
+    best
+}
+
+/// Sum every dense feature coordinate through the per-tuple scan surface.
+fn tuple_scan_sum<S: TupleScan + ?Sized>(source: &S) -> f64 {
+    let mut sum = 0.0;
+    source.scan_tuples(&mut |tuple| {
+        if let Some(view) = tuple.feature_view(FEATURES_COL) {
+            for (_, v) in view.iter_entries() {
+                sum += v;
+            }
+        }
+    });
+    sum
+}
+
+/// The same sum through the columnar dense fast path: whole segment slices,
+/// eight running accumulators so the adds vectorize instead of serializing
+/// on one dependency chain.
+fn dense_column_sum(table: &ColumnarTable) -> f64 {
+    let mut acc = [0.0f64; 8];
+    table
+        .scan_dense_column(FEATURES_COL, &mut |slice| {
+            let mut chunks = slice.chunks_exact(8);
+            for chunk in &mut chunks {
+                for (a, v) in acc.iter_mut().zip(chunk) {
+                    *a += v;
+                }
+            }
+            acc[0] += chunks.remainder().iter().sum::<f64>();
+        })
+        .expect("dense column scan");
+    acc.iter().sum()
+}
+
+struct ScanResult {
+    name: &'static str,
+    seconds: f64,
+}
+
+impl ScanResult {
+    fn ns_per_tuple(&self) -> f64 {
+        self.seconds * 1e9 / EXAMPLES as f64
+    }
+
+    fn gb_per_sec(&self) -> f64 {
+        let bytes = (EXAMPLES * DIMENSION * std::mem::size_of::<f64>()) as f64;
+        bytes / self.seconds / 1e9
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"scan\": \"{}\",\n",
+                "      \"ns_per_tuple\": {:.2},\n",
+                "      \"tuples_per_sec\": {:.0},\n",
+                "      \"feature_gb_per_sec\": {:.3}\n",
+                "    }}"
+            ),
+            self.name,
+            self.ns_per_tuple(),
+            EXAMPLES as f64 / self.seconds,
+            self.gb_per_sec(),
+        )
+    }
+}
+
+fn report(name: &'static str, seconds: f64) -> ScanResult {
+    let result = ScanResult { name, seconds };
+    eprintln!(
+        "  {name}: {:.1} ns/tuple, {:.2} GB/s of features",
+        result.ns_per_tuple(),
+        result.gb_per_sec()
+    );
+    result
+}
+
+fn main() {
+    eprintln!("dense scan throughput, {EXAMPLES} rows x d={DIMENSION} (best of {SAMPLES} passes)");
+
+    let row_table: Table = dense_classification(
+        "forest_like",
+        DenseClassificationConfig {
+            examples: EXAMPLES,
+            dimension: DIMENSION,
+            ..Default::default()
+        },
+    );
+    let columnar = ColumnarTable::from_table(&row_table).expect("columnar conversion");
+    let expected = tuple_scan_sum(&row_table);
+    assert!(
+        (tuple_scan_sum(&columnar) - expected).abs() <= 1e-9 * expected.abs(),
+        "columnar scan disagrees with row-store scan"
+    );
+
+    let dir = std::env::temp_dir().join(format!("bismarck_bench_scan_{}", std::process::id()));
+    let mut paged = ColumnarTable::create_paged(
+        "forest_paged",
+        row_table.schema().clone(),
+        &dir,
+        CHUNK_CAPACITY,
+        // Hold 1/8 of the segments: most fetches go to disk, prefetch hides
+        // part of the latency. This is the "larger than memory" shape.
+        (EXAMPLES / CHUNK_CAPACITY / 8).max(1),
+    )
+    .expect("create paged table");
+    for tuple in row_table.scan() {
+        paged.insert(tuple.values().to_vec()).expect("paged insert");
+    }
+    paged.flush().expect("paged flush");
+
+    let results = [
+        report(
+            "row_tuples",
+            measure(SAMPLES, || tuple_scan_sum(&row_table)),
+        ),
+        report(
+            "columnar_tuples",
+            measure(SAMPLES, || tuple_scan_sum(&columnar)),
+        ),
+        report(
+            "columnar_dense_column",
+            measure(SAMPLES, || dense_column_sum(&columnar)),
+        ),
+        report("paged_tuples", measure(SAMPLES, || tuple_scan_sum(&paged))),
+        report(
+            "paged_dense_column",
+            measure(SAMPLES, || dense_column_sum(&paged)),
+        ),
+    ];
+
+    let stats = paged.pager_stats().expect("paged table has a pager");
+    eprintln!(
+        "  pager: {} hits, {} misses, {} evictions, {} prefetches",
+        stats.hits, stats.misses, stats.evictions, stats.prefetches
+    );
+
+    let body: Vec<String> = results.iter().map(ScanResult::json).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"scan\",\n",
+            "  \"description\": \"dense feature scan: row-store tuples vs columnar tuples vs columnar dense slices, in-memory and paged\",\n",
+            "  \"profile\": \"{}\",\n",
+            "  \"rows\": {},\n",
+            "  \"dimension\": {},\n",
+            "  \"chunk_capacity\": {},\n",
+            "  \"pager\": {{\n",
+            "    \"hits\": {},\n",
+            "    \"misses\": {},\n",
+            "    \"evictions\": {},\n",
+            "    \"prefetches\": {}\n",
+            "  }},\n",
+            "  \"scans\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        },
+        EXAMPLES,
+        DIMENSION,
+        CHUNK_CAPACITY,
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.prefetches,
+        body.join(",\n"),
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+
+    // crates/bench -> workspace root.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_scan.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => eprintln!("wrote {}", out.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+    print!("{json}");
+}

@@ -8,7 +8,7 @@
 //! trainer, and write the model back into the database so it can be applied
 //! to new data with the matching `*_predict` function.
 
-use bismarck_storage::{Column, DataType, Database, Schema, StorageError, Table, Value};
+use bismarck_storage::{Column, DataType, Database, Schema, StorageError, Table, TupleScan, Value};
 use bismarck_uda::TrainingHistory;
 
 use crate::error::TrainError;
@@ -72,14 +72,16 @@ pub struct TrainSummary {
 }
 
 /// Infer the feature dimension of a feature-vector column by scanning the
-/// table (sparse rows report `max index + 1`).
-pub fn infer_dimension(table: &Table, features_col: usize) -> usize {
-    table
-        .scan()
-        .filter_map(|t| t.feature_view(features_col))
-        .map(|fv| fv.dimension())
-        .max()
-        .unwrap_or(0)
+/// tuple source (sparse rows report `max index + 1`). Works over row-store
+/// and columnar tables alike.
+pub fn infer_dimension<S: TupleScan + ?Sized>(source: &S, features_col: usize) -> usize {
+    let mut dim = 0usize;
+    source.scan_tuples(&mut |t| {
+        if let Some(fv) = t.feature_view(features_col) {
+            dim = dim.max(fv.dimension());
+        }
+    });
+    dim
 }
 
 /// Persist a flat model as a `(idx INT, weight DOUBLE)` table named
@@ -124,6 +126,31 @@ pub fn load_model(db: &Database, model_name: &str) -> Result<Vec<f64>, FrontendE
     Ok(model)
 }
 
+/// Resolve feature/label columns and infer the model dimension for any
+/// tuple source with an explicit schema.
+fn resolve_training_source<S: TupleScan + ?Sized>(
+    source: &S,
+    schema: &Schema,
+    source_name: &str,
+    features_col: &str,
+    label_col: &str,
+) -> Result<(usize, usize, usize), FrontendError> {
+    if source.tuple_count() == 0 {
+        return Err(FrontendError::InvalidInput(format!(
+            "training table '{source_name}' is empty"
+        )));
+    }
+    let fcol = schema.index_of(features_col)?;
+    let lcol = schema.index_of(label_col)?;
+    let dim = infer_dimension(source, fcol);
+    if dim == 0 {
+        return Err(FrontendError::InvalidInput(format!(
+            "column '{features_col}' holds no feature vectors"
+        )));
+    }
+    Ok((fcol, lcol, dim))
+}
+
 fn resolve_training_table(
     db: &Database,
     table_name: &str,
@@ -131,20 +158,7 @@ fn resolve_training_table(
     label_col: &str,
 ) -> Result<(usize, usize, usize), FrontendError> {
     let table = db.table(table_name)?;
-    if table.is_empty() {
-        return Err(FrontendError::InvalidInput(format!(
-            "training table '{table_name}' is empty"
-        )));
-    }
-    let fcol = table.column_index(features_col)?;
-    let lcol = table.column_index(label_col)?;
-    let dim = infer_dimension(table, fcol);
-    if dim == 0 {
-        return Err(FrontendError::InvalidInput(format!(
-            "column '{features_col}' holds no feature vectors"
-        )));
-    }
-    Ok((fcol, lcol, dim))
+    resolve_training_source(table, table.schema(), table_name, features_col, label_col)
 }
 
 /// `SELECT LogisticRegressionTrain(model, table, features, label)` — train an
@@ -185,6 +199,66 @@ pub fn svm_train(
     let (fcol, lcol, dim) = resolve_training_table(db, table_name, features_col, label_col)?;
     let task = SvmTask::new(fcol, lcol, dim);
     let trained = Trainer::new(&task, config).try_train(db.table(table_name)?)?;
+    persist_model(db, model_name, &trained.model)?;
+    Ok(TrainSummary {
+        task: "SVM",
+        model_table: model_name.to_string(),
+        dimension: dim,
+        final_loss: trained.final_loss().unwrap_or(f64::NAN),
+        epochs: trained.epochs(),
+        converged: trained.history.converged(),
+        history: trained.history,
+    })
+}
+
+/// Like [`logistic_regression_train`], but over an explicit tuple source
+/// (e.g. a columnar table living outside the row-store catalog). The model
+/// is still persisted into `db` under `model_name`.
+#[allow(clippy::too_many_arguments)]
+pub fn logistic_regression_train_source<S: TupleScan + ?Sized>(
+    db: &mut Database,
+    model_name: &str,
+    source: &S,
+    schema: &Schema,
+    source_name: &str,
+    features_col: &str,
+    label_col: &str,
+    config: TrainerConfig,
+) -> Result<TrainSummary, FrontendError> {
+    let (fcol, lcol, dim) =
+        resolve_training_source(source, schema, source_name, features_col, label_col)?;
+    let task = LogisticRegressionTask::new(fcol, lcol, dim);
+    let trained = Trainer::new(&task, config).try_train(source)?;
+    persist_model(db, model_name, &trained.model)?;
+    Ok(TrainSummary {
+        task: "LR",
+        model_table: model_name.to_string(),
+        dimension: dim,
+        final_loss: trained.final_loss().unwrap_or(f64::NAN),
+        epochs: trained.epochs(),
+        converged: trained.history.converged(),
+        history: trained.history,
+    })
+}
+
+/// Like [`svm_train`], but over an explicit tuple source (e.g. a columnar
+/// table living outside the row-store catalog). The model is still persisted
+/// into `db` under `model_name`.
+#[allow(clippy::too_many_arguments)]
+pub fn svm_train_source<S: TupleScan + ?Sized>(
+    db: &mut Database,
+    model_name: &str,
+    source: &S,
+    schema: &Schema,
+    source_name: &str,
+    features_col: &str,
+    label_col: &str,
+    config: TrainerConfig,
+) -> Result<TrainSummary, FrontendError> {
+    let (fcol, lcol, dim) =
+        resolve_training_source(source, schema, source_name, features_col, label_col)?;
+    let task = SvmTask::new(fcol, lcol, dim);
+    let trained = Trainer::new(&task, config).try_train(source)?;
     persist_model(db, model_name, &trained.model)?;
     Ok(TrainSummary {
         task: "SVM",
@@ -239,11 +313,11 @@ pub fn lmf_train(
 /// (`Σ_i f_i(w) + P(w)`) over a data table — the "loss UDA" of Section 3.1
 /// exposed as a front-end call. `task` selects the loss: LR uses the logistic
 /// loss, SVM the hinge loss.
-fn linear_objective<T: IgdTask>(
+fn linear_objective_source<T: IgdTask, S: TupleScan + ?Sized>(
     db: &Database,
     task: &T,
     model_name: &str,
-    table_name: &str,
+    source: &S,
 ) -> Result<f64, FrontendError> {
     let model = load_model(db, model_name)?;
     if model.len() != task.dimension() {
@@ -253,12 +327,18 @@ fn linear_objective<T: IgdTask>(
             task.dimension()
         )));
     }
-    let table = db.table(table_name)?;
     let mut total = task.regularizer(&model);
-    for tuple in table.scan() {
-        total += task.example_loss(&model, tuple);
-    }
+    source.scan_tuples(&mut |tuple| total += task.example_loss(&model, tuple));
     Ok(total)
+}
+
+fn linear_objective<T: IgdTask>(
+    db: &Database,
+    task: &T,
+    model_name: &str,
+    table_name: &str,
+) -> Result<f64, FrontendError> {
+    linear_objective_source(db, task, model_name, db.table(table_name)?)
 }
 
 /// Objective value of a persisted logistic-regression model over a table.
@@ -287,6 +367,40 @@ pub fn svm_loss(
     let dim = dim.max(load_model(db, model_name)?.len());
     let task = SvmTask::new(fcol, lcol, dim);
     linear_objective(db, &task, model_name, table_name)
+}
+
+/// Like [`logistic_regression_loss`], but over an explicit tuple source.
+pub fn logistic_regression_loss_source<S: TupleScan + ?Sized>(
+    db: &Database,
+    model_name: &str,
+    source: &S,
+    schema: &Schema,
+    source_name: &str,
+    features_col: &str,
+    label_col: &str,
+) -> Result<f64, FrontendError> {
+    let (fcol, lcol, dim) =
+        resolve_training_source(source, schema, source_name, features_col, label_col)?;
+    let dim = dim.max(load_model(db, model_name)?.len());
+    let task = LogisticRegressionTask::new(fcol, lcol, dim);
+    linear_objective_source(db, &task, model_name, source)
+}
+
+/// Like [`svm_loss`], but over an explicit tuple source.
+pub fn svm_loss_source<S: TupleScan + ?Sized>(
+    db: &Database,
+    model_name: &str,
+    source: &S,
+    schema: &Schema,
+    source_name: &str,
+    features_col: &str,
+    label_col: &str,
+) -> Result<f64, FrontendError> {
+    let (fcol, lcol, dim) =
+        resolve_training_source(source, schema, source_name, features_col, label_col)?;
+    let dim = dim.max(load_model(db, model_name)?.len());
+    let task = SvmTask::new(fcol, lcol, dim);
+    linear_objective_source(db, &task, model_name, source)
 }
 
 /// Infer the shape of a sequence-labeling column: `(num_features, num_labels)`
@@ -352,18 +466,30 @@ pub fn linear_predict(
     table_name: &str,
     features_col: &str,
 ) -> Result<Vec<f64>, FrontendError> {
-    let model = load_model(db, model_name)?;
     let table = db.table(table_name)?;
-    let fcol = table.column_index(features_col)?;
-    Ok(table
-        .scan()
-        .map(|tuple| {
+    linear_predict_source(db, model_name, table, table.schema(), features_col)
+}
+
+/// Like [`linear_predict`], but over an explicit tuple source.
+pub fn linear_predict_source<S: TupleScan + ?Sized>(
+    db: &Database,
+    model_name: &str,
+    source: &S,
+    schema: &Schema,
+    features_col: &str,
+) -> Result<Vec<f64>, FrontendError> {
+    let model = load_model(db, model_name)?;
+    let fcol = schema.index_of(features_col)?;
+    let mut out = Vec::with_capacity(source.tuple_count());
+    source.scan_tuples(&mut |tuple| {
+        out.push(
             tuple
                 .feature_view(fcol)
                 .map(|x| x.dot(&model))
-                .unwrap_or(0.0)
-        })
-        .collect())
+                .unwrap_or(0.0),
+        );
+    });
+    Ok(out)
 }
 
 /// Apply a persisted CRF model to every sequence of a data table, returning
@@ -402,6 +528,46 @@ pub fn crf_predict(
             None => Vec::new(),
         })
         .collect())
+}
+
+/// Like [`logistic_predict`], but over an explicit tuple source.
+pub fn logistic_predict_source<S: TupleScan + ?Sized>(
+    db: &Database,
+    model_name: &str,
+    source: &S,
+    schema: &Schema,
+    features_col: &str,
+) -> Result<Vec<f64>, FrontendError> {
+    Ok(
+        linear_predict_source(db, model_name, source, schema, features_col)?
+            .into_iter()
+            .map(bismarck_linalg::ops::sigmoid)
+            .collect(),
+    )
+}
+
+/// Like [`svm_predict`], but over an explicit tuple source.
+pub fn svm_predict_source<S: TupleScan + ?Sized>(
+    db: &Database,
+    model_name: &str,
+    source: &S,
+    schema: &Schema,
+    features_col: &str,
+) -> Result<Vec<f64>, FrontendError> {
+    Ok(
+        linear_predict_source(db, model_name, source, schema, features_col)?
+            .into_iter()
+            .map(|v| {
+                if v > 0.0 {
+                    1.0
+                } else if v < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect(),
+    )
 }
 
 /// Apply a persisted LR model, returning positive-class probabilities.

@@ -17,7 +17,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::time::{Duration, Instant};
 
-use bismarck_storage::{segment_ranges, ScanOrder, SharedModel, Table};
+use bismarck_storage::{segment_ranges, ScanOrder, SharedModel, Tuple, TupleScan};
 use bismarck_uda::{panic_message, try_run_segmented_parallel, EpochOutcome, EpochRunner};
 use parking_lot::Mutex;
 
@@ -178,27 +178,30 @@ impl<'a, T: IgdTask> ParallelTrainer<'a, T> {
     /// exhausted divergence budget, checkpoint I/O error) panic with the
     /// error message — the historical behavior — while a cooperative
     /// interrupt returns the last completed epoch's model.
-    pub fn train(&self, table: &Table) -> (TrainedModel, Vec<ParallelEpochStats>) {
-        self.train_from(table, self.task.initial_model())
+    pub fn train<S: TupleScan + ?Sized>(
+        &self,
+        data: &S,
+    ) -> (TrainedModel, Vec<ParallelEpochStats>) {
+        self.train_from(data, self.task.initial_model())
     }
 
     /// Train starting from a caller-provided model. See [`Self::train`] for
     /// how failures surface.
-    pub fn train_from(
+    pub fn train_from<S: TupleScan + ?Sized>(
         &self,
-        table: &Table,
+        data: &S,
         initial_model: Vec<f64>,
     ) -> (TrainedModel, Vec<ParallelEpochStats>) {
-        let (result, stats) = self.try_train_impl(table, initial_model, None);
+        let (result, stats) = self.try_train_impl(data, initial_model, None);
         (unwrap_trained(result), stats)
     }
 
     /// Fallible training from the task's initial model.
-    pub fn try_train(
+    pub fn try_train<S: TupleScan + ?Sized>(
         &self,
-        table: &Table,
+        data: &S,
     ) -> Result<(TrainedModel, Vec<ParallelEpochStats>), TrainError> {
-        self.try_train_from(table, self.task.initial_model())
+        self.try_train_from(data, self.task.initial_model())
     }
 
     /// Fallible training from a caller-provided model.
@@ -207,12 +210,12 @@ impl<'a, T: IgdTask> ParallelTrainer<'a, T> {
     /// are discarded, and the run reports [`TrainError::WorkerPanic`]
     /// carrying the last completed epoch's (finite) model instead of
     /// aborting the process.
-    pub fn try_train_from(
+    pub fn try_train_from<S: TupleScan + ?Sized>(
         &self,
-        table: &Table,
+        data: &S,
         initial_model: Vec<f64>,
     ) -> Result<(TrainedModel, Vec<ParallelEpochStats>), TrainError> {
-        let (result, stats) = self.try_train_impl(table, initial_model, None);
+        let (result, stats) = self.try_train_impl(data, initial_model, None);
         result.map(|trained| (trained, stats))
     }
 
@@ -221,9 +224,9 @@ impl<'a, T: IgdTask> ParallelTrainer<'a, T> {
     /// discipline (and single-worker runs) are deterministic enough for the
     /// resumed trajectory to match an uninterrupted one bitwise — AIG/NoLock
     /// runs are racy by design, with or without checkpoints.
-    pub fn resume_from(
+    pub fn resume_from<S: TupleScan + ?Sized>(
         &self,
-        table: &Table,
+        data: &S,
         path: impl AsRef<Path>,
     ) -> Result<(TrainedModel, Vec<ParallelEpochStats>), TrainError> {
         let checkpoint = TrainingCheckpoint::read(path.as_ref())?;
@@ -235,13 +238,13 @@ impl<'a, T: IgdTask> ParallelTrainer<'a, T> {
             retries_used: checkpoint.retries_used,
             losses: checkpoint.losses,
         };
-        let (result, stats) = self.try_train_impl(table, model, Some(resume));
+        let (result, stats) = self.try_train_impl(data, model, Some(resume));
         result.map(|trained| (trained, stats))
     }
 
-    fn try_train_impl(
+    fn try_train_impl<S: TupleScan + ?Sized>(
         &self,
-        table: &Table,
+        data: &S,
         initial_model: Vec<f64>,
         resume: Option<ResumeState>,
     ) -> (Result<TrainedModel, TrainError>, Vec<ParallelEpochStats>) {
@@ -288,12 +291,13 @@ impl<'a, T: IgdTask> ParallelTrainer<'a, T> {
                         ScanOrder::ShuffleOnce { .. } => {
                             if cached_permutation.is_none() {
                                 cached_permutation =
-                                    config.scan_order.permutation(table.len(), epoch);
+                                    config.scan_order.permutation(data.tuple_count(), epoch);
                             }
                             cached_permutation.as_deref()
                         }
                         ScanOrder::ShuffleAlways { .. } => {
-                            cached_permutation = config.scan_order.permutation(table.len(), epoch);
+                            cached_permutation =
+                                config.scan_order.permutation(data.tuple_count(), epoch);
                             cached_permutation.as_deref()
                         }
                     };
@@ -308,14 +312,14 @@ impl<'a, T: IgdTask> ParallelTrainer<'a, T> {
                     let current = std::mem::take(&mut model);
                     let pass = match strategy {
                         ParallelStrategy::PureUda { segments } => {
-                            run_pure_uda_epoch(task, table, current, alpha, segments)
+                            run_pure_uda_epoch(task, data, current, alpha, segments)
                         }
                         ParallelStrategy::SharedMemory {
                             workers,
                             discipline,
                         } => run_shared_memory_epoch(
                             task,
-                            table,
+                            data,
                             permutation,
                             current,
                             alpha,
@@ -335,9 +339,7 @@ impl<'a, T: IgdTask> ParallelTrainer<'a, T> {
                     }
 
                     let mut loss = task.regularizer(&model);
-                    for tuple in table.scan() {
-                        loss += task.example_loss(&model, tuple);
-                    }
+                    data.scan_tuples(&mut |tuple| loss += task.example_loss(&model, tuple));
 
                     let healthy = loss.is_finite() && model.iter().all(|v| v.is_finite());
                     if !healthy {
@@ -411,15 +413,15 @@ impl<'a, T: IgdTask> ParallelTrainer<'a, T> {
 /// model-averaging merge. Segments see their rows in clustered order, which
 /// matches how a parallel engine distributes tuples to segments. A worker
 /// panic is isolated by the segmented executor and surfaced as an abort.
-fn run_pure_uda_epoch<T: IgdTask>(
+fn run_pure_uda_epoch<T: IgdTask, S: TupleScan + ?Sized>(
     task: &T,
-    table: &Table,
+    data: &S,
     model: Vec<f64>,
     alpha: f64,
     segments: usize,
 ) -> Result<Vec<f64>, EpochAbort> {
     let aggregate = IgdAggregate::new(task, alpha, model);
-    match try_run_segmented_parallel(&aggregate, table, segments.max(1)) {
+    match try_run_segmented_parallel(&aggregate, data, segments.max(1)) {
         Ok(state) => Ok(state.model.into_vec()),
         Err(panic) => Err(EpochAbort::WorkerPanic {
             failed_workers: panic.failed_workers,
@@ -464,9 +466,9 @@ fn collect_worker_outcomes(outcomes: Vec<std::thread::Result<()>>) -> Result<(),
 /// leave a *partially updated* model, and the caller never uses a failed
 /// epoch's model: it restores the last-good snapshot carried by the error.
 /// That makes `AssertUnwindSafe` sound here.
-fn run_shared_memory_epoch<T: IgdTask>(
+fn run_shared_memory_epoch<T: IgdTask, S: TupleScan + ?Sized>(
     task: &T,
-    table: &Table,
+    data: &S,
     permutation: Option<&[usize]>,
     model: Vec<f64>,
     alpha: f64,
@@ -474,16 +476,26 @@ fn run_shared_memory_epoch<T: IgdTask>(
     discipline: UpdateDiscipline,
 ) -> Result<Vec<f64>, EpochAbort> {
     let workers = workers.max(1);
-    let n = table.len();
+    let n = data.tuple_count();
     let ranges = segment_ranges(permutation.map_or(n, <[usize]>::len), workers);
 
-    // Row ids each worker visits: a slice of the permutation, or a contiguous
-    // range of storage order.
-    let worker_rows: Vec<Vec<usize>> = ranges
+    // Rows each worker visits: a slice of the permutation, or a contiguous
+    // range of storage order (scanned natively — no index materialization).
+    enum WorkerRows<'p> {
+        Range(usize, usize),
+        Perm(&'p [usize]),
+    }
+    fn visit<S: TupleScan + ?Sized>(data: &S, rows: &WorkerRows<'_>, f: &mut dyn FnMut(&Tuple)) {
+        match rows {
+            WorkerRows::Range(start, end) => data.scan_tuples_range(*start, *end, f),
+            WorkerRows::Perm(perm) => data.scan_tuples_permuted(perm, f),
+        }
+    }
+    let worker_rows: Vec<WorkerRows> = ranges
         .iter()
         .map(|&(start, end)| match permutation {
-            Some(perm) => perm[start..end].to_vec(),
-            None => (start..end).collect(),
+            Some(perm) => WorkerRows::Perm(&perm[start..end]),
+            None => WorkerRows::Range(start, end),
         })
         .collect();
 
@@ -497,15 +509,14 @@ fn run_shared_memory_epoch<T: IgdTask>(
                         let locked = &locked;
                         scope.spawn(move || {
                             catch_unwind(AssertUnwindSafe(|| {
-                                for &row in rows {
-                                    let Ok(tuple) = table.get(row) else { continue };
+                                visit(data, rows, &mut |tuple| {
                                     let mut guard = locked.lock();
                                     let mut store = SliceModelStore::new(guard.as_mut_slice());
                                     task.gradient_step(&mut store, tuple, alpha);
                                     if task.proximal_policy() == ProximalPolicy::PerStep {
                                         task.proximal_step(guard.as_mut_slice(), alpha);
                                     }
-                                }
+                                });
                             }))
                         })
                     })
@@ -532,19 +543,15 @@ fn run_shared_memory_epoch<T: IgdTask>(
                             catch_unwind(AssertUnwindSafe(|| match discipline {
                                 UpdateDiscipline::Aig => {
                                     let mut store = AigStore::new(shared);
-                                    for &row in rows {
-                                        if let Ok(tuple) = table.get(row) {
-                                            task.gradient_step(&mut store, tuple, alpha);
-                                        }
-                                    }
+                                    visit(data, rows, &mut |tuple| {
+                                        task.gradient_step(&mut store, tuple, alpha);
+                                    });
                                 }
                                 _ => {
                                     let mut store = NoLockStore::new(shared);
-                                    for &row in rows {
-                                        if let Ok(tuple) = table.get(row) {
-                                            task.gradient_step(&mut store, tuple, alpha);
-                                        }
-                                    }
+                                    visit(data, rows, &mut |tuple| {
+                                        task.gradient_step(&mut store, tuple, alpha);
+                                    });
                                 }
                             }))
                         })
@@ -584,7 +591,7 @@ mod tests {
     use crate::stepsize::StepSizeSchedule;
     use crate::tasks::{LogisticRegressionTask, PortfolioTask, SvmTask};
     use crate::trainer::Trainer;
-    use bismarck_storage::{Column, DataType, Schema, Value};
+    use bismarck_storage::{Column, DataType, Schema, Table, Value};
     use bismarck_uda::ConvergenceTest;
     use rand::rngs::StdRng;
     use rand::Rng;

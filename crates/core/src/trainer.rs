@@ -26,7 +26,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bismarck_storage::checkpoint::CheckpointError;
-use bismarck_storage::{ScanOrder, Table};
+use bismarck_storage::{ScanOrder, TupleScan};
 use bismarck_uda::{
     panic_message, run_sequential, ConvergenceTest, EpochOutcome, EpochRecord, EpochRunner,
     TrainingHistory,
@@ -418,12 +418,10 @@ impl<'a, T: IgdTask> Trainer<'a, T> {
         &self.config
     }
 
-    /// Full objective (`Σ_i f_i(w) + P(w)`) of a model over a table.
-    pub fn objective(&self, model: &[f64], table: &Table) -> f64 {
+    /// Full objective (`Σ_i f_i(w) + P(w)`) of a model over a tuple source.
+    pub fn objective<S: TupleScan + ?Sized>(&self, model: &[f64], data: &S) -> f64 {
         let mut total = self.task.regularizer(model);
-        for tuple in table.scan() {
-            total += self.task.example_loss(model, tuple);
-        }
+        data.scan_tuples(&mut |tuple| total += self.task.example_loss(model, tuple));
         total
     }
 
@@ -435,20 +433,24 @@ impl<'a, T: IgdTask> Trainer<'a, T> {
     /// pre-fault-tolerance trainer would have aborted. The one exception is a
     /// cooperative interrupt, which returns the last completed epoch's model
     /// — stopping on request is not a failure.
-    pub fn train(&self, table: &Table) -> TrainedModel {
-        unwrap_trained(self.try_train(table))
+    pub fn train<S: TupleScan + ?Sized>(&self, data: &S) -> TrainedModel {
+        unwrap_trained(self.try_train(data))
     }
 
     /// Train on a table starting from a caller-provided model (the paper's
     /// "a model returned by a previous run"). See [`Self::train`] for how
     /// failures surface.
-    pub fn train_from(&self, table: &Table, initial_model: Vec<f64>) -> TrainedModel {
-        unwrap_trained(self.try_train_from(table, initial_model))
+    pub fn train_from<S: TupleScan + ?Sized>(
+        &self,
+        data: &S,
+        initial_model: Vec<f64>,
+    ) -> TrainedModel {
+        unwrap_trained(self.try_train_from(data, initial_model))
     }
 
     /// Fallible training from the task's initial model.
-    pub fn try_train(&self, table: &Table) -> Result<TrainedModel, TrainError> {
-        self.try_train_from(table, self.task.initial_model())
+    pub fn try_train<S: TupleScan + ?Sized>(&self, data: &S) -> Result<TrainedModel, TrainError> {
+        self.try_train_from(data, self.task.initial_model())
     }
 
     /// Fallible training from a caller-provided model.
@@ -456,12 +458,12 @@ impl<'a, T: IgdTask> Trainer<'a, T> {
     /// On failure, the returned [`TrainError`] carries the model of the last
     /// epoch that completed with a fully finite model and loss (the initial
     /// model if none did), plus the history of the completed epochs.
-    pub fn try_train_from(
+    pub fn try_train_from<S: TupleScan + ?Sized>(
         &self,
-        table: &Table,
+        data: &S,
         initial_model: Vec<f64>,
     ) -> Result<TrainedModel, TrainError> {
-        self.try_train_impl(table, initial_model, None)
+        self.try_train_impl(data, initial_model, None)
     }
 
     /// Resume a checkpointed run, continuing bit-compatibly with an
@@ -474,9 +476,9 @@ impl<'a, T: IgdTask> Trainer<'a, T> {
     /// The checkpoint must match this trainer: same task name, model
     /// dimension, scan order and step-size schedule; a mismatch reports
     /// [`CheckpointError::Corrupt`] via [`TrainError::Checkpoint`].
-    pub fn resume_from(
+    pub fn resume_from<S: TupleScan + ?Sized>(
         &self,
-        table: &Table,
+        data: &S,
         path: impl AsRef<Path>,
     ) -> Result<TrainedModel, TrainError> {
         let checkpoint = TrainingCheckpoint::read(path.as_ref())?;
@@ -488,12 +490,12 @@ impl<'a, T: IgdTask> Trainer<'a, T> {
             retries_used: checkpoint.retries_used,
             losses: checkpoint.losses,
         };
-        self.try_train_impl(table, model, Some(resume))
+        self.try_train_impl(data, model, Some(resume))
     }
 
-    fn try_train_impl(
+    fn try_train_impl<S: TupleScan + ?Sized>(
         &self,
-        table: &Table,
+        data: &S,
         initial_model: Vec<f64>,
         resume: Option<ResumeState>,
     ) -> Result<TrainedModel, TrainError> {
@@ -536,12 +538,13 @@ impl<'a, T: IgdTask> Trainer<'a, T> {
                         ScanOrder::ShuffleOnce { .. } => {
                             if cached_permutation.is_none() {
                                 cached_permutation =
-                                    config.scan_order.permutation(table.len(), epoch);
+                                    config.scan_order.permutation(data.tuple_count(), epoch);
                             }
                             cached_permutation.as_deref()
                         }
                         ScanOrder::ShuffleAlways { .. } => {
-                            cached_permutation = config.scan_order.permutation(table.len(), epoch);
+                            cached_permutation =
+                                config.scan_order.permutation(data.tuple_count(), epoch);
                             cached_permutation.as_deref()
                         }
                     };
@@ -553,7 +556,7 @@ impl<'a, T: IgdTask> Trainer<'a, T> {
 
                     // 2. One epoch of IGD as a UDA, isolated from panics.
                     // Unwind safety: the closure owns the model it mutates
-                    // (moved in) and only reads `task`/`table`/`permutation`;
+                    // (moved in) and only reads `task`/`data`/`permutation`;
                     // if it panics, the partially-updated model is discarded
                     // and `last_good` takes its place, so no torn state is
                     // ever observed afterwards.
@@ -561,7 +564,7 @@ impl<'a, T: IgdTask> Trainer<'a, T> {
                     let pass_model = std::mem::take(&mut model);
                     let pass = catch_unwind(AssertUnwindSafe(move || {
                         let aggregate = IgdAggregate::new(task, alpha, pass_model);
-                        let state = run_sequential(&aggregate, table, permutation);
+                        let state = run_sequential(&aggregate, data, permutation);
                         state.model.into_vec()
                     }));
                     match pass {
@@ -576,9 +579,7 @@ impl<'a, T: IgdTask> Trainer<'a, T> {
 
                     // 3. Evaluate the objective for the convergence test.
                     let mut loss = task.regularizer(&model);
-                    for tuple in table.scan() {
-                        loss += task.example_loss(&model, tuple);
-                    }
+                    data.scan_tuples(&mut |tuple| loss += task.example_loss(&model, tuple));
 
                     // 4. Divergence scan + recovery.
                     let healthy = loss.is_finite() && model.iter().all(|v| v.is_finite());
@@ -880,7 +881,7 @@ fn build_checkpoint<T: IgdTask>(
 mod tests {
     use super::*;
     use crate::tasks::{LeastSquaresTask, LogisticRegressionTask, SvmTask};
-    use bismarck_storage::{Column, DataType, Schema, Value};
+    use bismarck_storage::{Column, DataType, Schema, Table, Value};
     use rand::rngs::StdRng;
     use rand::Rng;
     use rand::SeedableRng;

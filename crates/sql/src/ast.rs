@@ -11,21 +11,26 @@ use bismarck_storage::DataType;
 /// One parsed statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
-    /// `CREATE TABLE name (col TYPE, ...)`
+    /// `CREATE TABLE name (col TYPE, ...) [STORAGE = ROW | COLUMNAR]`
     CreateTable {
         /// Table name.
         name: String,
         /// Column definitions in declaration order.
         columns: Vec<ColumnDef>,
+        /// Physical layout for the new table.
+        storage: TableStorage,
     },
-    /// `CREATE TABLE name AS SELECT ...` — materialize a query result as a
-    /// new table. This is how the paper realizes shuffle-once inside
-    /// PostgreSQL: `CREATE TABLE shuffled AS SELECT * FROM data ORDER BY RANDOM()`.
+    /// `CREATE TABLE name [STORAGE = ROW | COLUMNAR] AS SELECT ...` —
+    /// materialize a query result as a new table. This is how the paper
+    /// realizes shuffle-once inside PostgreSQL:
+    /// `CREATE TABLE shuffled AS SELECT * FROM data ORDER BY RANDOM()`.
     CreateTableAs {
         /// New table name.
         name: String,
         /// The query whose result becomes the table.
         query: SelectStatement,
+        /// Physical layout for the new table.
+        storage: TableStorage,
     },
     /// `SHOW TABLES` — list the catalog's tables and their row counts.
     ShowTables,
@@ -79,6 +84,18 @@ pub enum Statement {
         /// Sort direction.
         ascending: bool,
     },
+}
+
+/// Physical layout requested by a `CREATE TABLE` statement's optional
+/// `STORAGE = ...` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TableStorage {
+    /// Row-store (the default): tuples stored contiguously, WAL-logged.
+    #[default]
+    Row,
+    /// Columnar chunked storage: per-column chunks with validity bitmaps,
+    /// scanned through the same `TupleScan` surface as the row-store.
+    Columnar,
 }
 
 /// Direction of a `COPY` statement.

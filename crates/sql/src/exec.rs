@@ -10,13 +10,17 @@ use bismarck_core::frontend::{load_model, persist_model};
 use bismarck_core::governor::{Governor, QueryGuard, ShutdownReport};
 use bismarck_core::serving::{ModelHandle, ModelSnapshot, ServingTask};
 use bismarck_core::TrainerConfig;
-use bismarck_storage::{Column, DataType, Database, RecoveryReport, Schema, Table, Value};
+use bismarck_storage::{
+    Column, ColumnarTable, DataType, Database, RecoveryReport, Schema, Table, TupleScan, Value,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::analytics::{execute_analytics, is_analytics_function};
-use crate::ast::{CopyDirection, Expr, Literal, OrderKey, SelectItem, SelectStatement, Statement};
+use crate::analytics::{execute_analytics, execute_analytics_columnar, is_analytics_function};
+use crate::ast::{
+    CopyDirection, Expr, Literal, OrderKey, SelectItem, SelectStatement, Statement, TableStorage,
+};
 use crate::error::{Result, SqlError};
 use crate::eval::{compare_values, evaluate, evaluate_grouped, is_truthy, EvalContext, RowContext};
 use crate::parser::{parse_script, parse_statement};
@@ -35,6 +39,13 @@ const GUARD_CHECK_ROWS: usize = 256;
 /// serving registry behind `PREDICT()`.
 pub struct SqlSession {
     db: Database,
+    /// Tables created with `STORAGE = COLUMNAR`. They live beside the
+    /// row-store catalog (names are checked against both registries) but are
+    /// session-local: the durable WAL covers row-store tables only, so a
+    /// columnar table created through SQL does not survive a reopen. Paged
+    /// columnar tables built from Rust can be registered with
+    /// [`SqlSession::register_columnar_table`].
+    columnar: HashMap<String, ColumnarTable>,
     trainer_config: TrainerConfig,
     ctx: EvalContext,
     /// Live serving handles addressable by `PREDICT('name', ...)`; resolved
@@ -65,6 +76,7 @@ impl SqlSession {
     pub fn with_seed(seed: u64) -> Self {
         SqlSession {
             db: Database::new(),
+            columnar: HashMap::new(),
             trainer_config: TrainerConfig::default(),
             ctx: EvalContext::with_seed(seed),
             serving: HashMap::new(),
@@ -126,6 +138,24 @@ impl SqlSession {
     pub fn register_table(&mut self, table: Table) -> Result<()> {
         self.db.register_table(table)?;
         Ok(())
+    }
+
+    /// Register an already-built columnar table (in-memory or paged),
+    /// making it addressable from SQL like any other table. Fails if a
+    /// row-store table of the same name exists.
+    pub fn register_columnar_table(&mut self, table: ColumnarTable) -> Result<()> {
+        if self.db.contains(table.name()) {
+            return Err(SqlError::Storage(
+                bismarck_storage::StorageError::TableExists(table.name().to_string()),
+            ));
+        }
+        self.columnar.insert(table.name().to_string(), table);
+        Ok(())
+    }
+
+    /// The columnar table registered under `name`, if any.
+    pub fn columnar_table(&self, name: &str) -> Option<&ColumnarTable> {
+        self.columnar.get(name)
     }
 
     /// Register a live serving handle under `name`, making
@@ -267,8 +297,15 @@ impl SqlSession {
     fn dispatch(&mut self, statement: Statement) -> Result<QueryResult> {
         self.prime_predict_models(&statement)?;
         match statement {
-            Statement::CreateTable { name, columns } => self.run_create_table(name, columns),
+            Statement::CreateTable {
+                name,
+                columns,
+                storage,
+            } => self.run_create_table(name, columns, storage),
             Statement::DropTable { name } => {
+                if self.columnar.remove(&name).is_some() {
+                    return Ok(QueryResult::status_only("DROP TABLE"));
+                }
                 self.db.drop_table(&name)?;
                 Ok(QueryResult::status_only("DROP TABLE"))
             }
@@ -289,7 +326,11 @@ impl SqlSession {
                 column,
                 ascending,
             } => self.run_reorder(table, Reorder::Cluster { column, ascending }),
-            Statement::CreateTableAs { name, query } => self.run_create_table_as(name, query),
+            Statement::CreateTableAs {
+                name,
+                query,
+                storage,
+            } => self.run_create_table_as(name, query, storage),
             Statement::ShowTables => Ok(self.run_show_tables()),
             Statement::Describe { name } => self.run_describe(&name),
         }
@@ -298,12 +339,13 @@ impl SqlSession {
     /// `CREATE TABLE ... AS SELECT ...`: materialize a query result. Column
     /// types are inferred from the result values (integer columns containing
     /// any double are widened to DOUBLE; all-NULL columns default to DOUBLE).
-    fn run_create_table_as(&mut self, name: String, query: SelectStatement) -> Result<QueryResult> {
-        if self.db.contains(&name) {
-            return Err(SqlError::Storage(
-                bismarck_storage::StorageError::TableExists(name),
-            ));
-        }
+    fn run_create_table_as(
+        &mut self,
+        name: String,
+        query: SelectStatement,
+        storage: TableStorage,
+    ) -> Result<QueryResult> {
+        self.check_name_free(&name)?;
         let result = self.run_select(query)?;
         let arity = result.columns.len();
 
@@ -336,45 +378,79 @@ impl SqlSession {
             .map(|(name, dtype)| Column::nullable(name.clone(), dtype.unwrap_or(DataType::Double)))
             .collect();
         let schema = Schema::new(columns)?;
-        let mut table = Table::new(name.clone(), schema);
         let count = result.rows.len();
-        for row in result.rows {
-            let coerced = row
-                .into_iter()
+        let coerced_rows = result.rows.into_iter().map(|row| {
+            row.into_iter()
                 .zip(&types)
                 .map(|(value, dtype)| match (value, dtype) {
                     // Widen integers stored in a DOUBLE column.
                     (Value::Int(v), Some(DataType::Double)) => Value::Double(v as f64),
                     (value, _) => value,
                 })
-                .collect();
-            table.insert(coerced)?;
+                .collect::<Vec<Value>>()
+        });
+        match storage {
+            TableStorage::Row => {
+                let mut table = Table::new(name.clone(), schema);
+                for row in coerced_rows {
+                    table.insert(row)?;
+                }
+                self.db.register_table(table)?;
+            }
+            TableStorage::Columnar => {
+                let mut table = ColumnarTable::new(name.clone(), schema);
+                table.insert_all(coerced_rows)?;
+                self.columnar.insert(name, table);
+            }
         }
-        self.db.register_table(table)?;
         Ok(QueryResult::status_only(format!(
             "CREATE TABLE AS ({count} rows)"
         )))
     }
 
-    /// `SHOW TABLES`: table names and row counts, sorted by name.
+    /// Error if `name` is taken in either the row-store catalog or the
+    /// columnar registry.
+    fn check_name_free(&self, name: &str) -> Result<()> {
+        if self.db.contains(name) || self.columnar.contains_key(name) {
+            return Err(SqlError::Storage(
+                bismarck_storage::StorageError::TableExists(name.to_string()),
+            ));
+        }
+        Ok(())
+    }
+
+    /// `SHOW TABLES`: table names and row counts (row-store and columnar),
+    /// sorted by name.
     fn run_show_tables(&self) -> QueryResult {
-        let mut names = self.db.table_names();
-        names.sort();
-        let rows = names
+        let mut entries: Vec<(String, usize)> = self
+            .db
+            .table_names()
             .into_iter()
             .map(|name| {
                 let len = self.db.table(&name).map(Table::len).unwrap_or(0);
-                vec![Value::Text(name), Value::Int(len as i64)]
+                (name, len)
             })
+            .chain(
+                self.columnar
+                    .iter()
+                    .map(|(name, table)| (name.clone(), table.len())),
+            )
+            .collect();
+        entries.sort();
+        let rows = entries
+            .into_iter()
+            .map(|(name, len)| vec![Value::Text(name), Value::Int(len as i64)])
             .collect();
         QueryResult::with_rows(vec!["table".into(), "rows".into()], rows)
     }
 
     /// `DESCRIBE <table>`: column names, types and nullability.
     fn run_describe(&self, name: &str) -> Result<QueryResult> {
-        let table = self.db.table(name)?;
-        let rows = table
-            .schema()
+        let schema = match self.columnar.get(name) {
+            Some(table) => table.schema(),
+            None => self.db.table(name)?.schema(),
+        };
+        let rows = schema
             .columns()
             .iter()
             .map(|column| {
@@ -401,27 +477,36 @@ impl SqlSession {
             CopyDirection::FromFile => {
                 let text = std::fs::read_to_string(&path)
                     .map_err(|e| SqlError::Evaluation(format!("cannot read '{path}': {e}")))?;
-                let schema = self.db.table(&table_name)?.schema().clone();
-                // Parse into a staging table first so a malformed file never
+                let schema = match self.columnar.get(&table_name) {
+                    Some(table) => table.schema().clone(),
+                    None => self.db.table(&table_name)?.schema().clone(),
+                };
+                // Parse the whole file first so a malformed line never
                 // leaves a half-loaded target behind.
-                let staged = bismarck_storage::csv::table_from_str("staged", schema, &text)?;
-                let mut rows: Vec<Vec<Value>> = Vec::with_capacity(staged.len());
-                for (i, tuple) in staged.scan().enumerate() {
-                    if i % GUARD_CHECK_ROWS == 0 {
+                let parsed = bismarck_storage::csv::rows_from_str(&schema, &text)?;
+                for (i, row) in parsed.iter().enumerate() {
+                    if i.is_multiple_of(GUARD_CHECK_ROWS) {
                         self.guard.check()?;
                     }
-                    self.guard.reserve(approx_row_bytes(tuple.values()))?;
-                    rows.push(tuple.values().to_vec());
+                    self.guard.reserve(approx_row_bytes(row))?;
                 }
-                let count = self.db.insert_rows(&table_name, rows)?;
+                let count = match self.columnar.get_mut(&table_name) {
+                    Some(table) => table.insert_all(parsed)?,
+                    None => self.db.insert_rows(&table_name, parsed)?,
+                };
                 Ok(QueryResult::status_only(format!("COPY {count}")))
             }
             CopyDirection::ToFile => {
-                let table = self.db.table(&table_name)?;
-                let text = bismarck_storage::csv::table_to_string(table);
+                let (text, count) = match self.columnar.get(&table_name) {
+                    Some(table) => (bismarck_storage::csv::tuples_to_string(table), table.len()),
+                    None => {
+                        let table = self.db.table(&table_name)?;
+                        (bismarck_storage::csv::table_to_string(table), table.len())
+                    }
+                };
                 std::fs::write(&path, text)
                     .map_err(|e| SqlError::Evaluation(format!("cannot write '{path}': {e}")))?;
-                Ok(QueryResult::status_only(format!("COPY {}", table.len())))
+                Ok(QueryResult::status_only(format!("COPY {count}")))
             }
         }
     }
@@ -430,11 +515,49 @@ impl SqlSession {
     /// `CLUSTER TABLE ... BY`). This is the storage-side knob Section 3.2
     /// studies: the scan order of later training runs follows this layout.
     fn run_reorder(&mut self, table_name: String, reorder: Reorder) -> Result<QueryResult> {
-        let (schema, mut rows) = {
+        // A columnar table is rewritten by rebuilding its chunks from the
+        // reordered rows. Paged tables are excluded: their segments are
+        // immutable on disk, and trainers shuffle them through scan
+        // permutations rather than physical rewrites.
+        let columnar_capacity = match self.columnar.get(&table_name) {
+            Some(table) if table.pager_stats().is_some() => {
+                return Err(SqlError::Analysis(format!(
+                    "cannot physically rewrite paged columnar table '{table_name}'; \
+                     trainers shuffle it via scan permutations instead"
+                )))
+            }
+            Some(table) => Some(table.chunk_capacity()),
+            None => None,
+        };
+        let (schema, mut rows) = if let Some(table) = self.columnar.get(&table_name) {
+            let guard = &self.guard;
+            let mut rows: Vec<Vec<Value>> = Vec::with_capacity(table.len());
+            let mut scan_err: Option<SqlError> = None;
+            let mut i = 0usize;
+            table.scan_tuples_while(&mut |tuple| {
+                if i.is_multiple_of(GUARD_CHECK_ROWS) {
+                    if let Err(e) = guard.check() {
+                        scan_err = Some(e.into());
+                        return false;
+                    }
+                }
+                i += 1;
+                if let Err(e) = guard.reserve(approx_row_bytes(tuple.values())) {
+                    scan_err = Some(e.into());
+                    return false;
+                }
+                rows.push(tuple.values().to_vec());
+                true
+            });
+            if let Some(e) = scan_err {
+                return Err(e);
+            }
+            (table.schema().clone(), rows)
+        } else {
             let table = self.db.table(&table_name)?;
             let mut rows: Vec<Vec<Value>> = Vec::with_capacity(table.len());
             for (i, tuple) in table.scan().enumerate() {
-                if i % GUARD_CHECK_ROWS == 0 {
+                if i.is_multiple_of(GUARD_CHECK_ROWS) {
                     self.guard.check()?;
                 }
                 self.guard.reserve(approx_row_bytes(tuple.values()))?;
@@ -463,11 +586,20 @@ impl SqlSession {
                 format!("CLUSTER {}", rows.len())
             }
         };
-        let mut rebuilt = Table::new(table_name, schema);
-        for row in rows {
-            rebuilt.insert(row)?;
+        match columnar_capacity {
+            Some(capacity) => {
+                let mut rebuilt = ColumnarTable::with_chunk_capacity(&table_name, schema, capacity);
+                rebuilt.insert_all(rows)?;
+                self.columnar.insert(table_name, rebuilt);
+            }
+            None => {
+                let mut rebuilt = Table::new(table_name, schema);
+                for row in rows {
+                    rebuilt.insert(row)?;
+                }
+                self.db.register_table(rebuilt)?;
+            }
         }
-        self.db.register_table(rebuilt)?;
         Ok(QueryResult::status_only(status))
     }
 
@@ -475,6 +607,7 @@ impl SqlSession {
         &mut self,
         name: String,
         columns: Vec<crate::ast::ColumnDef>,
+        storage: TableStorage,
     ) -> Result<QueryResult> {
         // Columns are nullable so `INSERT` with an explicit column list can
         // omit the rest; the storage layer still enforces declared types.
@@ -484,7 +617,16 @@ impl SqlSession {
                 .map(|c| Column::nullable(c.name, c.data_type))
                 .collect(),
         )?;
-        self.db.create_table(name, schema)?;
+        self.check_name_free(&name)?;
+        match storage {
+            TableStorage::Row => {
+                self.db.create_table(name, schema)?;
+            }
+            TableStorage::Columnar => {
+                self.columnar
+                    .insert(name.clone(), ColumnarTable::new(name, schema));
+            }
+        }
         Ok(QueryResult::status_only("CREATE TABLE"))
     }
 
@@ -496,13 +638,16 @@ impl SqlSession {
     ) -> Result<QueryResult> {
         // Evaluate all rows before touching the table so a mid-statement
         // error does not leave a partial insert behind.
-        let arity = self.db.table(&table_name)?.schema().arity();
+        let schema = match self.columnar.get(&table_name) {
+            Some(table) => table.schema().clone(),
+            None => self.db.table(&table_name)?.schema().clone(),
+        };
+        let arity = schema.arity();
         let column_indices: Option<Vec<usize>> = match &columns {
             Some(names) => {
-                let table = self.db.table(&table_name)?;
                 let mut indices = Vec::with_capacity(names.len());
                 for name in names {
-                    indices.push(table.column_index(name)?);
+                    indices.push(schema.index_of(name)?);
                 }
                 Some(indices)
             }
@@ -511,7 +656,7 @@ impl SqlSession {
 
         let mut materialized: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
         for (i, row) in rows.iter().enumerate() {
-            if i % GUARD_CHECK_ROWS == 0 {
+            if i.is_multiple_of(GUARD_CHECK_ROWS) {
                 self.guard.check()?;
             }
             let mut values = Vec::with_capacity(row.len());
@@ -539,7 +684,10 @@ impl SqlSession {
             materialized.push(full_row);
         }
 
-        let count = self.db.insert_rows(&table_name, materialized)?;
+        let count = match self.columnar.get_mut(&table_name) {
+            Some(table) => table.insert_all(materialized)?,
+            None => self.db.insert_rows(&table_name, materialized)?,
+        };
         Ok(QueryResult::status_only(format!("INSERT {count}")))
     }
 
@@ -583,7 +731,18 @@ impl SqlSession {
             // The guard rides into the trainers through the config: deadline
             // or cancellation ends the run at the next epoch boundary.
             let config = self.trainer_config.clone().with_guard(self.guard.clone());
-            let result = execute_analytics(&mut self.db, config, name, &arg_values);
+            // Every analytics function takes the data table as its second
+            // argument; a columnar name routes the call to the columnar
+            // entry point (models still persist into the row-store catalog).
+            let SqlSession { db, columnar, .. } = self;
+            let columnar_source = arg_values
+                .get(1)
+                .and_then(|v| v.as_text())
+                .and_then(|table| columnar.get(table));
+            let result = match columnar_source {
+                Some(source) => execute_analytics_columnar(db, source, config, name, &arg_values),
+                None => execute_analytics(db, config, name, &arg_values),
+            };
             // A run the guard interrupted surfaces as the governance error,
             // not a generic analytics failure.
             return result.map_err(|e| match self.guard.check() {
@@ -618,30 +777,70 @@ impl SqlSession {
         };
         // Split borrows: the table is read-only while the RNG in `ctx` is
         // mutated by RANDOM().
-        let SqlSession { db, ctx, guard, .. } = self;
-        let table = db.table(table_name)?;
-        let schema = table.schema().clone();
+        let SqlSession {
+            db,
+            columnar,
+            ctx,
+            guard,
+            ..
+        } = self;
 
         // Filter. Kept rows are the statement's first materialized
         // intermediate, so they are charged against the guard's budget.
+        // Row-store and columnar tables stream through the same TupleScan
+        // surface; the callback-based columnar path threads errors out
+        // through `scan_err` because the closure cannot use `?`.
+        let schema;
         let mut rows: Vec<Vec<Value>> = Vec::new();
-        for (i, tuple) in table.scan().enumerate() {
-            if i % GUARD_CHECK_ROWS == 0 {
-                guard.check()?;
-            }
-            let keep = match &select.filter {
-                Some(predicate) => {
-                    let row = RowContext {
-                        schema: &schema,
-                        values: tuple.values(),
-                    };
-                    is_truthy(&evaluate(predicate, Some(row), ctx)?)
+        {
+            let source: &dyn TupleScan = match columnar.get(table_name) {
+                Some(table) => {
+                    schema = table.schema().clone();
+                    table
                 }
-                None => true,
+                None => {
+                    let table = db.table(table_name)?;
+                    schema = table.schema().clone();
+                    table
+                }
             };
-            if keep {
-                guard.reserve(approx_row_bytes(tuple.values()))?;
-                rows.push(tuple.values().to_vec());
+            let mut scan_err: Option<SqlError> = None;
+            let mut i = 0usize;
+            source.scan_tuples_while(&mut |tuple| {
+                if i.is_multiple_of(GUARD_CHECK_ROWS) {
+                    if let Err(e) = guard.check() {
+                        scan_err = Some(e.into());
+                        return false;
+                    }
+                }
+                i += 1;
+                let keep = match &select.filter {
+                    Some(predicate) => {
+                        let row = RowContext {
+                            schema: &schema,
+                            values: tuple.values(),
+                        };
+                        match evaluate(predicate, Some(row), ctx) {
+                            Ok(value) => is_truthy(&value),
+                            Err(e) => {
+                                scan_err = Some(e);
+                                return false;
+                            }
+                        }
+                    }
+                    None => true,
+                };
+                if keep {
+                    if let Err(e) = guard.reserve(approx_row_bytes(tuple.values())) {
+                        scan_err = Some(e.into());
+                        return false;
+                    }
+                    rows.push(tuple.values().to_vec());
+                }
+                true
+            });
+            if let Some(e) = scan_err {
+                return Err(e);
             }
         }
 
@@ -708,7 +907,7 @@ impl SqlSession {
 
         let mut keyed_rows = Vec::with_capacity(rows.len());
         for (i, values) in rows.into_iter().enumerate() {
-            if i % GUARD_CHECK_ROWS == 0 {
+            if i.is_multiple_of(GUARD_CHECK_ROWS) {
                 self.guard.check()?;
             }
             let row = RowContext {
@@ -753,7 +952,7 @@ impl SqlSession {
             groups.push((Vec::new(), rows));
         } else {
             for (i, values) in rows.into_iter().enumerate() {
-                if i % GUARD_CHECK_ROWS == 0 {
+                if i.is_multiple_of(GUARD_CHECK_ROWS) {
                     self.guard.check()?;
                 }
                 let row = RowContext {
@@ -781,7 +980,7 @@ impl SqlSession {
 
         let mut keyed_rows = Vec::with_capacity(groups.len());
         for (i, (_, members)) in groups.into_iter().enumerate() {
-            if i % GUARD_CHECK_ROWS == 0 {
+            if i.is_multiple_of(GUARD_CHECK_ROWS) {
                 self.guard.check()?;
             }
             // An aggregate over zero rows is only meaningful without GROUP BY
@@ -1494,6 +1693,161 @@ mod tests {
         assert!(value.is_finite() && value >= 0.0);
         // A well-separated toy problem should reach a small hinge loss.
         assert!(value < 30.0);
+    }
+
+    #[test]
+    fn columnar_table_supports_the_full_statement_surface() {
+        let mut session = SqlSession::with_seed(7);
+        exec(
+            &mut session,
+            "CREATE TABLE points (id INT, x DOUBLE, label DOUBLE, name TEXT) STORAGE = COLUMNAR",
+        );
+        exec_script(
+            &mut session,
+            "INSERT INTO points VALUES
+               (1, 0.5, 1.0, 'a'), (2, -0.5, -1.0, 'b'), (3, 1.5, 1.0, 'c')",
+        );
+        assert!(session.columnar_table("points").is_some());
+        assert!(!session.database().contains("points"));
+
+        let all = exec(&mut session, "SELECT * FROM points ORDER BY id");
+        assert_eq!(all.len(), 3);
+        assert_eq!(all.columns, vec!["id", "x", "label", "name"]);
+        let filtered = exec(&mut session, "SELECT id FROM points WHERE label > 0");
+        assert_eq!(filtered.len(), 2);
+        let agg = exec(&mut session, "SELECT COUNT(*), AVG(x) FROM points");
+        assert_eq!(agg.rows[0][0], Value::Int(3));
+
+        let described = exec(&mut session, "DESCRIBE points");
+        assert_eq!(described.len(), 4);
+        let tables = exec(&mut session, "SHOW TABLES");
+        assert_eq!(tables.rows[0][0], Value::Text("points".into()));
+        assert_eq!(tables.rows[0][1], Value::Int(3));
+
+        exec(&mut session, "SHUFFLE TABLE points SEED 5");
+        exec(&mut session, "CLUSTER TABLE points BY x ASC");
+        let xs: Vec<f64> = exec(&mut session, "SELECT x FROM points")
+            .rows
+            .iter()
+            .map(|r| r[0].as_double().unwrap())
+            .collect();
+        assert_eq!(xs, vec![-0.5, 0.5, 1.5]);
+
+        exec(&mut session, "DROP TABLE points");
+        assert!(session.columnar_table("points").is_none());
+        assert!(session.execute("SELECT * FROM points").is_err());
+    }
+
+    #[test]
+    fn columnar_name_collisions_are_rejected_both_ways() {
+        let mut session = SqlSession::new();
+        exec(&mut session, "CREATE TABLE t (x INT)");
+        assert!(session
+            .execute("CREATE TABLE t (x INT) STORAGE = COLUMNAR")
+            .is_err());
+        exec(&mut session, "CREATE TABLE c (x INT) STORAGE = COLUMNAR");
+        assert!(session.execute("CREATE TABLE c (x INT)").is_err());
+        assert!(session
+            .execute("CREATE TABLE c STORAGE = COLUMNAR AS SELECT * FROM t")
+            .is_err());
+    }
+
+    #[test]
+    fn create_columnar_as_select_materializes_query_results() {
+        let mut session = session_with_points();
+        exec(
+            &mut session,
+            "CREATE TABLE cpoints STORAGE = COLUMNAR AS SELECT * FROM points",
+        );
+        let table = session.columnar_table("cpoints").expect("columnar table");
+        assert_eq!(table.len(), 5);
+        let n = exec(&mut session, "SELECT COUNT(*) FROM cpoints");
+        assert_eq!(n.single_value(), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn copy_roundtrips_through_a_columnar_table() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "bismarck_sql_columnar_copy_{}.csv",
+            std::process::id()
+        ));
+        let path_str = path.to_str().unwrap().to_string();
+
+        let mut session = session_with_points();
+        exec(
+            &mut session,
+            "CREATE TABLE cpoints (id INT, x DOUBLE, label DOUBLE, name TEXT) STORAGE = COLUMNAR",
+        );
+        exec(&mut session, &format!("COPY points TO '{path_str}'"));
+        let imported = exec(&mut session, &format!("COPY cpoints FROM '{path_str}'"));
+        assert_eq!(imported.status, "COPY 5");
+
+        // Export the columnar table and re-import into a fresh row table:
+        // tuple-for-tuple identical content.
+        exec(&mut session, &format!("COPY cpoints TO '{path_str}'"));
+        exec(
+            &mut session,
+            "CREATE TABLE back (id INT, x DOUBLE, label DOUBLE, name TEXT)",
+        );
+        exec(&mut session, &format!("COPY back FROM '{path_str}'"));
+        let row = exec(&mut session, "SELECT * FROM back ORDER BY id");
+        let col = exec(&mut session, "SELECT * FROM cpoints ORDER BY id");
+        assert_eq!(row.rows, col.rows);
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn training_over_columnar_matches_row_store_bit_for_bit() {
+        let build = |columnar: bool| {
+            let mut session = SqlSession::with_seed(3);
+            let storage = if columnar { " STORAGE = COLUMNAR" } else { "" };
+            exec(
+                &mut session,
+                &format!("CREATE TABLE d (id INT, vec DENSE_VEC, label DOUBLE){storage}"),
+            );
+            for i in 0..40 {
+                let y = if i % 2 == 0 { 1.0 } else { -1.0 };
+                exec(
+                    &mut session,
+                    &format!(
+                        "INSERT INTO d VALUES ({i}, ARRAY[{}, {}], {y})",
+                        y * 2.0,
+                        -y
+                    ),
+                );
+            }
+            exec(
+                &mut session,
+                "SELECT SVMTrain('m', 'd', 'vec', 'label', 0.2, 8)",
+            );
+            let weights = exec(&mut session, "SELECT * FROM m ORDER BY idx");
+            let loss = exec(&mut session, "SELECT SVMLoss('m', 'd', 'vec', 'label')");
+            let preds = exec(&mut session, "SELECT SVMPredict('m', 'd', 'vec')");
+            (weights.rows, loss.rows, preds.rows)
+        };
+        let (row_w, row_l, row_p) = build(false);
+        let (col_w, col_l, col_p) = build(true);
+        assert_eq!(row_w, col_w, "model weights must be bit-identical");
+        assert_eq!(row_l, col_l);
+        assert_eq!(row_p, col_p);
+    }
+
+    #[test]
+    fn sequence_analytics_over_columnar_is_a_clear_error() {
+        let mut session = SqlSession::new();
+        exec(
+            &mut session,
+            "CREATE TABLE seqs (s SEQUENCE) STORAGE = COLUMNAR",
+        );
+        let err = session
+            .execute("SELECT CRFTrain('m', 'seqs', 's')")
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("not supported over columnar"),
+            "{err}"
+        );
     }
 
     #[test]

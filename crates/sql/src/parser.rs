@@ -4,7 +4,7 @@ use bismarck_storage::DataType;
 
 use crate::ast::{
     BinaryOp, ColumnDef, CopyDirection, Expr, Literal, OrderKey, SelectItem, SelectStatement,
-    Statement, UnaryOp,
+    Statement, TableStorage, UnaryOp,
 };
 use crate::error::{Result, SqlError};
 use crate::token::{tokenize, Token, TokenKind};
@@ -224,13 +224,45 @@ impl Parser {
         })
     }
 
+    /// Consume the next token if it is an identifier equal (ASCII
+    /// case-insensitively) to `word`. `STORAGE`, `COLUMNAR` and `ROW` are
+    /// soft keywords: they lex as identifiers so they stay usable as column
+    /// and table names.
+    fn eat_soft_keyword(&mut self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenKind::Identifier(id)) if id.eq_ignore_ascii_case(word)) && {
+            self.pos += 1;
+            true
+        }
+    }
+
+    /// Parse an optional `STORAGE = ROW | COLUMNAR` clause; absent means the
+    /// row-store default.
+    fn parse_storage_clause(&mut self) -> Result<TableStorage> {
+        if !self.eat_soft_keyword("STORAGE") {
+            return Ok(TableStorage::Row);
+        }
+        self.expect(&TokenKind::Eq)?;
+        if self.eat_soft_keyword("COLUMNAR") {
+            Ok(TableStorage::Columnar)
+        } else if self.eat_soft_keyword("ROW") {
+            Ok(TableStorage::Row)
+        } else {
+            Err(self.error("expected COLUMNAR or ROW after STORAGE ="))
+        }
+    }
+
     fn parse_create_table(&mut self) -> Result<Statement> {
         self.expect_keyword("CREATE")?;
         self.expect_keyword("TABLE")?;
         let name = self.expect_identifier()?;
+        let storage = self.parse_storage_clause()?;
         if self.eat_keyword("AS") {
             let query = self.parse_select()?;
-            return Ok(Statement::CreateTableAs { name, query });
+            return Ok(Statement::CreateTableAs {
+                name,
+                query,
+                storage,
+            });
         }
         self.expect(&TokenKind::LeftParen)?;
         let mut columns = Vec::new();
@@ -246,7 +278,16 @@ impl Parser {
             }
         }
         self.expect(&TokenKind::RightParen)?;
-        Ok(Statement::CreateTable { name, columns })
+        let storage = if storage == TableStorage::Row {
+            self.parse_storage_clause()?
+        } else {
+            storage
+        };
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            storage,
+        })
     }
 
     fn parse_data_type(&mut self) -> Result<DataType> {
@@ -650,10 +691,16 @@ mod tests {
              label DOUBLE, title TEXT, seq SEQUENCE)",
         )
         .unwrap();
-        let Statement::CreateTable { name, columns } = stmt else {
+        let Statement::CreateTable {
+            name,
+            columns,
+            storage,
+        } = stmt
+        else {
             panic!()
         };
         assert_eq!(name, "LabeledPapers");
+        assert_eq!(storage, TableStorage::Row);
         assert_eq!(columns.len(), 6);
         assert_eq!(columns[1].data_type, DataType::DenseVec);
         assert_eq!(columns[2].data_type, DataType::SparseVec);
@@ -896,12 +943,57 @@ mod tests {
     fn create_table_as_select_parses() {
         let stmt = parse_statement("CREATE TABLE shuffled AS SELECT * FROM data ORDER BY RANDOM()")
             .unwrap();
-        let Statement::CreateTableAs { name, query } = stmt else {
+        let Statement::CreateTableAs {
+            name,
+            query,
+            storage,
+        } = stmt
+        else {
             panic!("expected CTAS")
         };
         assert_eq!(name, "shuffled");
+        assert_eq!(storage, TableStorage::Row);
         assert_eq!(query.from.as_deref(), Some("data"));
         assert_eq!(query.order_by.len(), 1);
+    }
+
+    #[test]
+    fn storage_clause_parses_in_both_create_forms() {
+        let stmt = parse_statement("CREATE TABLE t (x INT) STORAGE = COLUMNAR").unwrap();
+        assert!(matches!(
+            stmt,
+            Statement::CreateTable {
+                storage: TableStorage::Columnar,
+                ..
+            }
+        ));
+        let stmt = parse_statement("CREATE TABLE t (x INT) storage = row").unwrap();
+        assert!(matches!(
+            stmt,
+            Statement::CreateTable {
+                storage: TableStorage::Row,
+                ..
+            }
+        ));
+        let stmt =
+            parse_statement("CREATE TABLE t STORAGE = COLUMNAR AS SELECT * FROM data").unwrap();
+        assert!(matches!(
+            stmt,
+            Statement::CreateTableAs {
+                storage: TableStorage::Columnar,
+                ..
+            }
+        ));
+        // STORAGE stays usable as an ordinary identifier.
+        let stmt = parse_statement("CREATE TABLE t (storage INT, row TEXT)").unwrap();
+        let Statement::CreateTable { columns, .. } = stmt else {
+            panic!()
+        };
+        assert_eq!(columns[0].name, "storage");
+        assert_eq!(columns[1].name, "row");
+
+        let err = parse_statement("CREATE TABLE t (x INT) STORAGE = HEAP").unwrap_err();
+        assert!(err.to_string().contains("COLUMNAR or ROW"), "{err}");
     }
 
     #[test]

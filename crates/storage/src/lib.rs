@@ -30,11 +30,14 @@
 
 pub mod catalog;
 pub mod checkpoint;
+pub mod chunk;
 mod codec;
+pub mod columnar;
 pub mod csv;
 pub mod durable;
 pub mod error;
 pub mod null_agg;
+mod pager;
 pub mod reservoir;
 pub mod scan;
 pub mod schema;
@@ -47,10 +50,13 @@ pub mod wal;
 
 pub use crate::catalog::{Database, RecoveryReport, SNAPSHOT_FILE, WAL_FILE};
 pub use crate::checkpoint::{read_checkpoint, write_checkpoint, CheckpointError};
+pub use crate::chunk::{ColumnChunk, ValidityBitmap};
+pub use crate::columnar::{ColumnarTable, Segment, DEFAULT_CHUNK_CAPACITY};
 pub use crate::error::StorageError;
 pub use crate::null_agg::NullAggregate;
+pub use crate::pager::PagerStats;
 pub use crate::reservoir::ReservoirSampler;
-pub use crate::scan::{segment_ranges, ScanOrder};
+pub use crate::scan::{segment_ranges, ScanOrder, TupleScan};
 pub use crate::schema::{Column, DataType, Schema};
 pub use crate::shared::SharedModel;
 pub use crate::table::Table;

@@ -7,7 +7,7 @@
 //! NULL aggregate. We reproduce it as an aggregate that touches each tuple
 //! (forcing the scan and accessor work) but performs no model arithmetic.
 
-use crate::table::Table;
+use crate::scan::TupleScan;
 use crate::tuple::Tuple;
 
 /// A no-op aggregate used as the overhead baseline.
@@ -58,23 +58,19 @@ impl NullAggregate {
         self.bytes_seen += other.bytes_seen;
     }
 
-    /// Run one full pass over a table and return the tuple count. This is
-    /// the "single-iteration runtime of the NULL aggregate" measured in
-    /// Tables 2 and 3.
-    pub fn run_epoch(table: &Table) -> usize {
+    /// Run one full pass over a tuple source (row-store or columnar) and
+    /// return the tuple count. This is the "single-iteration runtime of the
+    /// NULL aggregate" measured in Tables 2 and 3.
+    pub fn run_epoch<S: TupleScan + ?Sized>(data: &S) -> usize {
         let mut agg = NullAggregate::new();
-        for tuple in table.scan() {
-            agg.transition(tuple);
-        }
+        data.scan_tuples(&mut |tuple| agg.transition(tuple));
         agg.terminate()
     }
 
     /// Run one pass following an explicit row permutation.
-    pub fn run_epoch_permuted(table: &Table, order: &[usize]) -> usize {
+    pub fn run_epoch_permuted<S: TupleScan + ?Sized>(data: &S, order: &[usize]) -> usize {
         let mut agg = NullAggregate::new();
-        for tuple in table.scan_permuted(order) {
-            agg.transition(tuple);
-        }
+        data.scan_tuples_permuted(order, &mut |tuple| agg.transition(tuple));
         agg.terminate()
     }
 }
@@ -83,6 +79,7 @@ impl NullAggregate {
 mod tests {
     use super::*;
     use crate::schema::{Column, DataType, Schema};
+    use crate::table::Table;
     use crate::value::Value;
 
     fn table(n: usize) -> Table {

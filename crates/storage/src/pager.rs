@@ -1,0 +1,438 @@
+//! Out-of-core paging for columnar segments.
+//!
+//! Each sealed segment of a paged [`crate::columnar::ColumnarTable`] lives
+//! in its own file under the table directory:
+//!
+//! ```text
+//! <dir>/columnar.meta   manifest: name, schema, chunk capacity, row count
+//! <dir>/seg-000000.col  segment 0
+//! <dir>/seg-000001.col  segment 1
+//! ...
+//! ```
+//!
+//! Both file kinds share one frame (see `docs/disk-format.md`):
+//!
+//! ```text
+//! [0..4)   magic  (`BSEG` / `BCOL`)
+//! [4..5)   format version (1)
+//! [5..13)  payload length (u64 LE)
+//! [13..n)  payload
+//! [n..n+8) FNV-1a 64-bit checksum of the payload
+//! ```
+//!
+//! and every write goes through [`crate::durable::atomic_write`], so a crash
+//! leaves the previous complete file, never a torn one.
+//!
+//! Reads go through a small **pinned-segment LRU cache**: fetching returns
+//! an `Arc<Segment>`, so a segment a scan is mid-way through stays alive
+//! (pinned by the outstanding `Arc`) even if the cache evicts it — eviction
+//! only drops the cache's own reference. Sequential fetch patterns trigger
+//! read-ahead of the next segment, the access shape every clustered epoch
+//! scan produces.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::checkpoint::fnv1a64;
+use crate::codec::{push_schema, push_string, read_schema, Reader};
+use crate::columnar::Segment;
+use crate::durable::{atomic_write, read_file};
+use crate::error::StorageError;
+use crate::schema::Schema;
+
+const SEGMENT_MAGIC: &[u8; 4] = b"BSEG";
+const MANIFEST_MAGIC: &[u8; 4] = b"BCOL";
+const FORMAT_VERSION: u8 = 1;
+
+/// Manifest file name inside a paged table directory.
+pub const MANIFEST_FILE: &str = "columnar.meta";
+
+fn corrupt(msg: impl Into<String>) -> StorageError {
+    StorageError::Corrupt(msg.into())
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> StorageError {
+    StorageError::Io(format!("{}: {e}", path.display()))
+}
+
+/// Frame `payload` with magic, version, length and checksum.
+fn frame(magic: &[u8; 4], payload: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(payload.len() + 21);
+    bytes.extend_from_slice(magic);
+    bytes.push(FORMAT_VERSION);
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    bytes.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    bytes
+}
+
+/// Validate a frame and return the payload slice.
+fn unframe<'a>(magic: &[u8; 4], bytes: &'a [u8], what: &str) -> Result<&'a [u8], StorageError> {
+    if bytes.len() < 21 || &bytes[0..4] != magic {
+        return Err(corrupt(format!("{what}: bad or missing header")));
+    }
+    if bytes[4] != FORMAT_VERSION {
+        return Err(corrupt(format!(
+            "{what}: unsupported format version {}",
+            bytes[4]
+        )));
+    }
+    let len = u64::from_le_bytes(bytes[5..13].try_into().expect("8B")) as usize;
+    if bytes.len() != 13 + len + 8 {
+        return Err(corrupt(format!(
+            "{what}: payload length {len} does not match file size {}",
+            bytes.len()
+        )));
+    }
+    let payload = &bytes[13..13 + len];
+    let stored = u64::from_le_bytes(bytes[13 + len..].try_into().expect("8B"));
+    if fnv1a64(payload) != stored {
+        return Err(corrupt(format!("{what}: checksum mismatch")));
+    }
+    Ok(payload)
+}
+
+/// The manifest of a paged columnar table.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Manifest {
+    /// Table name.
+    pub name: String,
+    /// Table schema.
+    pub schema: Schema,
+    /// Rows per segment.
+    pub chunk_capacity: u64,
+    /// Total rows (the last segment may be partial).
+    pub row_count: u64,
+}
+
+impl Manifest {
+    /// Atomically write the manifest into `dir`.
+    pub fn write(&self, dir: &Path) -> Result<(), StorageError> {
+        let mut payload = Vec::new();
+        push_string(&mut payload, &self.name);
+        push_schema(&mut payload, &self.schema);
+        payload.extend_from_slice(&self.chunk_capacity.to_le_bytes());
+        payload.extend_from_slice(&self.row_count.to_le_bytes());
+        let path = dir.join(MANIFEST_FILE);
+        atomic_write(&path, &frame(MANIFEST_MAGIC, &payload)).map_err(|e| io_err(&path, e))
+    }
+
+    /// Read and validate the manifest from `dir`.
+    pub fn read(dir: &Path) -> Result<Self, StorageError> {
+        let path = dir.join(MANIFEST_FILE);
+        let bytes = read_file(&path).map_err(|e| io_err(&path, e))?;
+        let payload = unframe(MANIFEST_MAGIC, &bytes, "columnar manifest")?;
+        let mut r = Reader::new(payload);
+        let name = r.string()?;
+        let schema = read_schema(&mut r)?;
+        let chunk_capacity = r.u64()?;
+        let row_count = r.u64()?;
+        r.finish()?;
+        if chunk_capacity == 0 {
+            return Err(corrupt("columnar manifest: zero chunk capacity"));
+        }
+        Ok(Manifest {
+            name,
+            schema,
+            chunk_capacity,
+            row_count,
+        })
+    }
+}
+
+/// Cache and I/O counters of a pager. All counters are cumulative since
+/// the pager was created.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PagerStats {
+    /// Fetches served from the cache.
+    pub hits: u64,
+    /// Fetches that had to read a segment file.
+    pub misses: u64,
+    /// Segments dropped from the cache to respect its capacity.
+    pub evictions: u64,
+    /// Segments loaded by sequential read-ahead before being requested.
+    pub prefetches: u64,
+    /// Total bytes read from segment files (including read-ahead).
+    pub bytes_read: u64,
+}
+
+struct CacheEntry {
+    segment: Arc<Segment>,
+    last_used: u64,
+}
+
+struct PagerInner {
+    cache: HashMap<usize, CacheEntry>,
+    tick: u64,
+    last_fetch: Option<usize>,
+}
+
+/// Segment file store with a pinned-segment LRU cache.
+#[derive(Debug)]
+pub(crate) struct Pager {
+    dir: PathBuf,
+    capacity: usize,
+    inner: Mutex<PagerInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    prefetches: AtomicU64,
+    bytes_read: AtomicU64,
+}
+
+impl std::fmt::Debug for PagerInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagerInner")
+            .field("cached", &self.cache.len())
+            .finish()
+    }
+}
+
+impl Pager {
+    /// Create a pager over `dir` (created if missing) holding at most
+    /// `capacity` segments in memory (clamped to at least 1).
+    pub fn create(dir: &Path, capacity: usize) -> Result<Self, StorageError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        Ok(Pager {
+            dir: dir.to_path_buf(),
+            capacity: capacity.max(1),
+            inner: Mutex::new(PagerInner {
+                cache: HashMap::new(),
+                tick: 0,
+                last_fetch: None,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            prefetches: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+        })
+    }
+
+    /// The table directory this pager serves.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn seg_path(&self, idx: usize) -> PathBuf {
+        self.dir.join(format!("seg-{idx:06}.col"))
+    }
+
+    /// Durably write segment `idx` and (re)cache it.
+    pub fn write_segment(&self, idx: usize, segment: &Segment) -> Result<(), StorageError> {
+        let mut payload = Vec::new();
+        segment.encode(&mut payload);
+        let path = self.seg_path(idx);
+        atomic_write(&path, &frame(SEGMENT_MAGIC, &payload)).map_err(|e| io_err(&path, e))?;
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.cache.insert(
+            idx,
+            CacheEntry {
+                segment: Arc::new(segment.clone()),
+                last_used: tick,
+            },
+        );
+        self.enforce_capacity(&mut inner);
+        Ok(())
+    }
+
+    fn load(&self, idx: usize) -> Result<Arc<Segment>, StorageError> {
+        let path = self.seg_path(idx);
+        let bytes = read_file(&path).map_err(|e| io_err(&path, e))?;
+        self.bytes_read
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        let payload = unframe(SEGMENT_MAGIC, &bytes, "columnar segment")?;
+        let mut r = Reader::new(payload);
+        let segment = Segment::decode(&mut r)?;
+        r.finish()?;
+        Ok(Arc::new(segment))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PagerInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn enforce_capacity(&self, inner: &mut PagerInner) {
+        while inner.cache.len() > self.capacity {
+            let Some((&victim, _)) = inner.cache.iter().min_by_key(|(_, entry)| entry.last_used)
+            else {
+                return;
+            };
+            // Eviction drops only the cache's Arc: a scan holding the
+            // segment keeps it alive (that outstanding clone is the "pin").
+            inner.cache.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Fetch segment `idx`, from cache or disk. `sealed` bounds the
+    /// sequential read-ahead (segments `>= sealed` do not exist yet).
+    pub fn fetch(&self, idx: usize, sealed: usize) -> Result<Arc<Segment>, StorageError> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let sequential = inner.last_fetch.is_none_or(|prev| idx == prev + 1);
+        inner.last_fetch = Some(idx);
+        if let Some(entry) = inner.cache.get_mut(&idx) {
+            entry.last_used = tick;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(entry.segment.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let segment = self.load(idx)?;
+        inner.cache.insert(
+            idx,
+            CacheEntry {
+                segment: segment.clone(),
+                last_used: tick,
+            },
+        );
+        self.enforce_capacity(&mut inner);
+        // Sequential read-ahead: a clustered epoch fetches segments in
+        // order, so the next one is overwhelmingly likely to be needed;
+        // pull it in while the cache still has this access pattern hot.
+        let next = idx + 1;
+        if sequential && next < sealed && self.capacity > 1 && !inner.cache.contains_key(&next) {
+            if let Ok(ahead) = self.load(next) {
+                self.prefetches.fetch_add(1, Ordering::Relaxed);
+                inner.cache.insert(
+                    next,
+                    CacheEntry {
+                        segment: ahead,
+                        last_used: tick,
+                    },
+                );
+                self.enforce_capacity(&mut inner);
+            }
+        }
+        Ok(segment)
+    }
+
+    /// Snapshot the cumulative counters.
+    pub fn stats(&self) -> PagerStats {
+        PagerStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            prefetches: self.prefetches.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType};
+    use crate::value::Value;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bismarck-pager-test-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![Column::new("x", DataType::Double)]).unwrap()
+    }
+
+    fn segment(base: f64, rows: usize) -> Segment {
+        let mut seg = Segment::empty(&schema());
+        for i in 0..rows {
+            seg.push_row(&[Value::Double(base + i as f64)]).unwrap();
+        }
+        seg
+    }
+
+    #[test]
+    fn manifest_roundtrips() {
+        let dir = temp_dir("manifest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = Manifest {
+            name: "events".into(),
+            schema: schema(),
+            chunk_capacity: 512,
+            row_count: 12_345,
+        };
+        manifest.write(&dir).unwrap();
+        assert_eq!(Manifest::read(&dir).unwrap(), manifest);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_manifest_is_detected() {
+        let dir = temp_dir("manifest-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = Manifest {
+            name: "t".into(),
+            schema: schema(),
+            chunk_capacity: 4,
+            row_count: 8,
+        };
+        manifest.write(&dir).unwrap();
+        let path = dir.join(MANIFEST_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Manifest::read(&dir),
+            Err(StorageError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fetch_caches_evicts_and_prefetches() {
+        let dir = temp_dir("fetch");
+        let pager = Pager::create(&dir, 2).unwrap();
+        for idx in 0..4 {
+            pager
+                .write_segment(idx, &segment(idx as f64 * 100.0, 3))
+                .unwrap();
+        }
+        // Writing 4 segments through a 2-slot cache already evicted some.
+        assert!(pager.stats().evictions >= 2);
+
+        // A sequential pass: every fetch of 0..4 either misses (and
+        // prefetches the successor) or hits the prefetched entry.
+        let pager = Pager::create(&dir, 2).unwrap();
+        for idx in 0..4 {
+            let seg = pager.fetch(idx, 4).unwrap();
+            assert_eq!(seg.len(), 3);
+        }
+        let stats = pager.stats();
+        assert!(stats.misses > 0);
+        assert!(stats.prefetches > 0, "sequential scan should read ahead");
+        assert!(stats.hits > 0, "read-ahead segments should be cache hits");
+        assert!(stats.bytes_read > 0);
+
+        // Pinning: hold a segment across evictions; it stays readable.
+        let pinned = pager.fetch(0, 4).unwrap();
+        for idx in 1..4 {
+            pager.fetch(idx, 4).unwrap();
+        }
+        assert_eq!(pinned.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_segment_is_detected() {
+        let dir = temp_dir("seg-corrupt");
+        let pager = Pager::create(&dir, 1).unwrap();
+        pager.write_segment(0, &segment(0.0, 5)).unwrap();
+        let path = dir.join("seg-000000.col");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let pager = Pager::create(&dir, 1).unwrap();
+        assert!(matches!(pager.fetch(0, 1), Err(StorageError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

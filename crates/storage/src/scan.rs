@@ -18,6 +18,52 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use crate::tuple::Tuple;
+
+/// A tuple source an epoch can stream, independent of physical layout.
+///
+/// Both the row-store [`crate::Table`] and the chunked
+/// [`crate::ColumnarTable`] implement this, so trainers, executors, and the
+/// NULL-aggregate baseline are written once against it. The interface is
+/// callback-based (rather than returning iterators of `&Tuple`) because a
+/// paged columnar table materializes tuples into a scratch row whose
+/// borrow cannot outlive one callback invocation.
+///
+/// # Semantics shared by all implementations
+///
+/// * `scan_tuples_permuted` silently skips out-of-range row ids, matching
+///   `Table::scan_permuted`'s historical behaviour.
+/// * `scan_tuples_range` clamps `end` to the row count and `start` to `end`.
+///
+/// # Panics
+///
+/// Paged implementations **panic** if a segment read fails mid-scan (I/O
+/// error or checksum mismatch) — the trait has no error channel by design,
+/// keeping the per-tuple hot path free of `Result` plumbing. The training
+/// runtime already wraps epoch bodies in `catch_unwind`, so a torn page
+/// surfaces as a worker fault with the last good model preserved.
+pub trait TupleScan: Sync {
+    /// Number of rows the scan will visit.
+    fn tuple_count(&self) -> usize;
+
+    /// Visit rows in storage order until `f` returns `false` or rows run out.
+    fn scan_tuples_while(&self, f: &mut dyn FnMut(&Tuple) -> bool);
+
+    /// Visit every row in storage order.
+    fn scan_tuples(&self, f: &mut dyn FnMut(&Tuple)) {
+        self.scan_tuples_while(&mut |t| {
+            f(t);
+            true
+        });
+    }
+
+    /// Visit rows in the order given by `order`, skipping invalid ids.
+    fn scan_tuples_permuted(&self, order: &[usize], f: &mut dyn FnMut(&Tuple));
+
+    /// Visit rows in `start..end` (clamped) in storage order.
+    fn scan_tuples_range(&self, start: usize, end: usize, f: &mut dyn FnMut(&Tuple));
+}
+
 /// The order in which an epoch visits the rows of a table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScanOrder {

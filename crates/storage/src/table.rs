@@ -157,6 +157,32 @@ impl Table {
     }
 }
 
+impl crate::scan::TupleScan for Table {
+    fn tuple_count(&self) -> usize {
+        self.row_count
+    }
+
+    fn scan_tuples_while(&self, f: &mut dyn FnMut(&Tuple) -> bool) {
+        for tuple in self.scan() {
+            if !f(tuple) {
+                return;
+            }
+        }
+    }
+
+    fn scan_tuples_permuted(&self, order: &[usize], f: &mut dyn FnMut(&Tuple)) {
+        for tuple in self.scan_permuted(order) {
+            f(tuple);
+        }
+    }
+
+    fn scan_tuples_range(&self, start: usize, end: usize, f: &mut dyn FnMut(&Tuple)) {
+        for tuple in self.scan_range(start, end) {
+            f(tuple);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -73,6 +73,11 @@ impl Tuple {
     pub fn into_values(self) -> Vec<Value> {
         self.values
     }
+
+    /// Mutable access for scratch-tuple reuse on the columnar scan path.
+    pub(crate) fn values_mut(&mut self) -> &mut Vec<Value> {
+        &mut self.values
+    }
 }
 
 impl From<Vec<Value>> for Tuple {

@@ -10,7 +10,7 @@
 //!   parallel DBMS B (8 segments).
 //! * [`run_segmented_parallel`] — the same plan executed on worker threads.
 
-use bismarck_storage::{segment_ranges, Table};
+use bismarck_storage::{segment_ranges, TupleScan};
 
 use crate::aggregate::Aggregate;
 
@@ -18,18 +18,18 @@ use crate::aggregate::Aggregate;
 ///
 /// If `order` is `Some`, tuples are visited following that row permutation;
 /// otherwise they are visited in storage (clustered) order.
-pub fn run_sequential<A: Aggregate>(agg: &A, table: &Table, order: Option<&[usize]>) -> A::Output {
+pub fn run_sequential<A: Aggregate, S: TupleScan + ?Sized>(
+    agg: &A,
+    data: &S,
+    order: Option<&[usize]>,
+) -> A::Output {
     let mut state = agg.initialize();
     match order {
         Some(order) => {
-            for tuple in table.scan_permuted(order) {
-                agg.transition(&mut state, tuple);
-            }
+            data.scan_tuples_permuted(order, &mut |tuple| agg.transition(&mut state, tuple));
         }
         None => {
-            for tuple in table.scan() {
-                agg.transition(&mut state, tuple);
-            }
+            data.scan_tuples(&mut |tuple| agg.transition(&mut state, tuple));
         }
     }
     agg.terminate(state)
@@ -40,13 +40,15 @@ pub fn run_sequential<A: Aggregate>(agg: &A, table: &Table, order: Option<&[usiz
 ///
 /// Deterministic and single-threaded — useful for testing merge correctness
 /// in isolation from scheduling effects.
-pub fn run_segmented<A: Aggregate>(agg: &A, table: &Table, segments: usize) -> A::Output {
-    let ranges = segment_ranges(table.len(), segments.max(1));
+pub fn run_segmented<A: Aggregate, S: TupleScan + ?Sized>(
+    agg: &A,
+    data: &S,
+    segments: usize,
+) -> A::Output {
+    let ranges = segment_ranges(data.tuple_count(), segments.max(1));
     let mut partials = ranges.into_iter().map(|(start, end)| {
         let mut state = agg.initialize();
-        for tuple in table.scan_range(start, end) {
-            agg.transition(&mut state, tuple);
-        }
+        data.scan_tuples_range(start, end, &mut |tuple| agg.transition(&mut state, tuple));
         state
     });
     let mut merged = partials.next().unwrap_or_else(|| agg.initialize());
@@ -69,12 +71,13 @@ pub fn run_segmented<A: Aggregate>(agg: &A, table: &Table, segments: usize) -> A
 /// 8-core box runs 100 logical segments on at most 8 workers (each worker
 /// takes a contiguous block of segments and aggregates them independently),
 /// instead of paying 100 thread spawns for no extra parallelism.
-pub fn run_segmented_parallel<A>(agg: &A, table: &Table, segments: usize) -> A::Output
+pub fn run_segmented_parallel<A, S>(agg: &A, data: &S, segments: usize) -> A::Output
 where
     A: Aggregate + Sync,
     A::State: Send,
+    S: TupleScan + ?Sized,
 {
-    try_run_segmented_parallel(agg, table, segments)
+    try_run_segmented_parallel(agg, data, segments)
         .unwrap_or_else(|p| panic!("segment worker panicked: {}", p.message))
 }
 
@@ -117,16 +120,17 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// consumes the panic, so `std::thread::scope` does not re-raise it); the
 /// partial states of panicked workers are discarded and the run reports
 /// [`SegmentPanic`] rather than a (meaningless) merged output.
-pub fn try_run_segmented_parallel<A>(
+pub fn try_run_segmented_parallel<A, S>(
     agg: &A,
-    table: &Table,
+    data: &S,
     segments: usize,
 ) -> Result<A::Output, SegmentPanic>
 where
     A: Aggregate + Sync,
     A::State: Send,
+    S: TupleScan + ?Sized,
 {
-    let ranges = segment_ranges(table.len(), segments.max(1));
+    let ranges = segment_ranges(data.tuple_count(), segments.max(1));
     let hardware = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -147,9 +151,9 @@ where
                     .iter()
                     .map(|&(start, end)| {
                         let mut state = agg.initialize();
-                        for tuple in table.scan_range(start, end) {
+                        data.scan_tuples_range(start, end, &mut |tuple| {
                             agg.transition(&mut state, tuple);
-                        }
+                        });
                         state
                     })
                     .collect::<Vec<A::State>>()
